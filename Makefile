@@ -1,0 +1,30 @@
+.PHONY: install test bench quick default full examples lint clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Reproduce the paper's evaluation at three scales (see docs/reproduce.md).
+quick:
+	python -m repro.experiments.run_all --scale quick
+
+default:
+	python -m repro.experiments.run_all --scale default \
+	  --out results_default.txt --html report_default.html \
+	  --cache .measurement_cache.jsonl
+
+full:
+	python -m repro.experiments.run_all --scale full \
+	  --out results_full.txt --cache .measurement_cache.jsonl
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -1,0 +1,20 @@
+"""Benchmark: the predictor-mechanism ablation study."""
+
+from conftest import run_experiment
+
+from repro.experiments import ablation
+
+
+def test_ablation(benchmark, quick_context):
+    report = run_experiment(benchmark, ablation, quick_context)
+    h = report.headline
+    # The full model must choose placements at least as well as every
+    # ablated variant, up to measurement noise.
+    full = h["median_regret_full_model"]
+    for key, value in h.items():
+        if key.startswith("median_regret_") and key != "median_regret_full_model":
+            assert full <= value + 3.0, key
+    # Error metrics stay in a sane band for every variant.
+    for key, value in h.items():
+        if key.startswith("median_error_"):
+            assert value < 40.0, key

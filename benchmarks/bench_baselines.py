@@ -1,0 +1,20 @@
+"""Benchmark: the Section-7 baseline comparison."""
+
+from conftest import run_experiment
+
+from repro.experiments import baselines
+
+
+def test_baseline_comparison(benchmark, quick_context):
+    report = run_experiment(benchmark, baselines, quick_context)
+    h = report.headline
+    # The thread-count-only regression baseline blows up on workloads
+    # whose small-count curve mispredicts large-count behaviour; no
+    # placement-aware decider does.
+    assert h["worst_regret_pandia"] < h["worst_regret_regression"]
+    assert h["mean_regret_pandia"] <= h["mean_regret_regression"]
+    # Pandia stays competitive with the blind OS heuristics everywhere
+    # (its additional value — choosing thread counts and predicting
+    # resource consumption — is exercised elsewhere).
+    assert h["mean_regret_pandia"] <= h["mean_regret_os_packed"] + 2.0
+    assert h["mean_regret_pandia"] <= h["mean_regret_os_spread"] + 2.0

@@ -1,0 +1,57 @@
+"""Benchmark: joint co-scheduling prediction (the paper's future work).
+
+Benchmarks the CoSchedulePredictor on two workloads sharing the X3-2
+and validates the joint predictions against co-run simulations.
+"""
+
+import pytest
+
+from repro.core.coscheduling import CoSchedulePredictor, CoScheduledWorkload
+from repro.core.placement import Placement
+from repro.experiments.common import QUICK, ExperimentContext
+from repro.sim.engine import Job, SimOptions, simulate
+from repro.sim.noise import NO_NOISE
+from repro.workloads import catalog
+
+
+@pytest.fixture(scope="module")
+def setup():
+    context = ExperimentContext(scale=QUICK)
+    machine = context.machine("X3-2")
+    md = context.machine_description("X3-2")
+    topo = machine.topology
+    jobs = [
+        CoScheduledWorkload(
+            context.description("X3-2", "NPO"),
+            Placement(topo, tuple(topo.core(c).hw_thread_ids[0] for c in range(8))),
+        ),
+        CoScheduledWorkload(
+            context.description("X3-2", "EP"),
+            Placement(topo, tuple(topo.core(c).hw_thread_ids[0] for c in range(8, 16))),
+        ),
+    ]
+    return machine, md, jobs
+
+
+def test_coschedule_prediction_latency(benchmark, setup):
+    machine, md, jobs = setup
+    predictor = CoSchedulePredictor(md)
+    joint = benchmark(predictor.predict, jobs)
+    assert joint.converged
+
+    # Validate against a co-run simulation.
+    sim = simulate(
+        machine,
+        [
+            Job(catalog.get("NPO"), jobs[0].placement.hw_thread_ids),
+            Job(catalog.get("EP"), jobs[1].placement.hw_thread_ids),
+        ],
+        SimOptions(noise=NO_NOISE),
+    )
+    for outcome in joint.outcomes:
+        measured = next(
+            jr.elapsed_s
+            for jr in sim.job_results
+            if jr.job.spec.name == outcome.workload_name
+        )
+        assert outcome.predicted_time_s == pytest.approx(measured, rel=0.5)

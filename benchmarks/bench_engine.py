@@ -1,0 +1,38 @@
+"""Microbenchmark: ground-truth simulator throughput.
+
+The substrate replaces the paper's 342 machine-days of timed runs; its
+per-run latency bounds how large a placement sweep the experiments can
+afford.  Benchmarks one timed run on the largest machine and the
+six-run profiling pipeline on the small test machine.
+"""
+
+import pytest
+
+from repro.core.machine_desc import generate_machine_description
+from repro.core.workload_desc import WorkloadDescriptionGenerator
+from repro.hardware import machines
+from repro.sim.run import run_workload
+from repro.workloads import catalog
+
+
+def test_timed_run_full_x5(benchmark):
+    machine = machines.get("X5-2")
+    spec = catalog.get("CG")
+    tids = tuple(range(machine.topology.n_hw_threads))
+    run = benchmark(run_workload, machine, spec, tids)
+    assert run.elapsed_s > 0
+
+
+def test_machine_description_generation(benchmark):
+    machine = machines.get("TESTBOX")
+    md = benchmark(generate_machine_description, machine)
+    assert md.core_rate > 0
+
+
+def test_six_run_profiling(benchmark):
+    machine = machines.get("TESTBOX")
+    md = generate_machine_description(machine)
+    generator = WorkloadDescriptionGenerator(machine, md)
+    spec = catalog.get("MD")
+    wd = benchmark(generator.generate, spec)
+    assert len(wd.runs) == 6

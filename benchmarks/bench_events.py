@@ -1,0 +1,35 @@
+"""Microbenchmark: churn-aware event-driven simulation."""
+
+import pytest
+
+from repro.hardware import machines
+from repro.sim.engine import SimOptions
+from repro.sim.events import ScheduledJob, simulate_timeline
+from repro.sim.noise import NO_NOISE
+from repro.workloads.spec import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def staggered_jobs():
+    machine = machines.get("X3-2")
+    jobs = []
+    for i in range(4):
+        spec = WorkloadSpec(
+            name=f"ev-{i}", work_ginstr=40.0 + 20.0 * i, cpi=0.6,
+            l1_bpi=6.0, dram_bpi=2.0 + i, working_set_mib=16.0,
+            parallel_fraction=0.98,
+        )
+        tids = tuple(range(i * 8, (i + 1) * 8))
+        jobs.append(ScheduledJob(spec, tids, arrival_s=2.0 * i))
+    return machine, jobs
+
+
+def test_event_simulation_latency(benchmark, staggered_jobs):
+    machine, jobs = staggered_jobs
+    result = benchmark(
+        simulate_timeline, machine, jobs, SimOptions(noise=NO_NOISE)
+    )
+    assert len(result.results) == 4
+    # Later arrivals must finish later than they started.
+    for r in result.results.values():
+        assert r.end_s > r.arrival_s

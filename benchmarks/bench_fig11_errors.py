@@ -1,0 +1,18 @@
+"""Benchmark E11: regenerate Figure 11 (errors + portability)."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig11_errors
+
+
+def test_fig11_errors_and_portability(benchmark, quick_context):
+    report = run_experiment(benchmark, fig11_errors, quick_context)
+    h = report.headline
+    # Native errors in a sane band on both machines.
+    assert h["11a_median_error_percent"] < 15.0
+    assert h["11b_median_error_percent"] < 15.0
+    # Offset error never exceeds plain error by construction of the metric.
+    assert h["11a_median_offset_error_percent"] < h["11a_median_error_percent"] + 5.0
+    # Ported descriptions stay useful (errors bounded), as in the paper.
+    assert h["11c_median_error_percent"] < 30.0
+    assert h["11d_median_error_percent"] < 30.0

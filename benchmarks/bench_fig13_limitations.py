@@ -1,0 +1,16 @@
+"""Benchmark E13: regenerate Figure 13 (NPO single-thread and equake)."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig13_limitations
+
+
+def test_fig13_limitations(benchmark, quick_context):
+    report = run_experiment(benchmark, fig13_limitations, quick_context)
+    h = report.headline
+    # 13a: Pandia detects the absence of scaling — the best measured
+    # placement uses very few threads.
+    assert h["npo1t_peak_measured_threads"] <= 4
+    # 13b vs 13c: the broken fixed-work assumption hurts *more* on the
+    # larger machine (the paper's central observation here).
+    assert h["13c_median_error_percent"] > h["13b_median_error_percent"]

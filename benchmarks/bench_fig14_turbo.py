@@ -1,0 +1,16 @@
+"""Benchmark E14: regenerate Figure 14 (Turbo Boost curves)."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig14_turbo
+
+
+def test_fig14_turbo(benchmark, quick_context):
+    report = run_experiment(benchmark, fig14_turbo, quick_context)
+    h = report.headline
+    # A single thread without background load boosts above the all-core
+    # turbo frequency (paper: 3.6 vs 2.8 GHz -> ~1.29x).
+    assert 1.1 < h["single_thread_boost_over_background"] < 1.5
+    # Disabling turbo is slower even with every thread active
+    # (paper: 2.8 vs 2.3 GHz -> ~1.22x).
+    assert 1.05 < h["full_machine_penalty_for_disabling"] < 1.4

@@ -1,0 +1,32 @@
+"""Microbenchmark: workload-spec fitting from timings."""
+
+import pytest
+
+from repro.core.sweep import spread_placement
+from repro.fit import Observation, fit_workload_spec
+from repro.hardware import machines
+from repro.sim.engine import Job, SimOptions, simulate
+from repro.sim.noise import NO_NOISE
+from repro.workloads import catalog
+
+
+@pytest.fixture(scope="module")
+def observations():
+    machine = machines.get("TESTBOX")
+    truth = catalog.get("Applu")
+    obs = []
+    for n in (1, 2, 4, 8, 16):
+        placement = spread_placement(machine.topology, n)
+        run = simulate(
+            machine, [Job(truth, placement.hw_thread_ids)], SimOptions(noise=NO_NOISE)
+        )
+        obs.append(Observation(n, run.job_results[0].elapsed_s))
+    return machine, obs
+
+
+def test_fit_latency(benchmark, observations):
+    machine, obs = observations
+    result = benchmark.pedantic(
+        fit_workload_spec, args=(machine, obs), rounds=1, iterations=1
+    )
+    assert result.rms_relative_error < 0.10

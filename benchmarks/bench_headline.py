@@ -1,0 +1,16 @@
+"""Benchmark E-head/E-peak: the abstract's headline numbers."""
+
+from conftest import run_experiment
+
+from repro.experiments import headline
+
+
+def test_headline_numbers(benchmark, quick_context):
+    report = run_experiment(benchmark, headline, quick_context)
+    h = report.headline
+    # Paper: mean regret 2.8% / 0.29% / 0.77% (X5-2 / X4-2 / X3-2).
+    # The big machine should show the largest regret; all stay small.
+    for machine in ("X5-2", "X4-2", "X3-2"):
+        assert h[f"mean_regret_{machine}"] < 10.0
+    # Paper: 81% of X5-2 workloads peak below the maximum thread count.
+    assert h["below_max_threads_fraction_X5-2"] >= 0.5

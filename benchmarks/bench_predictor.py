@@ -1,0 +1,40 @@
+"""Microbenchmark: prediction throughput.
+
+Section 6.1: "Making predictions using Pandia takes a fraction of a
+second per placement" — while the measurements behind one workload's
+figure took machine-days.  This benchmark measures our predictor's
+per-placement latency on the X5-2's 72-thread placements.
+"""
+
+import pytest
+
+from repro.core.placement import sample_canonical
+from repro.experiments.common import ExperimentContext, QUICK
+
+
+@pytest.fixture(scope="module")
+def setup():
+    context = ExperimentContext(scale=QUICK)
+    predictor = context.predictor("X5-2")
+    description = context.description("X5-2", "MD")
+    placements = sample_canonical(context.machine("X5-2").topology, 50, seed=5)
+    return predictor, description, placements
+
+
+def test_prediction_latency_single_placement(benchmark, setup):
+    predictor, description, placements = setup
+    full_machine = max(placements, key=lambda p: p.n_threads)
+    result = benchmark(predictor.predict, description, full_machine)
+    assert result.speedup > 0
+
+
+def test_prediction_throughput_many_placements(benchmark, setup):
+    predictor, description, placements = setup
+
+    def predict_all():
+        return [predictor.predict(description, p) for p in placements]
+
+    results = benchmark(predict_all)
+    assert len(results) == len(placements)
+    # The paper's "fraction of a second per placement" must hold.
+    assert benchmark.stats["mean"] / len(placements) < 0.5

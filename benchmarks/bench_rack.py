@@ -1,0 +1,49 @@
+"""Benchmark: rack-scale scheduling (the paper's Section 8 direction).
+
+Schedules a four-workload batch onto a two-node rack and validates the
+resulting co-schedules against the simulator.
+"""
+
+import pytest
+
+from repro.experiments.common import QUICK, ExperimentContext
+from repro.rack import Rack, RackMachine, RackScheduler, validate_schedule
+from repro.sim.noise import NoiseModel
+from repro.workloads import catalog
+
+BATCH = ("Swim", "NPO", "EP", "MD")
+
+
+@pytest.fixture(scope="module")
+def setup():
+    context = ExperimentContext(scale=QUICK)
+    machine = context.machine("X3-2")
+    md = context.machine_description("X3-2")
+    rack = Rack(
+        machines=(
+            RackMachine("node-0", machine, md),
+            RackMachine("node-1", machine, md),
+        )
+    )
+    descriptions = [context.description("X3-2", name) for name in BATCH]
+    return rack, descriptions
+
+
+def test_rack_scheduling(benchmark, setup):
+    rack, descriptions = setup
+    scheduler = RackScheduler(rack)
+    schedule = benchmark(scheduler.schedule, descriptions)
+
+    # Every workload placed, no machine oversubscribed.
+    assert {a.workload.name for a in schedule.assignments} == set(BATCH)
+    for machine in rack.machines:
+        used = schedule.occupied(machine.name)
+        assert len(used) <= machine.n_hw_threads
+
+    # The schedule's joint predictions must track reality.
+    validation = validate_schedule(
+        schedule,
+        {name: catalog.get(name) for name in BATCH},
+        noise=NoiseModel(sigma=0.01),
+    )
+    assert validation.makespan_error_percent < 30.0

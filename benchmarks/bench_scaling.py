@@ -1,0 +1,14 @@
+"""Benchmark E-peak: scaling peaks per thread count (Section 6.1)."""
+
+from conftest import run_experiment
+
+from repro.experiments import scaling
+
+
+def test_scaling_peaks(benchmark, quick_context):
+    report = run_experiment(benchmark, scaling, quick_context)
+    h = report.headline
+    # Pandia's predicted peak positions mostly agree with measurement.
+    assert h["peak_agreement_fraction"] >= 0.5
+    # Both sides see most workloads peaking below the full machine.
+    assert h["below_max_measured_fraction"] >= 0.5

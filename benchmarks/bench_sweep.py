@@ -1,0 +1,15 @@
+"""Benchmark E-sweep: the Section 6.3 sweep-baseline comparison."""
+
+from conftest import run_experiment
+
+from repro.experiments import sweep_comparison
+
+
+def test_sweep_comparison(benchmark, quick_context):
+    report = run_experiment(benchmark, sweep_comparison, quick_context)
+    h = report.headline
+    # Paper: the sweep costs 4-8x Pandia's profiling; the X5-2 ratio is
+    # the largest (8.0x vs 4.2x / 4.0x).
+    assert h["cost_ratio_X5-2"] > h["cost_ratio_X3-2"]
+    for machine in ("X3-2", "X4-2", "X5-2"):
+        assert h[f"cost_ratio_{machine}"] > 2.0

@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Each paper artifact gets one benchmark that regenerates it at QUICK
+scale (see ``repro.experiments.common.Scale``).  The session-scoped
+context pre-warms machine and workload descriptions so the benchmark
+numbers reflect the experiment computation itself; run with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import QUICK, ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def quick_context():
+    """One shared QUICK-scale experiment context."""
+    return ExperimentContext(scale=QUICK)
+
+
+def run_experiment(benchmark, module, context):
+    """Benchmark one experiment module and sanity-check its report."""
+    report = benchmark.pedantic(module.run, args=(context,), rounds=1, iterations=1)
+    assert report.body
+    assert report.experiment_id
+    return report

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Co-schedule two workloads on one machine (paper Sections 6.3/8).
+
+The paper's closing direction: "We believe Pandia's prediction of
+resource consumption as well as overall workload performance will let
+us handle cases with multiple workloads sharing a machine."  This
+example places a memory-bound join (NPO) and a compute-bound kernel
+(EP) together on the X3-2, compares two ways of splitting the machine —
+each workload on its own socket, versus both interleaved across sockets
+— and validates the joint predictions against co-run timed runs.
+
+Run:  python examples/coschedule_workloads.py
+"""
+
+from repro.core import (
+    CoSchedulePredictor,
+    CoScheduledWorkload,
+    WorkloadDescriptionGenerator,
+    generate_machine_description,
+)
+from repro.core.placement import Placement
+from repro.hardware import machines
+from repro.sim.engine import Job, SimOptions, simulate
+from repro.workloads import catalog
+
+
+def main() -> None:
+    machine = machines.get("X3-2")
+    mem, cpu = catalog.get("NPO"), catalog.get("EP")
+
+    print(f"profiling {mem.name} and {cpu.name} separately on {machine.name}...")
+    md = generate_machine_description(machine)
+    generator = WorkloadDescriptionGenerator(machine, md)
+    descriptions = {spec.name: generator.generate(spec) for spec in (mem, cpu)}
+
+    topo = machine.topology
+    layouts = {
+        "split by socket (NPO on socket 0, EP on socket 1)": (
+            Placement(topo, tuple(topo.core(c).hw_thread_ids[0] for c in topo.socket(0).core_ids)),
+            Placement(topo, tuple(topo.core(c).hw_thread_ids[0] for c in topo.socket(1).core_ids)),
+        ),
+        "interleaved (both span both sockets)": (
+            Placement(topo, tuple(topo.core(c).hw_thread_ids[0] for c in (0, 1, 2, 3, 8, 9, 10, 11))),
+            Placement(topo, tuple(topo.core(c).hw_thread_ids[0] for c in (4, 5, 6, 7, 12, 13, 14, 15))),
+        ),
+    }
+
+    predictor = CoSchedulePredictor(md)
+    for label, (place_mem, place_cpu) in layouts.items():
+        joint = predictor.predict(
+            [
+                CoScheduledWorkload(descriptions[mem.name], place_mem),
+                CoScheduledWorkload(descriptions[cpu.name], place_cpu),
+            ]
+        )
+        sim = simulate(
+            machine,
+            [Job(mem, place_mem.hw_thread_ids), Job(cpu, place_cpu.hw_thread_ids)],
+            SimOptions(),
+        )
+        print(f"\n{label}:")
+        for spec in (mem, cpu):
+            predicted = joint.outcome_for(spec.name).predicted_time_s
+            measured = next(
+                jr.elapsed_s for jr in sim.job_results if jr.job.spec.name == spec.name
+            )
+            print(
+                f"  {spec.name:4s} predicted {predicted:7.2f}s   "
+                f"measured {measured:7.2f}s   "
+                f"({abs(predicted - measured) / measured * 100:.0f}% off)"
+            )
+        bottleneck = max(
+            joint.resource_loads,
+            key=lambda k: joint.resource_loads[k] / joint.resource_capacities[k],
+        )
+        usage = joint.resource_loads[bottleneck] / joint.resource_capacities[bottleneck]
+        print(f"  predicted bottleneck: {bottleneck} at {usage:.0%} of capacity")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Close the real-hardware loop: perf output -> fitted spec -> advice.
+
+A practitioner with a real machine would:
+
+1. build pinned, counted runs with :mod:`repro.perf` (this example
+   prints the exact command lines and parses a canned ``perf stat``
+   output, since this environment has no Xeon to run them on);
+2. fit a workload spec to the observed scaling curve with
+   :mod:`repro.fit`;
+3. profile the fitted spec with Pandia's six runs and ask for placement
+   advice.
+
+Run:  python examples/import_real_measurements.py
+"""
+
+from repro.core import (
+    PandiaPredictor,
+    WorkloadDescriptionGenerator,
+    generate_machine_description,
+    sample_canonical,
+)
+from repro.core.optimizer import best_placement
+from repro.core.sweep import spread_placement
+from repro.fit import Observation, fit_workload_spec
+from repro.hardware import machines
+from repro.perf import counters_from_events, parse_perf_stat, pinned_run_command
+from repro.sim.engine import Job, SimOptions, simulate
+from repro.sim.noise import NoiseModel
+from repro.workloads import catalog
+
+#: What `perf stat -x,` would print for one run of the workload
+#: (canned: in a real deployment this is the stderr of the built argv).
+CANNED_PERF_OUTPUT = """\
+12500000000,ns,duration_time,12500000000,100.00,,
+38500000000,,instructions,12499876543,100.00,,
+4800000000,,L1-dcache-loads,12499876543,100.00,,
+1200000000,,L1-dcache-stores,12499812345,99.80,,
+610000000,,L1-dcache-load-misses,9400123456,75.01,,
+210000000,,LLC-loads,9400123456,75.01,,
+52000000,,LLC-stores,9399987654,74.99,,
+185000000,,LLC-load-misses,9399987654,74.99,,
+41000000,,LLC-store-misses,9399987654,74.99,,
+"""
+
+
+def main() -> None:
+    machine = machines.get("X3-2")
+
+    # --- 1. the perf wrapper -------------------------------------------------
+    command = pinned_run_command(
+        ["./analytics-kernel", "--threads", "8"],
+        hw_thread_ids=list(range(8)),
+        interleave_nodes=[0, 1],
+    )
+    print("command a real deployment would run:")
+    print(f"  {command}\n")
+
+    events = parse_perf_stat(CANNED_PERF_OUTPUT)
+    counters = counters_from_events(events)
+    print("parsed counters from the canned perf output:")
+    print(f"  {counters.instruction_rate:.2f} Ginstr/s, "
+          f"L1 {counters.cache_bandwidth('L1'):.1f} GB/s, "
+          f"DRAM {counters.dram_bandwidth_total:.1f} GB/s over "
+          f"{counters.elapsed_s:.1f}s\n")
+
+    # --- 2. fit a spec to an observed scaling curve ---------------------------
+    # (Timings a practitioner would collect with the commands above; here
+    # generated from a hidden ground truth so the fit can be checked.)
+    truth = catalog.get("FMA-3D")
+    observations = []
+    for n in (1, 2, 4, 8, 12, 16):
+        placement = spread_placement(machine.topology, n)
+        run = simulate(
+            machine,
+            [Job(truth, placement.hw_thread_ids)],
+            SimOptions(noise=NoiseModel(sigma=0.01), run_tag="import"),
+        )
+        observations.append(Observation(n, run.job_results[0].elapsed_s))
+    fit = fit_workload_spec(machine, observations, name="imported-kernel")
+    print("fitted spec from 6 timed runs:")
+    print(fit.table())
+    print(f"  rms error {fit.rms_relative_error:.2%}\n")
+
+    # --- 3. Pandia advice for the fitted workload ----------------------------
+    md = generate_machine_description(machine)
+    description = WorkloadDescriptionGenerator(machine, md).generate(fit.spec)
+    predictor = PandiaPredictor(md)
+    placements = sample_canonical(machine.topology, 300, seed=13)
+    best, prediction = best_placement(predictor, description, placements)
+    print(
+        f"Pandia's advice for the imported kernel: {best.n_threads} threads "
+        f"over {len(best.active_sockets())} socket(s) "
+        f"-> predicted {prediction.predicted_time_s:.2f}s "
+        f"({prediction.speedup:.1f}x over one thread)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: model a machine, profile a workload, predict placements.
+
+This walks the full Pandia pipeline on the small TESTBOX machine:
+
+1. generate a machine description by running stress applications,
+2. generate a workload description from the six profiling runs,
+3. predict the performance of a few placements,
+4. check the predictions against actual (simulated) timed runs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    PandiaPredictor,
+    WorkloadDescriptionGenerator,
+    generate_machine_description,
+)
+from repro.core.sweep import packed_placement, spread_placement
+from repro.hardware import machines
+from repro.sim.run import run_workload
+from repro.workloads.spec import WorkloadSpec
+
+
+def main() -> None:
+    machine = machines.get("TESTBOX")
+
+    # --- 1. machine description (Section 3) --------------------------------
+    print("measuring the machine with stress applications...")
+    machine_description = generate_machine_description(machine)
+    print(machine_description.summary(), "\n")
+
+    # --- 2. workload description (Section 4) -------------------------------
+    workload = WorkloadSpec(
+        name="quickstart-analytics",
+        description="a made-up in-memory analytics kernel",
+        work_ginstr=120.0,
+        cpi=0.6,
+        l1_bpi=8.0,
+        l2_bpi=3.0,
+        l3_bpi=2.0,
+        dram_bpi=2.5,
+        working_set_mib=30.0,
+        parallel_fraction=0.99,
+        load_balance=0.4,
+        burst_duty=0.85,
+        comm_fraction=0.005,
+    )
+    print("running the six profiling runs...")
+    generator = WorkloadDescriptionGenerator(machine, machine_description)
+    description = generator.generate(workload)
+    print(description.summary(), "\n")
+
+    # --- 3 & 4. predict placements and verify ------------------------------
+    predictor = PandiaPredictor(machine_description)
+    topo = machine.topology
+    candidates = {
+        "4 threads packed (SMT, one socket)": packed_placement(topo, 4),
+        "4 threads spread (one per core)": spread_placement(topo, 4),
+        "8 threads, one per core": spread_placement(topo, 8),
+        "16 threads (whole machine)": packed_placement(topo, 16),
+    }
+    print(f"{'placement':38s} {'predicted':>10s} {'measured':>10s} {'error':>7s}")
+    for label, placement in candidates.items():
+        predicted = predictor.predict(description, placement).predicted_time_s
+        measured = run_workload(
+            machine, workload, placement.hw_thread_ids, run_tag="quickstart"
+        ).elapsed_s
+        error = abs(predicted - measured) / measured * 100
+        print(f"{label:38s} {predicted:9.2f}s {measured:9.2f}s {error:6.1f}%")
+
+
+if __name__ == "__main__":
+    main()

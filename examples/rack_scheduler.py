@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Schedule a batch of workloads onto a small rack (paper Section 8).
+
+The paper's last future-work item: extend Pandia "to the scheduling of
+multiple workloads on a rack-scale system", leaning on its resource
+consumption predictions.  This example builds a two-node rack of X3-2
+machines, profiles four workloads of very different character, lets the
+scheduler place the batch, and validates the schedule by co-running it
+through the simulator.
+
+Watch for the resource-awareness: the two DRAM-bound workloads land on
+*different* machines, each paired with a compute-bound neighbour.
+
+Run:  python examples/rack_scheduler.py
+"""
+
+from repro.core import WorkloadDescriptionGenerator, generate_machine_description
+from repro.hardware import machines
+from repro.rack import Rack, RackMachine, RackScheduler, validate_schedule
+from repro.workloads import catalog
+
+
+def main() -> None:
+    machine = machines.get("X3-2")
+    print("measuring the rack's machines...")
+    md = generate_machine_description(machine)
+    rack = Rack(
+        machines=(
+            RackMachine("node-0", machine, md),
+            RackMachine("node-1", machine, md),
+        )
+    )
+
+    batch = ["Swim", "Bwaves", "EP", "MD"]  # 2 memory hogs + 2 compute
+    print(f"profiling the batch: {', '.join(batch)}...")
+    generator = WorkloadDescriptionGenerator(machine, md)
+    descriptions = [generator.generate(catalog.get(name)) for name in batch]
+
+    print("\nscheduling...")
+    schedule = RackScheduler(rack).schedule(descriptions)
+    print(schedule.summary())
+
+    print("\nvalidating by co-running the schedule...")
+    specs = {name: catalog.get(name) for name in batch}
+    validation = validate_schedule(schedule, specs)
+    print(f"{'workload':8s} {'predicted':>10s} {'measured':>10s} {'error':>7s}")
+    for name in batch:
+        predicted = validation.predicted_times[name]
+        measured = validation.measured_times[name]
+        print(
+            f"{name:8s} {predicted:9.2f}s {measured:9.2f}s "
+            f"{validation.error_percent(name):6.1f}%"
+        )
+    print(
+        f"\nmakespan: predicted {validation.predicted_makespan_s:.2f}s, "
+        f"measured {validation.measured_makespan_s:.2f}s "
+        f"({validation.makespan_error_percent:.1f}% off)"
+    )
+
+    hogs = {schedule.assignment_for(n).machine_name for n in ("Swim", "Bwaves")}
+    if len(hogs) == 2:
+        print("the two bandwidth-bound workloads were kept on separate machines.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Right-size a poorly scaling workload (paper Section 1).
+
+"Pandia can be used to identify opportunities for reducing resource
+consumption where additional resources are not matched by additional
+performance — for instance, limiting a workload to a small number of
+cores when its scaling is poor."
+
+This example profiles the bandwidth-bound Swim workload on the X3-2,
+then asks: what is the smallest placement within 5% of the best
+predicted performance?  It reports the saved cores/sockets and checks
+the advice against timed runs.
+
+Run:  python examples/rightsize_resources.py
+"""
+
+from repro.core import (
+    PandiaPredictor,
+    WorkloadDescriptionGenerator,
+    generate_machine_description,
+    sample_canonical,
+)
+from repro.core.optimizer import best_placement, rightsize
+from repro.hardware import machines
+from repro.sim.run import run_workload
+from repro.workloads import catalog
+
+
+def footprint(placement) -> str:
+    return (
+        f"{placement.n_threads} threads / "
+        f"{len(placement.threads_per_core())} cores / "
+        f"{len(placement.active_sockets())} socket(s)"
+    )
+
+
+def main() -> None:
+    machine = machines.get("X3-2")
+    workload = catalog.get("Swim")
+
+    print(f"profiling {workload.name} ({workload.description}) on {machine.name}...")
+    machine_description = generate_machine_description(machine)
+    description = WorkloadDescriptionGenerator(machine, machine_description).generate(workload)
+    print(description.summary(), "\n")
+
+    predictor = PandiaPredictor(machine_description)
+    placements = sample_canonical(machine.topology, 600, seed=11)
+
+    best, best_pred = best_placement(predictor, description, placements)
+    small, small_pred = rightsize(predictor, description, placements, tolerance=0.05)
+
+    print(f"best predicted placement:  {footprint(best)}")
+    print(f"  predicted time {best_pred.predicted_time_s:.2f}s")
+    print(f"right-sized placement:     {footprint(small)}")
+    print(
+        f"  predicted time {small_pred.predicted_time_s:.2f}s "
+        f"({(small_pred.predicted_time_s / best_pred.predicted_time_s - 1) * 100:.1f}% slower, "
+        f"{best.n_threads - small.n_threads} fewer threads)"
+    )
+
+    # Verify the trade with timed runs.
+    t_best = run_workload(machine, workload, best.hw_thread_ids, run_tag="rightsize").elapsed_s
+    t_small = run_workload(machine, workload, small.hw_thread_ids, run_tag="rightsize").elapsed_s
+    print("\nmeasured check:")
+    print(f"  best placement:        {t_best:.2f}s")
+    print(f"  right-sized placement: {t_small:.2f}s ({(t_small / t_best - 1) * 100:+.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

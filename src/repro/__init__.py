@@ -1,0 +1,21 @@
+"""Pandia: comprehensive contention-sensitive thread placement.
+
+A full reproduction of the EuroSys 2017 paper by Daniel Goodman,
+Georgios Varisteas and Tim Harris.  See README.md for the architecture
+and DESIGN.md for the substitution of the paper's physical testbed by a
+simulated one.
+
+Public API highlights::
+
+    from repro import machines, catalog
+    from repro.core import (
+        generate_machine_description, WorkloadDescriptionGenerator,
+        PandiaPredictor, enumerate_canonical, best_placement, rightsize,
+    )
+"""
+
+from repro.hardware import machines
+from repro.workloads import catalog
+
+__version__ = "1.0.0"
+__all__ = ["machines", "catalog", "__version__"]

@@ -1,0 +1,19 @@
+"""Evaluation machinery: error metrics, measured-vs-predicted sweeps."""
+
+from repro.analysis.metrics import (
+    ErrorSummary,
+    error_percent,
+    offset_error_percent,
+    summarize_errors,
+)
+from repro.analysis.evaluation import EvaluationResult, PlacementOutcome, evaluate_workload
+
+__all__ = [
+    "ErrorSummary",
+    "error_percent",
+    "offset_error_percent",
+    "summarize_errors",
+    "EvaluationResult",
+    "PlacementOutcome",
+    "evaluate_workload",
+]

@@ -1,0 +1,144 @@
+"""Measured-vs-predicted evaluation over placement sets (Section 6).
+
+``evaluate_workload`` drives both sides for one workload: timed runs of
+every placement through the simulator (the paper's 153 machine-days,
+compressed) and Pandia predictions from the workload description.  The
+result exposes the normalised performance series plotted in Figures 1
+and 10, the error summaries of Figure 11, and the headline
+fastest-predicted vs fastest-measured comparison of Section 6.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.analysis.metrics import ErrorSummary, summarize_errors
+from repro.core.description import WorkloadDescription
+from repro.core.placement import Placement
+from repro.core.predictor import PandiaPredictor
+from repro.errors import ReproError
+from repro.hardware.spec import MachineSpec
+from repro.sim.noise import NoiseModel
+from repro.sim.run import run_workload
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass
+class PlacementOutcome:
+    """One placement: the timed run and Pandia's prediction."""
+
+    placement: Placement
+    measured_time_s: float
+    predicted_time_s: float
+
+    @property
+    def n_threads(self) -> int:
+        return self.placement.n_threads
+
+
+@dataclass
+class EvaluationResult:
+    """All placements of one workload on one machine."""
+
+    workload_name: str
+    machine_name: str
+    outcomes: List[PlacementOutcome] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.outcomes:
+            raise ReproError("evaluation needs at least one placement outcome")
+        self.outcomes.sort(key=lambda o: o.placement.sort_key())
+
+    # -- series (the Figure 1 / Figure 10 y-axes) -----------------------
+
+    @property
+    def best_measured_time(self) -> float:
+        return min(o.measured_time_s for o in self.outcomes)
+
+    @property
+    def best_predicted_time(self) -> float:
+        return min(o.predicted_time_s for o in self.outcomes)
+
+    def measured_normalized(self) -> List[float]:
+        """Measured speedup normalised to the best measured placement."""
+        best = self.best_measured_time
+        return [best / o.measured_time_s for o in self.outcomes]
+
+    def predicted_normalized(self) -> List[float]:
+        """Predicted speedup normalised to the best predicted placement."""
+        best = self.best_predicted_time
+        return [best / o.predicted_time_s for o in self.outcomes]
+
+    # -- summaries --------------------------------------------------------
+
+    def errors(self) -> ErrorSummary:
+        """Figure-11 error summary over all placements."""
+        return summarize_errors(self.predicted_normalized(), self.measured_normalized())
+
+    def rank_correlation(self) -> float:
+        """Spearman correlation between predicted and measured orderings."""
+        from repro.analysis.metrics import rank_correlation
+
+        return rank_correlation(self.predicted_normalized(), self.measured_normalized())
+
+    def top_k_overlap(self, k: int = 10) -> float:
+        """Fraction of the truly-fastest k placements Pandia ranks top-k."""
+        from repro.analysis.metrics import top_k_overlap
+
+        return top_k_overlap(self.predicted_normalized(), self.measured_normalized(), k)
+
+    def best_measured_placement(self) -> PlacementOutcome:
+        return min(self.outcomes, key=lambda o: o.measured_time_s)
+
+    def best_predicted_placement(self) -> PlacementOutcome:
+        return min(self.outcomes, key=lambda o: o.predicted_time_s)
+
+    def placement_regret_percent(self) -> float:
+        """How much slower the predicted-best placement actually runs.
+
+        The paper's headline metric (Section 6.1): the measured time of
+        the fastest *predicted* placement versus the fastest *measured*
+        placement, as a percentage ("median differences of 1.05% to 0%").
+        """
+        chosen = self.best_predicted_placement().measured_time_s
+        return (chosen / self.best_measured_time - 1.0) * 100.0
+
+    def peak_measured_threads(self) -> int:
+        """Thread count of the fastest measured placement (Section 6.1)."""
+        return self.best_measured_placement().n_threads
+
+
+def evaluate_workload(
+    machine: MachineSpec,
+    spec: WorkloadSpec,
+    description: WorkloadDescription,
+    predictor: PandiaPredictor,
+    placements: Sequence[Placement],
+    noise: Optional[NoiseModel] = None,
+) -> EvaluationResult:
+    """Time and predict every placement for one workload."""
+    if not placements:
+        raise ReproError("no placements to evaluate")
+    outcomes = []
+    for placement in placements:
+        run = run_workload(
+            machine,
+            spec,
+            placement.hw_thread_ids,
+            noise=noise,
+            run_tag="evaluation",
+        )
+        prediction = predictor.predict(description, placement)
+        outcomes.append(
+            PlacementOutcome(
+                placement=placement,
+                measured_time_s=run.elapsed_s,
+                predicted_time_s=prediction.predicted_time_s,
+            )
+        )
+    return EvaluationResult(
+        workload_name=spec.name,
+        machine_name=machine.name,
+        outcomes=outcomes,
+    )

@@ -1,0 +1,155 @@
+"""Pairwise interference analysis for co-scheduled workloads.
+
+The related work the paper positions against (Q-Clouds, ReSense,
+McGregor et al.) selects co-runners by observing interference; Pandia's
+bet (Sections 6.3/8) is that interference can be *predicted* from total
+resource demands.  This module computes both sides of that bet: the
+predicted and the measured pairwise interference matrix — entry (A, B)
+is the slowdown workload A suffers when B occupies the other socket,
+relative to A running with that socket idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.coscheduling import CoSchedulePredictor, CoScheduledWorkload
+from repro.core.description import WorkloadDescription
+from repro.core.machine_desc import MachineDescription
+from repro.core.placement import Placement
+from repro.errors import ReproError
+from repro.hardware.spec import MachineSpec
+from repro.sim.engine import Job, SimOptions, simulate
+from repro.sim.noise import NoiseModel
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass
+class InterferenceMatrix:
+    """Slowdown of each victim under each aggressor (socket-split)."""
+
+    workload_names: List[str]
+    #: entries[victim][aggressor] = time with aggressor / time alone
+    entries: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def slowdown(self, victim: str, aggressor: str) -> float:
+        try:
+            return self.entries[victim][aggressor]
+        except KeyError:
+            raise ReproError(
+                f"no interference entry for victim {victim!r} / "
+                f"aggressor {aggressor!r}"
+            ) from None
+
+    def worst_aggressor(self, victim: str) -> Tuple[str, float]:
+        row = self.entries.get(victim)
+        if not row:
+            raise ReproError(f"no entries for victim {victim!r}")
+        aggressor = max(row, key=row.get)
+        return aggressor, row[aggressor]
+
+    def mean_absolute_error(self, other: "InterferenceMatrix") -> float:
+        """Mean |Δslowdown| against another matrix (same workloads)."""
+        deltas = []
+        for victim in self.workload_names:
+            for aggressor in self.workload_names:
+                if victim == aggressor:
+                    continue
+                deltas.append(
+                    abs(self.slowdown(victim, aggressor) - other.slowdown(victim, aggressor))
+                )
+        if not deltas:
+            raise ReproError("matrices hold no off-diagonal entries")
+        return sum(deltas) / len(deltas)
+
+
+def _half_machine_placements(machine: MachineSpec) -> Tuple[Placement, Placement]:
+    """Two interleaved placements, each spanning every socket.
+
+    Victim and aggressor take alternating cores of both sockets — the
+    realistic server co-location, where they share each socket's LLC
+    aggregate, both DRAM nodes and the interconnect (a socket-split
+    would isolate NUMA-local workloads almost completely).
+    """
+    topo = machine.topology
+    if topo.cores_per_socket < 2:
+        raise ReproError("interference analysis needs two cores per socket")
+    left_cores: List[int] = []
+    right_cores: List[int] = []
+    for socket in topo.sockets:
+        for i, core_id in enumerate(socket.core_ids):
+            (left_cores if i % 2 == 0 else right_cores).append(core_id)
+    left = Placement(topo, tuple(topo.core(c).hw_thread_ids[0] for c in left_cores))
+    right = Placement(topo, tuple(topo.core(c).hw_thread_ids[0] for c in right_cores))
+    return left, right
+
+
+def predicted_interference(
+    md: MachineDescription,
+    machine: MachineSpec,
+    descriptions: Sequence[WorkloadDescription],
+) -> InterferenceMatrix:
+    """Pandia's predicted pairwise interference matrix."""
+    left, right = _half_machine_placements(machine)
+    predictor = CoSchedulePredictor(md)
+    names = [d.name for d in descriptions]
+    matrix = InterferenceMatrix(workload_names=names)
+    solo = {
+        d.name: predictor.predict([CoScheduledWorkload(d, left)])
+        .outcome_for(d.name)
+        .predicted_time_s
+        for d in descriptions
+    }
+    for victim in descriptions:
+        row: Dict[str, float] = {}
+        for aggressor in descriptions:
+            if aggressor.name == victim.name:
+                continue
+            joint = predictor.predict(
+                [
+                    CoScheduledWorkload(victim, left),
+                    CoScheduledWorkload(aggressor, right),
+                ]
+            )
+            row[aggressor.name] = (
+                joint.outcome_for(victim.name).predicted_time_s / solo[victim.name]
+            )
+        matrix.entries[victim.name] = row
+    return matrix
+
+
+def measured_interference(
+    machine: MachineSpec,
+    specs: Sequence[WorkloadSpec],
+    noise: Optional[NoiseModel] = None,
+) -> InterferenceMatrix:
+    """Ground-truth pairwise interference from co-run simulations."""
+    left, right = _half_machine_placements(machine)
+    options = SimOptions(
+        noise=noise if noise is not None else NoiseModel(), run_tag="interference"
+    )
+    names = [s.name for s in specs]
+    matrix = InterferenceMatrix(workload_names=names)
+    solo = {
+        s.name: simulate(machine, [Job(s, left.hw_thread_ids)], options)
+        .job_results[0]
+        .elapsed_s
+        for s in specs
+    }
+    for victim in specs:
+        row: Dict[str, float] = {}
+        for aggressor in specs:
+            if aggressor.name == victim.name:
+                continue
+            sim = simulate(
+                machine,
+                [
+                    Job(victim, left.hw_thread_ids),
+                    Job(aggressor, right.hw_thread_ids),
+                ],
+                options,
+            )
+            row[aggressor.name] = sim.job_results[0].elapsed_s / solo[victim.name]
+        matrix.entries[victim.name] = row
+    return matrix

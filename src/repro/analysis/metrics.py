@@ -1,0 +1,115 @@
+"""Error metrics used in the paper's evaluation (Section 6.1).
+
+Two measures quantify prediction quality across a set of placements:
+
+* **Error** — absolute difference between predicted and measured
+  performance, as a percentage of the measured value.
+* **Offset error** — the mean difference between the two series is
+  added to the predictions first, so a constant offset between the
+  curves (right trends, shifted level) is not penalised.
+
+Both operate on *normalised performance* values (speedup relative to
+the best measured placement), matching the figures' y-axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ReproError
+from repro.units import mean, median
+
+
+def _check_series(predicted: Sequence[float], measured: Sequence[float]) -> None:
+    if len(predicted) != len(measured):
+        raise ReproError(
+            f"series length mismatch: {len(predicted)} predicted vs "
+            f"{len(measured)} measured"
+        )
+    if not predicted:
+        raise ReproError("empty series")
+    if any(m <= 0 for m in measured):
+        raise ReproError("measured values must be positive")
+
+
+def error_percent(predicted: Sequence[float], measured: Sequence[float]) -> List[float]:
+    """Per-placement absolute error as % of the measured value."""
+    _check_series(predicted, measured)
+    return [abs(p - m) / m * 100.0 for p, m in zip(predicted, measured)]
+
+
+def offset_error_percent(
+    predicted: Sequence[float], measured: Sequence[float]
+) -> List[float]:
+    """Per-placement error after removing the mean offset between series."""
+    _check_series(predicted, measured)
+    offset = mean([m - p for p, m in zip(predicted, measured)])
+    return [abs(p + offset - m) / m * 100.0 for p, m in zip(predicted, measured)]
+
+
+def rank_correlation(predicted: Sequence[float], measured: Sequence[float]) -> float:
+    """Spearman rank correlation between the two series.
+
+    The decision-relevant accuracy measure: Pandia is used to *choose*
+    among placements, so ordering them correctly matters even where
+    absolute errors are large.  1.0 = identical ordering.
+    """
+    _check_series(predicted, measured)
+    if len(predicted) < 2:
+        raise ReproError("rank correlation needs at least two placements")
+    from scipy.stats import spearmanr
+
+    rho, _ = spearmanr(predicted, measured)
+    return float(rho)
+
+
+def top_k_overlap(
+    predicted: Sequence[float], measured: Sequence[float], k: int = 10
+) -> float:
+    """Fraction of the truly-best *k* placements Pandia also ranks top-k.
+
+    ``predicted``/``measured`` are performance values (higher = better).
+    """
+    _check_series(predicted, measured)
+    if k < 1:
+        raise ReproError("k must be >= 1")
+    k = min(k, len(predicted))
+    best_measured = set(
+        sorted(range(len(measured)), key=lambda i: -measured[i])[:k]
+    )
+    best_predicted = set(
+        sorted(range(len(predicted)), key=lambda i: -predicted[i])[:k]
+    )
+    return len(best_measured & best_predicted) / k
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """The four bars the paper plots per workload (Figure 11)."""
+
+    mean_error: float
+    median_error: float
+    mean_offset_error: float
+    median_offset_error: float
+
+    def row(self) -> str:
+        return (
+            f"mean {self.mean_error:6.2f}%  median {self.median_error:6.2f}%  "
+            f"offset mean {self.mean_offset_error:6.2f}%  "
+            f"offset median {self.median_offset_error:6.2f}%"
+        )
+
+
+def summarize_errors(
+    predicted: Sequence[float], measured: Sequence[float]
+) -> ErrorSummary:
+    """Compute the Figure-11 error summary for one workload's series."""
+    errors = error_percent(predicted, measured)
+    offset_errors = offset_error_percent(predicted, measured)
+    return ErrorSummary(
+        mean_error=mean(errors),
+        median_error=median(errors),
+        mean_offset_error=mean(offset_errors),
+        median_offset_error=median(offset_errors),
+    )

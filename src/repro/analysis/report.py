@@ -1,0 +1,111 @@
+"""Standalone HTML reports of experiment results.
+
+``build_html_report`` turns a list of
+:class:`~repro.experiments.common.ExperimentReport` objects (plus
+optional SVG figures) into one self-contained HTML page: no external
+assets, openable anywhere.  ``figures_for`` regenerates the paper-style
+SVG charts from cached evaluation data.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+from xml.sax.saxutils import escape
+
+from repro.analysis.svg import svg_bars, svg_scatter
+from repro.errors import ReproError
+
+_STYLE = """
+body { font-family: sans-serif; margin: 2em auto; max-width: 64em; color: #222; }
+h1 { border-bottom: 2px solid #c62828; padding-bottom: 0.2em; }
+h2 { margin-top: 2em; }
+pre { background: #f6f6f6; padding: 1em; overflow-x: auto; font-size: 12px; }
+.claim { color: #555; font-style: italic; }
+.headline { background: #fff8e1; padding: 0.6em 1em; }
+figure { margin: 1em 0; }
+"""
+
+
+def build_html_report(
+    reports: Sequence,
+    title: str = "Pandia reproduction report",
+    figures: Optional[Dict[str, Sequence[str]]] = None,
+) -> str:
+    """Render experiment reports (and per-experiment SVGs) as HTML.
+
+    ``figures`` maps an experiment id to a list of SVG documents shown
+    above that experiment's text body.
+    """
+    if not reports:
+        raise ReproError("no reports to render")
+    figures = figures or {}
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{escape(title)}</title>",
+        f"<style>{_STYLE}</style>",
+        "</head><body>",
+        f"<h1>{escape(title)}</h1>",
+    ]
+    for report in reports:
+        parts.append(f"<h2 id='{escape(report.experiment_id)}'>"
+                     f"{escape(report.experiment_id)}: {escape(report.title)}</h2>")
+        parts.append(f"<p class='claim'>paper: {escape(report.paper_claim)}</p>")
+        for svg in figures.get(report.experiment_id, ()):
+            parts.append(f"<figure>{svg}</figure>")
+        parts.append(f"<pre>{escape(report.body)}</pre>")
+        if report.headline:
+            rows = "".join(
+                f"<div>{escape(key)} = {value:.3f}</div>"
+                for key, value in report.headline.items()
+            )
+            parts.append(f"<div class='headline'>{rows}</div>")
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_html_report(
+    path: Union[str, Path],
+    reports: Sequence,
+    title: str = "Pandia reproduction report",
+    figures: Optional[Dict[str, Sequence[str]]] = None,
+) -> Path:
+    """Write :func:`build_html_report` output to *path*."""
+    out = Path(path)
+    out.write_text(build_html_report(reports, title=title, figures=figures))
+    return out
+
+
+def evaluation_figure(evaluation, title: Optional[str] = None) -> str:
+    """The Figure-1-style scatter for one EvaluationResult, as SVG."""
+    return svg_scatter(
+        {
+            "measured": evaluation.measured_normalized(),
+            "predicted": evaluation.predicted_normalized(),
+        },
+        title=title
+        or f"{evaluation.workload_name} on {evaluation.machine_name}: "
+        f"normalised speedup per placement",
+    )
+
+
+def error_bars_figure(
+    workload_names: Sequence[str],
+    summaries: Sequence,
+    title: str,
+) -> str:
+    """The Figure-11-style grouped error bars for one machine, as SVG."""
+    if len(workload_names) != len(summaries):
+        raise ReproError("one summary per workload required")
+    return svg_bars(
+        labels=list(workload_names),
+        series={
+            "mean": [s.mean_error for s in summaries],
+            "median": [s.median_error for s in summaries],
+            "offset mean": [s.mean_offset_error for s in summaries],
+            "offset median": [s.median_offset_error for s in summaries],
+        },
+        title=title,
+        y_label="percentage difference",
+    )

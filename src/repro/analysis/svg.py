@@ -1,0 +1,154 @@
+"""Hand-rolled SVG charts for experiment reports.
+
+No plotting library is assumed; these emit small standalone SVG
+documents for the two chart shapes the paper uses: measured-vs-predicted
+scatters (Figures 1, 10, 13, 14) and per-workload error bars
+(Figures 11, 12).  Output is valid XML, checked by the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+from xml.sax.saxutils import escape
+
+from repro.errors import ReproError
+
+#: Default series colours: measured (grey) and predicted (red), echoing
+#: the paper's figures, then extras.
+PALETTE = ("#9a9a9a", "#c62828", "#1565c0", "#2e7d32", "#6a1b9a")
+
+_MARGIN = 46
+_TICKS = 5
+
+
+def _header(width: int, height: int, title: str) -> List[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2:.0f}" y="16" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="13">{escape(title)}</text>',
+    ]
+
+
+def _axes(width: int, height: int, y_max: float) -> List[str]:
+    x0, y0 = _MARGIN, height - _MARGIN
+    x1, y1 = width - 12, 24
+    parts = [
+        f'<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="black"/>',
+        f'<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="black"/>',
+    ]
+    for i in range(_TICKS + 1):
+        value = y_max * i / _TICKS
+        y = y0 - (y0 - y1) * i / _TICKS
+        parts.append(
+            f'<text x="{x0 - 6}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="10">{value:.2f}</text>'
+        )
+        parts.append(
+            f'<line x1="{x0 - 3}" y1="{y:.1f}" x2="{x0}" y2="{y:.1f}" stroke="black"/>'
+        )
+    return parts
+
+
+def svg_scatter(
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    width: int = 640,
+    height: int = 320,
+) -> str:
+    """Scatter each series against its index (placement order)."""
+    if not series:
+        raise ReproError("nothing to plot")
+    lengths = {len(s) for s in series.values()}
+    if lengths == {0} or len(lengths) != 1:
+        raise ReproError("series must be equal-length and non-empty")
+    (length,) = lengths
+    y_max = max(max(s) for s in series.values())
+    if y_max <= 0:
+        raise ReproError("series must contain positive values")
+
+    x0, y0 = _MARGIN, height - _MARGIN
+    x1, y1 = width - 12, 24
+    parts = _header(width, height, title) + _axes(width, height, y_max)
+
+    for (name, values), colour in zip(series.items(), PALETTE):
+        dots = []
+        for i, value in enumerate(values):
+            x = x0 + (x1 - x0) * (i / max(1, length - 1))
+            y = y0 - (y0 - y1) * (value / y_max)
+            dots.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="2" fill="{colour}"/>')
+        parts.extend(dots)
+    # Legend.
+    for idx, (name, colour) in enumerate(zip(series, PALETTE)):
+        lx = x0 + 10 + idx * 150
+        parts.append(f'<circle cx="{lx}" cy="{y1 + 6}" r="3" fill="{colour}"/>')
+        parts.append(
+            f'<text x="{lx + 8}" y="{y1 + 10}" font-family="sans-serif" '
+            f'font-size="11">{escape(str(name))}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def svg_bars(
+    labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    width: int = 720,
+    height: int = 320,
+    y_label: str = "",
+) -> str:
+    """Grouped bar chart: one bar group per label (Figure-11 style)."""
+    if not labels:
+        raise ReproError("no labels to plot")
+    if not series:
+        raise ReproError("no series to plot")
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ReproError(
+                f"series {name!r} has {len(values)} values for {len(labels)} labels"
+            )
+    y_max = max(max(values) for values in series.values())
+    if y_max <= 0:
+        y_max = 1.0
+
+    x0, y0 = _MARGIN, height - _MARGIN
+    x1, y1 = width - 12, 24
+    parts = _header(width, height, title) + _axes(width, height, y_max)
+    if y_label:
+        parts.append(
+            f'<text x="14" y="{(y0 + y1) / 2:.0f}" font-family="sans-serif" '
+            f'font-size="11" transform="rotate(-90 14 {(y0 + y1) / 2:.0f})" '
+            f'text-anchor="middle">{escape(y_label)}</text>'
+        )
+
+    group_width = (x1 - x0) / len(labels)
+    bar_width = max(1.0, group_width * 0.8 / len(series))
+    for g, label in enumerate(labels):
+        gx = x0 + g * group_width
+        for s, (name, values) in enumerate(series.items()):
+            colour = PALETTE[s % len(PALETTE)]
+            bar_height = (y0 - y1) * (values[g] / y_max)
+            bx = gx + group_width * 0.1 + s * bar_width
+            parts.append(
+                f'<rect x="{bx:.1f}" y="{y0 - bar_height:.1f}" '
+                f'width="{bar_width:.1f}" height="{bar_height:.1f}" fill="{colour}"/>'
+            )
+        parts.append(
+            f'<text x="{gx + group_width / 2:.1f}" y="{y0 + 12}" '
+            f'font-family="sans-serif" font-size="9" text-anchor="middle" '
+            f'transform="rotate(40 {gx + group_width / 2:.1f} {y0 + 12})">'
+            f"{escape(str(label))}</text>"
+        )
+    for idx, (name, colour) in enumerate(zip(series, PALETTE)):
+        lx = x0 + 10 + idx * 150
+        parts.append(
+            f'<rect x="{lx}" y="{y1}" width="9" height="9" fill="{colour}"/>'
+        )
+        parts.append(
+            f'<text x="{lx + 13}" y="{y1 + 9}" font-family="sans-serif" '
+            f'font-size="11">{escape(str(name))}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)

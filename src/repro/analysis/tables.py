@@ -1,0 +1,115 @@
+"""Plain-text tables and ASCII plots for experiment reports.
+
+The paper's artifacts are figures; a terminal reproduction renders each
+as a fixed-width table plus, where the *shape* of a curve matters
+(Figures 1, 10, 13, 14), an ASCII scatter of the same series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width table with right-aligned numeric columns."""
+    if not headers:
+        raise ReproError("table needs headers")
+    cells = [[_fmt(v) for v in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(headers[i])), max((len(r[i]) for r in cells), default=0))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(
+                row[i].rjust(widths[i]) if _is_numeric(row[i]) else row[i].ljust(widths[i])
+                for i in range(len(headers))
+            )
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _is_numeric(text: str) -> bool:
+    try:
+        float(text.rstrip("%x"))
+        return True
+    except ValueError:
+        return False
+
+
+#: Glyphs used for the two series in a scatter plot.
+MEASURED_GLYPH = "."
+PREDICTED_GLYPH = "x"
+OVERLAP_GLYPH = "*"
+
+
+def ascii_scatter(
+    series: Dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 16,
+    y_label: str = "",
+) -> str:
+    """Plot up to two equal-length series against their index.
+
+    The first series uses ``.``, the second ``x``; coincident cells show
+    ``*``.  Y spans [0, max].  This is the textual analogue of the
+    paper's measured-vs-predicted scatter figures.
+    """
+    if not series:
+        raise ReproError("nothing to plot")
+    names = list(series)
+    if len(names) > 2:
+        raise ReproError("ascii_scatter supports at most two series")
+    length = len(series[names[0]])
+    if length == 0 or any(len(s) != length for s in series.values()):
+        raise ReproError("series must be equal-length and non-empty")
+
+    y_max = max(max(s) for s in series.values())
+    if y_max <= 0:
+        raise ReproError("series must contain positive values")
+    grid = [[" "] * width for _ in range(height)]
+    glyphs = [MEASURED_GLYPH, PREDICTED_GLYPH]
+    for name, glyph in zip(names, glyphs):
+        for i, value in enumerate(series[name]):
+            col = min(width - 1, i * width // length)
+            row = min(height - 1, int((1.0 - value / y_max) * (height - 1) + 0.5))
+            cell = grid[row][col]
+            if cell == " " or cell == glyph:
+                grid[row][col] = glyph
+            else:
+                grid[row][col] = OVERLAP_GLYPH
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    lines.append(f"{y_max:8.2f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 9 + "|" + "".join(row))
+    lines.append(f"{0.0:8.2f} +" + "-" * width)
+    legend = "  ".join(
+        f"{glyph} {name}" for name, glyph in zip(names, glyphs)
+    )
+    lines.append(" " * 10 + legend + f"   ({length} placements, sorted)")
+    return "\n".join(lines)

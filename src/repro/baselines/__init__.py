@@ -1,0 +1,33 @@
+"""Related-work baselines (paper Section 7).
+
+Three families the paper positions Pandia against:
+
+* **OS heuristics** — "mainstream operating systems use heuristics to
+  select thread placements (for instance, always packing threads
+  together, or always distributing threads onto different sockets).
+  They do not set the number of software threads."
+* **Regression extrapolation** (Barnes et al. [5], ESTIMA [9]) —
+  "fitting timings for runs with small numbers of threads to regression
+  models ... only able to handle predictions of thread count (not
+  thread placement)".
+* The **sweep** baseline lives in :mod:`repro.core.sweep` (Section 6.3).
+
+Each baseline answers the same question Pandia answers — "which
+placement should this workload use?" — so their placement regret is
+directly comparable.
+"""
+
+from repro.baselines.heuristics import os_packed_choice, os_spread_choice
+from repro.baselines.regression import (
+    RegressionModel,
+    fit_regression_baseline,
+    regression_choice,
+)
+
+__all__ = [
+    "os_packed_choice",
+    "os_spread_choice",
+    "RegressionModel",
+    "fit_regression_baseline",
+    "regression_choice",
+]

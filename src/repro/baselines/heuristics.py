@@ -1,0 +1,43 @@
+"""Mainstream-OS placement heuristics (paper Section 7).
+
+Operating systems "use heuristics to select thread placements (for
+instance, always packing threads together, or always distributing
+threads onto different sockets).  They do not set the number of
+software threads used by applications."  Accordingly both heuristics
+here take the thread count as given — the application asked for as many
+threads as the machine has — and only choose *where* they go.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.placement import Placement
+from repro.core.sweep import packed_placement, spread_placement
+from repro.errors import ReproError
+from repro.hardware.topology import MachineTopology
+
+
+def os_packed_choice(
+    topology: MachineTopology, n_threads: Optional[int] = None
+) -> Placement:
+    """The "always pack threads together" heuristic.
+
+    Fills SMT contexts core by core, socket by socket.  Without a
+    requested count, the application uses every hardware thread (the
+    OS does not set thread counts).
+    """
+    n = n_threads if n_threads is not None else topology.n_hw_threads
+    if not 1 <= n <= topology.n_hw_threads:
+        raise ReproError(f"thread count {n} out of range")
+    return packed_placement(topology, n)
+
+
+def os_spread_choice(
+    topology: MachineTopology, n_threads: Optional[int] = None
+) -> Placement:
+    """The "always distribute threads onto different sockets" heuristic."""
+    n = n_threads if n_threads is not None else topology.n_hw_threads
+    if not 1 <= n <= topology.n_hw_threads:
+        raise ReproError(f"thread count {n} out of range")
+    return spread_placement(topology, n)

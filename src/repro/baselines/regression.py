@@ -1,0 +1,116 @@
+"""Regression-extrapolation baseline (Barnes et al. [5], ESTIMA [9]).
+
+Fit a scalability model to timed runs at small thread counts, then
+extrapolate to pick the best thread count.  Like the techniques the
+paper cites, it "only [handles] predictions of thread count (not
+thread placement)": having chosen ``n``, it places the threads with a
+fixed spread policy.
+
+The model is the universal scalability family the cited works fit:
+
+    T(n) = t1 * ( (1-p) + p/n + kappa*(n-1) )
+
+an Amdahl term plus a linear contention/coherence penalty ``kappa``,
+least-squares fitted in log space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from repro.core.placement import Placement
+from repro.core.sweep import spread_placement
+from repro.errors import ReproError
+from repro.hardware.spec import MachineSpec
+from repro.sim.noise import NoiseModel
+from repro.sim.run import run_workload
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class RegressionModel:
+    """Fitted scalability curve ``T(n) = t1*((1-p) + p/n + kappa*(n-1))``."""
+
+    t1: float
+    parallel_fraction: float
+    kappa: float
+    training_counts: Tuple[int, ...]
+    training_cost_s: float
+
+    def predicted_time(self, n_threads: int) -> float:
+        if n_threads < 1:
+            raise ReproError("thread count must be >= 1")
+        p = self.parallel_fraction
+        return self.t1 * ((1.0 - p) + p / n_threads + self.kappa * (n_threads - 1))
+
+    def best_thread_count(self, max_threads: int) -> int:
+        if max_threads < 1:
+            raise ReproError("max threads must be >= 1")
+        counts = range(1, max_threads + 1)
+        return min(counts, key=self.predicted_time)
+
+
+def fit_regression_baseline(
+    machine: MachineSpec,
+    spec: WorkloadSpec,
+    training_counts: Sequence[int] = (1, 2, 3, 4),
+    noise: Optional[NoiseModel] = None,
+) -> RegressionModel:
+    """Time the workload at small spread counts and fit the curve."""
+    counts = sorted(set(training_counts))
+    if len(counts) < 3:
+        raise ReproError("regression baseline needs at least three counts")
+    if counts[0] != 1:
+        raise ReproError("regression baseline needs a single-thread run")
+    times: List[float] = []
+    cost = 0.0
+    for n in counts:
+        run = run_workload(
+            machine,
+            spec,
+            spread_placement(machine.topology, n).hw_thread_ids,
+            noise=noise,
+            run_tag=f"regression-baseline/{n}",
+        )
+        times.append(run.elapsed_s)
+        cost += run.elapsed_s
+
+    t1 = times[0]
+    observed = np.array(times)
+    ns = np.array(counts, dtype=float)
+
+    def residuals(params: np.ndarray) -> np.ndarray:
+        p, kappa = params
+        model = t1 * ((1.0 - p) + p / ns + kappa * (ns - 1.0))
+        return np.log(model / observed)
+
+    solution = least_squares(
+        residuals,
+        x0=[0.95, 1e-4],
+        bounds=([0.0, 0.0], [1.0, 1.0]),
+        max_nfev=200,
+    )
+    p, kappa = solution.x
+    return RegressionModel(
+        t1=t1,
+        parallel_fraction=float(p),
+        kappa=float(kappa),
+        training_counts=tuple(counts),
+        training_cost_s=cost,
+    )
+
+
+def regression_choice(
+    machine: MachineSpec,
+    spec: WorkloadSpec,
+    training_counts: Sequence[int] = (1, 2, 3, 4),
+    noise: Optional[NoiseModel] = None,
+) -> Tuple[Placement, RegressionModel]:
+    """The baseline's placement: best extrapolated count, spread policy."""
+    model = fit_regression_baseline(machine, spec, training_counts, noise)
+    n = model.best_thread_count(machine.topology.n_hw_threads)
+    return spread_placement(machine.topology, n), model

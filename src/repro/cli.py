@@ -1,0 +1,401 @@
+"""Command-line interface: ``pandia <subcommand>``.
+
+Subcommands mirror the library's workflow:
+
+* ``machines`` — list the machine catalog.
+* ``workloads`` — list the workload catalog.
+* ``describe-machine X5-2`` — run the stress applications and print the
+  measured machine description.
+* ``describe-workload X5-2 MD`` — run the six profiling runs and print
+  the workload description.
+* ``predict X5-2 MD --threads 16`` — predict performance for a
+  placement (spread or packed shape at a given thread count).
+* ``optimize X5-2 MD`` — search the canonical placements for the
+  predicted-best and right-sized placements.
+* ``experiment fig1 --scale quick`` — reproduce a paper artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.core.machine_desc import generate_machine_description
+from repro.core.optimizer import best_placement, rightsize
+from repro.core.placement import Placement
+from repro.core.predictor import PandiaPredictor
+from repro.core.sweep import packed_placement, spread_placement
+from repro.core.workload_desc import WorkloadDescriptionGenerator
+from repro.errors import ReproError
+from repro.hardware import machines
+from repro.sim.noise import NoiseModel
+from repro.workloads import catalog
+
+
+def _noise(args: argparse.Namespace) -> NoiseModel:
+    return NoiseModel(sigma=args.noise)
+
+
+def _descriptions(args: argparse.Namespace):
+    machine = machines.get(args.machine)
+    noise = _noise(args)
+    md = generate_machine_description(machine, noise=noise)
+    generator = WorkloadDescriptionGenerator(machine, md, noise=noise)
+    wd = generator.generate(catalog.get(args.workload))
+    return machine, md, wd
+
+
+def cmd_machines(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in machines.names():
+        spec = machines.get(name)
+        topo = spec.topology
+        rows.append(
+            [
+                name,
+                topo.n_sockets,
+                topo.cores_per_socket,
+                topo.n_hw_threads,
+                spec.description,
+            ]
+        )
+    print(format_table(["machine", "sockets", "cores/socket", "hw threads", "description"], rows))
+    return 0
+
+
+def cmd_workloads(_args: argparse.Namespace) -> int:
+    rows = [
+        [w.name, w.description]
+        for w in catalog.evaluation_set() + catalog.SPECIALS
+    ]
+    print(format_table(["workload", "description"], rows))
+    return 0
+
+
+def cmd_describe_machine(args: argparse.Namespace) -> int:
+    machine = machines.get(args.machine)
+    md = generate_machine_description(machine, noise=_noise(args))
+    print(md.summary())
+    return 0
+
+
+def cmd_describe_workload(args: argparse.Namespace) -> int:
+    _, _, wd = _descriptions(args)
+    print(wd.summary())
+    print(f"  profiling cost: {wd.profiling_cost_s:.1f} s of runs")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    machine, md, wd = _descriptions(args)
+    topo = machine.topology
+    if args.threads < 1 or args.threads > topo.n_hw_threads:
+        raise ReproError(
+            f"thread count must be 1..{topo.n_hw_threads} for {machine.name}"
+        )
+    builder = packed_placement if args.packed else spread_placement
+    placement = builder(topo, args.threads)
+    prediction = PandiaPredictor(md).predict(wd, placement)
+    print(placement)
+    print(f"predicted speedup over one thread: {prediction.speedup:.2f}")
+    print(f"predicted time: {prediction.predicted_time_s:.3f} s (t1 = {wd.t1:.3f} s)")
+    print(f"worst thread slowdown: {max(prediction.slowdowns):.2f}")
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.core.placement import sample_canonical
+
+    machine, md, wd = _descriptions(args)
+    placements = sample_canonical(machine.topology, args.max_placements, seed=0)
+    predictor = PandiaPredictor(md)
+    best, best_pred = best_placement(predictor, wd, placements)
+    small, small_pred = rightsize(predictor, wd, placements, tolerance=args.tolerance)
+    print(f"best predicted: {best}")
+    print(f"  speedup {best_pred.speedup:.2f}, time {best_pred.predicted_time_s:.3f} s")
+    print(f"right-sized (within {args.tolerance:.0%}): {small}")
+    print(f"  speedup {small_pred.speedup:.2f}, time {small_pred.predicted_time_s:.3f} s")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.run_all import main as run_all_main
+
+    forwarded = list(args.ids) + ["--scale", args.scale]
+    if args.html:
+        forwarded += ["--html", args.html]
+    return run_all_main(forwarded)
+
+
+def cmd_coschedule(args: argparse.Namespace) -> int:
+    """Predict two or more workloads co-running, split across sockets."""
+    from repro.core.coscheduling import CoSchedulePredictor, CoScheduledWorkload
+    from repro.core.placement import Placement
+
+    machine = machines.get(args.machine)
+    noise = _noise(args)
+    md = generate_machine_description(machine, noise=noise)
+    generator = WorkloadDescriptionGenerator(machine, md, noise=noise)
+    topo = machine.topology
+    if len(args.workloads) > topo.n_sockets:
+        raise ReproError(
+            f"coschedule splits by socket: at most {topo.n_sockets} workloads "
+            f"on {machine.name}"
+        )
+    jobs = []
+    for i, name in enumerate(args.workloads):
+        description = generator.generate(catalog.get(name))
+        tids = tuple(
+            topo.core(c).hw_thread_ids[0] for c in topo.socket(i).core_ids
+        )
+        jobs.append(CoScheduledWorkload(description, Placement(topo, tids)))
+    joint = CoSchedulePredictor(md).predict(jobs)
+    rows = [
+        [o.workload_name, f"socket {i}", o.speedup, o.predicted_time_s]
+        for i, o in enumerate(joint.outcomes)
+    ]
+    print(format_table(["workload", "placement", "speedup", "predicted time (s)"], rows))
+    utilisation = {
+        k: joint.resource_loads[k] / joint.resource_capacities[k]
+        for k in joint.resource_loads
+    }
+    worst = max(utilisation, key=utilisation.get)
+    print(f"predicted bottleneck: {worst} at {utilisation[worst]:.0%} of capacity")
+    return 0
+
+
+def cmd_rack(args: argparse.Namespace) -> int:
+    """Schedule a batch of workloads onto N identical machines."""
+    from repro.rack import Rack, RackMachine, RackScheduler, validate_schedule
+
+    machine = machines.get(args.machine)
+    noise = _noise(args)
+    md = generate_machine_description(machine, noise=noise)
+    rack = Rack(
+        machines=tuple(
+            RackMachine(f"node-{i}", machine, md) for i in range(args.nodes)
+        )
+    )
+    generator = WorkloadDescriptionGenerator(machine, md, noise=noise)
+    descriptions = [generator.generate(catalog.get(n)) for n in args.workloads]
+    schedule = RackScheduler(rack).schedule(descriptions)
+    print(schedule.summary())
+    if args.validate:
+        specs = {n: catalog.get(n) for n in args.workloads}
+        validation = validate_schedule(schedule, specs, noise=noise)
+        print(
+            f"measured makespan: {validation.measured_makespan_s:.2f}s "
+            f"({validation.makespan_error_percent:.1f}% prediction error)"
+        )
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Explain the prediction for one placement."""
+    from repro.analysis.explain import explain
+    from repro.core.predictor import PandiaPredictor
+
+    machine, md, wd = _descriptions(args)
+    topo = machine.topology
+    builder = packed_placement if args.packed else spread_placement
+    placement = builder(topo, args.threads)
+    prediction = PandiaPredictor(md).predict(wd, placement, keep_trace=True)
+    print(explain(prediction))
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    """Queued execution of a workload batch on an N-node rack."""
+    from repro.rack import Rack, RackMachine, TimelineScheduler, WorkloadRequest
+
+    machine = machines.get(args.machine)
+    noise = _noise(args)
+    md = generate_machine_description(machine, noise=noise)
+    rack = Rack(
+        machines=tuple(
+            RackMachine(f"node-{i}", machine, md) for i in range(args.nodes)
+        )
+    )
+    generator = WorkloadDescriptionGenerator(machine, md, noise=noise)
+    requests = []
+    for i, name in enumerate(args.workloads):
+        description = generator.generate(catalog.get(name))
+        requests.append(
+            WorkloadRequest(description, arrival_s=i * args.stagger)
+        )
+    timeline = TimelineScheduler(rack).run(requests)
+    print(timeline.gantt())
+    print(
+        f"makespan {timeline.makespan_s:.2f}s, "
+        f"mean queueing delay {timeline.mean_queueing_delay_s:.2f}s"
+    )
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    """Measured-vs-predicted evaluation for one workload."""
+    from repro.analysis.evaluation import evaluate_workload
+    from repro.core.placement import sample_canonical
+    from repro.core.predictor import PandiaPredictor
+
+    machine, md, wd = _descriptions(args)
+    spec = catalog.get(args.workload)
+    placements = sample_canonical(machine.topology, args.max_placements, seed=0)
+    evaluation = evaluate_workload(
+        machine, spec, wd, PandiaPredictor(md), placements, noise=_noise(args)
+    )
+    summary = evaluation.errors()
+    print(f"{args.workload} on {machine.name}: {len(placements)} placements")
+    print(f"  {summary.row()}")
+    print(f"  rank correlation: {evaluation.rank_correlation():.3f}")
+    print(f"  top-10 overlap:   {evaluation.top_k_overlap(10):.0%}")
+    print(f"  placement regret: {evaluation.placement_regret_percent():.2f}%")
+    print(
+        f"  peak threads: measured {evaluation.peak_measured_threads()}, "
+        f"predicted {evaluation.best_predicted_placement().n_threads}"
+    )
+    if args.svg:
+        from repro.analysis.report import evaluation_figure
+
+        with open(args.svg, "w") as handle:
+            handle.write(evaluation_figure(evaluation))
+        print(f"  wrote scatter to {args.svg}")
+    return 0
+
+
+def cmd_fit(args: argparse.Namespace) -> int:
+    """Fit a workload spec to observed (threads, seconds) timings."""
+    from repro.fit import Observation, fit_workload_spec
+
+    machine = machines.get(args.machine)
+    observations = []
+    for pair in args.observations:
+        try:
+            threads, seconds = pair.split(":")
+            observations.append(Observation(int(threads), float(seconds)))
+        except ValueError:
+            raise ReproError(
+                f"bad observation {pair!r}; expected THREADS:SECONDS"
+            ) from None
+    result = fit_workload_spec(machine, observations)
+    print(result.table())
+    print(f"rms relative error: {result.rms_relative_error:.2%}")
+    spec = result.spec
+    print(
+        f"fitted: cpi={spec.cpi:.3f} dram_bpi={spec.dram_bpi:.2f} "
+        f"p={spec.parallel_fraction:.4f} comm={spec.comm_fraction:.4f} "
+        f"l={spec.load_balance:.2f} work={spec.work_ginstr:.1f}G"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pandia",
+        description="Pandia: contention-sensitive thread placement (EuroSys 2017 reproduction)",
+    )
+    parser.add_argument(
+        "--noise", type=float, default=0.015,
+        help="measurement noise half-width (default 0.015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machines", help="list the machine catalog").set_defaults(
+        func=cmd_machines
+    )
+    sub.add_parser("workloads", help="list the workload catalog").set_defaults(
+        func=cmd_workloads
+    )
+
+    p = sub.add_parser("describe-machine", help="measure a machine with stressors")
+    p.add_argument("machine")
+    p.set_defaults(func=cmd_describe_machine)
+
+    p = sub.add_parser("describe-workload", help="run the six profiling runs")
+    p.add_argument("machine")
+    p.add_argument("workload")
+    p.set_defaults(func=cmd_describe_workload)
+
+    p = sub.add_parser("predict", help="predict performance for a placement")
+    p.add_argument("machine")
+    p.add_argument("workload")
+    p.add_argument("--threads", type=int, required=True)
+    p.add_argument("--packed", action="store_true", help="pack threads (default: spread)")
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("optimize", help="find the best and right-sized placements")
+    p.add_argument("machine")
+    p.add_argument("workload")
+    p.add_argument("--max-placements", type=int, default=400)
+    p.add_argument("--tolerance", type=float, default=0.05)
+    p.set_defaults(func=cmd_optimize)
+
+    p = sub.add_parser("experiment", help="reproduce paper artifacts")
+    p.add_argument("ids", nargs="*")
+    p.add_argument("--scale", choices=("quick", "default", "full"), default="default")
+    p.add_argument("--html", help="write a standalone HTML report")
+    p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser(
+        "coschedule", help="predict workloads co-running, one per socket"
+    )
+    p.add_argument("machine")
+    p.add_argument("workloads", nargs="+")
+    p.set_defaults(func=cmd_coschedule)
+
+    p = sub.add_parser("rack", help="schedule a batch onto N identical machines")
+    p.add_argument("machine")
+    p.add_argument("workloads", nargs="+")
+    p.add_argument("--nodes", type=int, default=2)
+    p.add_argument("--validate", action="store_true",
+                   help="co-run the schedule and report the measured makespan")
+    p.set_defaults(func=cmd_rack)
+
+    p = sub.add_parser("explain", help="explain the prediction for one placement")
+    p.add_argument("machine")
+    p.add_argument("workload")
+    p.add_argument("--threads", type=int, required=True)
+    p.add_argument("--packed", action="store_true")
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser(
+        "fit", help="fit a workload spec to observed THREADS:SECONDS timings"
+    )
+    p.add_argument("machine")
+    p.add_argument("observations", nargs="+", metavar="THREADS:SECONDS")
+    p.set_defaults(func=cmd_fit)
+
+    p = sub.add_parser(
+        "timeline", help="queued execution of a batch on an N-node rack"
+    )
+    p.add_argument("machine")
+    p.add_argument("workloads", nargs="+")
+    p.add_argument("--nodes", type=int, default=2)
+    p.add_argument("--stagger", type=float, default=0.0,
+                   help="seconds between workload arrivals")
+    p.set_defaults(func=cmd_timeline)
+
+    p = sub.add_parser(
+        "evaluate", help="measured-vs-predicted evaluation for one workload"
+    )
+    p.add_argument("machine")
+    p.add_argument("workload")
+    p.add_argument("--max-placements", type=int, default=200)
+    p.add_argument("--svg", help="write the scatter figure to this SVG file")
+    p.set_defaults(func=cmd_evaluate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Pandia proper: machine description, workload description, predictor.
+
+This package is the paper's contribution.  It talks to the world only
+through :mod:`repro.sim.run` (timed pinned runs + counters) and
+:mod:`repro.sim.os_iface` (topology discovery) — the same observation
+surface the authors had on real hardware.
+"""
+
+from repro.core.amdahl import amdahl_speedup, solve_parallel_fraction
+from repro.core.description import DemandVector, WorkloadDescription
+from repro.core.machine_desc import (
+    MachineDescription,
+    describe,
+    generate_machine_description,
+)
+from repro.core.placement import Placement, enumerate_canonical, sample_canonical
+from repro.core.predictor import PandiaPredictor, Prediction
+from repro.core.workload_desc import WorkloadDescriptionGenerator
+from repro.core.optimizer import best_placement, rightsize
+from repro.core.sweep import sweep_placements
+from repro.core.coscheduling import (
+    CoSchedulePredictor,
+    CoScheduledWorkload,
+)
+
+__all__ = [
+    "amdahl_speedup",
+    "solve_parallel_fraction",
+    "MachineDescription",
+    "describe",
+    "generate_machine_description",
+    "Placement",
+    "enumerate_canonical",
+    "sample_canonical",
+    "PandiaPredictor",
+    "Prediction",
+    "DemandVector",
+    "WorkloadDescription",
+    "WorkloadDescriptionGenerator",
+    "best_placement",
+    "rightsize",
+    "sweep_placements",
+    "CoSchedulePredictor",
+    "CoScheduledWorkload",
+]

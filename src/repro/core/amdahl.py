@@ -1,0 +1,88 @@
+"""Amdahl's-law arithmetic and the load-balancing interpolation.
+
+These are the closed-form pieces of the paper's workload model:
+Section 2.3 (parallel fraction), Section 4.2 (solving for ``p`` from
+Run 2), and Section 4.4 (the lock-step / load-balanced extremes used to
+solve for the load-balance factor ``l``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ModelError
+from repro.units import clamp
+
+
+def amdahl_speedup(parallel_fraction: float, n_threads: int) -> float:
+    """Speedup of a workload with parallel fraction *p* on *n* threads."""
+    if not 0.0 <= parallel_fraction <= 1.0:
+        raise ModelError(f"parallel fraction {parallel_fraction} outside [0,1]")
+    if n_threads < 1:
+        raise ModelError("thread count must be >= 1")
+    p = parallel_fraction
+    return 1.0 / ((1.0 - p) + p / n_threads)
+
+
+def amdahl_relative_time(parallel_fraction: float, n_threads: int) -> float:
+    """Execution time relative to one thread: ``1/speedup``."""
+    return 1.0 / amdahl_speedup(parallel_fraction, n_threads)
+
+
+def solve_parallel_fraction(u2: float, n_threads: int) -> float:
+    """Invert Amdahl's law: given ``u2 = 1 - p + p/n``, recover ``p``.
+
+    ``u2`` is Run 2's relative execution time (Section 4.2).  The result
+    is clamped to [0, 1]: measurement noise can push the raw solution
+    slightly past perfect scaling, and a run that fails to speed up at
+    all maps to ``p = 0``.
+    """
+    if n_threads < 2:
+        raise ModelError("solving for p needs at least two threads")
+    if u2 <= 0:
+        raise ModelError(f"relative time u2 must be positive, got {u2}")
+    p = (1.0 - u2) / (1.0 - 1.0 / n_threads)
+    return clamp(p, 0.0, 1.0)
+
+
+def lockstep_slowdown(parallel_fraction: float, slowdowns: Sequence[float]) -> float:
+    """Relative time when threads proceed in lock-step (Section 4.4).
+
+    Every thread performs equal work, so the whole workload waits for
+    the most-slowed thread: ``(1-p) + p * max(s_i)``.
+    """
+    if not slowdowns:
+        raise ModelError("need at least one thread slowdown")
+    p = parallel_fraction
+    return (1.0 - p) + p * max(slowdowns)
+
+
+def balanced_slowdown(parallel_fraction: float, slowdowns: Sequence[float]) -> float:
+    """Relative time under perfect dynamic load balancing (Section 4.4).
+
+    Work redistributes, so aggregate throughput governs:
+    ``(1-p) + n*p / sum(1/s_i)``.
+    """
+    if not slowdowns:
+        raise ModelError("need at least one thread slowdown")
+    if any(s <= 0 for s in slowdowns):
+        raise ModelError("slowdowns must be positive")
+    p = parallel_fraction
+    n = len(slowdowns)
+    return (1.0 - p) + n * p / sum(1.0 / s for s in slowdowns)
+
+
+def solve_load_balance(
+    measured: float, lockstep: float, balanced: float, default: float = 0.5
+) -> float:
+    """Interpolate the measured slowdown between the two extremes.
+
+    ``s_l = (1-l)*s_lock + l*s_bal`` solved for ``l`` and clamped to
+    [0, 1].  When the extremes coincide (the perturbation produced no
+    measurable skew) the factor is unidentifiable and *default* is
+    returned — it then has no effect on predictions either.
+    """
+    span = lockstep - balanced
+    if abs(span) < 1e-9:
+        return default
+    return clamp((lockstep - measured) / span, 0.0, 1.0)

@@ -1,0 +1,151 @@
+"""Workload-description data model (paper Section 4, Figure 4).
+
+A workload description is everything Pandia learned from the six
+profiling runs:
+
+* step 1 — single-thread time ``t1`` and the resource-demand vector
+  ``d`` (instruction rate, per-cache-level bandwidth, DRAM bandwidth),
+* step 2 — parallel fraction ``p``,
+* step 3 — inter-socket overhead ``o_s``,
+* step 4 — load-balancing factor ``l``,
+* step 5 — core burstiness ``b``.
+
+Thread utilisation ``f`` is deliberately *not* part of the description:
+it depends on the placement being predicted and is derived dynamically
+(Section 4, "Thread utilization").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class DemandVector:
+    """Single-thread resource demands ``d`` (Section 4.1).
+
+    Rates in the same units as the machine description: Ginstr/s for
+    instructions, GB/s for bandwidths.  ``dram_bw`` is the *total* DRAM
+    demand per thread; ``numa_local_fraction`` records how much of it
+    stays on the thread's own node (the paper records inter-socket
+    bandwidth "as part of the workload's resource demands",
+    Section 2.3 — it is measured from Run 3's interconnect counters).
+    The predictor spreads the non-local remainder over the sockets a
+    placement occupies.
+    """
+
+    inst_rate: float
+    cache_bw: Dict[str, float] = field(default_factory=dict)
+    dram_bw: float = 0.0
+    numa_local_fraction: float = 0.0
+    #: Off-machine link demand (Section 8 extension); zero for the
+    #: paper's I/O-free workloads.
+    io_bw: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.inst_rate <= 0:
+            raise ModelError("instruction rate must be positive")
+        if self.dram_bw < 0:
+            raise ModelError("DRAM demand cannot be negative")
+        if self.io_bw < 0:
+            raise ModelError("I/O demand cannot be negative")
+        if not 0.0 <= self.numa_local_fraction <= 1.0:
+            raise ModelError("numa_local_fraction outside [0,1]")
+        for name, bw in self.cache_bw.items():
+            if bw < 0:
+                raise ModelError(f"cache demand for {name} cannot be negative")
+
+    def with_locality(self, local_fraction: float) -> "DemandVector":
+        """A copy with the measured NUMA locality recorded."""
+        return DemandVector(
+            inst_rate=self.inst_rate,
+            cache_bw=dict(self.cache_bw),
+            dram_bw=self.dram_bw,
+            numa_local_fraction=local_fraction,
+            io_bw=self.io_bw,
+        )
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Bookkeeping for one profiling run (diagnostics and cost model)."""
+
+    label: str
+    n_threads: int
+    elapsed_s: float
+    relative_time: float  # r_x = t_x / t1
+    known_factor: float  # k_x predicted from the partial model
+    unknown_factor: float  # u_x = r_x / k_x
+
+
+@dataclass(frozen=True)
+class WorkloadDescription:
+    """The complete five-step workload model (Figure 4)."""
+
+    name: str
+    machine_name: str
+    t1: float
+    demands: DemandVector
+    parallel_fraction: float
+    inter_socket_overhead: float = 0.0
+    load_balance: float = 1.0
+    burstiness: float = 0.0
+    runs: Tuple[RunRecord, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.t1 <= 0:
+            raise ModelError("single-thread time must be positive")
+        if not 0.0 <= self.parallel_fraction <= 1.0:
+            raise ModelError("parallel fraction outside [0,1]")
+        if not 0.0 <= self.load_balance <= 1.0:
+            raise ModelError("load balance outside [0,1]")
+        if self.inter_socket_overhead < 0:
+            raise ModelError("inter-socket overhead cannot be negative")
+        if self.burstiness < 0:
+            raise ModelError("burstiness cannot be negative")
+
+    @property
+    def profiling_cost_s(self) -> float:
+        """Total wall time of the profiling runs (Section 6.3 baseline)."""
+        return sum(r.elapsed_s for r in self.runs)
+
+    def partial(self, upto_step: int) -> "WorkloadDescription":
+        """The model as known after the given step (1-5).
+
+        Used while *generating* the description: step ``x`` computes its
+        expected known factor ``k_x`` with the model of steps ``< x``.
+        Later parameters revert to neutral defaults (no inter-socket
+        overhead, perfect balancing, no burstiness).
+        """
+        if not 1 <= upto_step <= 5:
+            raise ModelError(f"step must be 1..5, got {upto_step}")
+        changes = {}
+        if upto_step < 5:
+            changes["burstiness"] = 0.0
+        if upto_step < 4:
+            changes["load_balance"] = 1.0
+        if upto_step < 3:
+            changes["inter_socket_overhead"] = 0.0
+        if upto_step < 2:
+            changes["parallel_fraction"] = 1.0
+        return replace(self, **changes) if changes else self
+
+    def summary(self) -> str:
+        """Human-readable report (CLI output)."""
+        d = self.demands
+        cache = ", ".join(f"{k} {v:.2f}" for k, v in d.cache_bw.items())
+        return "\n".join(
+            [
+                f"workload {self.name} on {self.machine_name}",
+                f"  t1 = {self.t1:.3f} s",
+                f"  demands: {d.inst_rate:.3f} Ginstr/s; {cache}; "
+                f"DRAM {d.dram_bw:.2f} GB/s",
+                f"  parallel fraction p = {self.parallel_fraction:.4f}",
+                f"  inter-socket overhead os = {self.inter_socket_overhead:.5f}",
+                f"  load balance l = {self.load_balance:.3f}",
+                f"  burstiness b = {self.burstiness:.3f}",
+            ]
+        )

@@ -1,0 +1,242 @@
+"""Machine descriptions and their generator (paper Section 3).
+
+A :class:`MachineDescription` holds the topology (from the OS) plus the
+measured performance of every resource class Pandia models:
+
+* core instruction rate, solo and with two co-scheduled threads,
+* per-core link bandwidth into each cache level,
+* aggregate bandwidth of shared cache levels per socket,
+* DRAM bandwidth per memory node,
+* interconnect bandwidth per socket pair.
+
+``generate_machine_description`` produces one by running the stress
+applications of :mod:`repro.sim.stressors` and reading the simulated
+performance counters — the exact procedure of Sections 3.1-3.2,
+including the background filler that holds the all-core turbo frequency
+during measurement (Section 6.3).
+
+Descriptions are workload-independent and generated once per machine;
+callers should cache them (see :func:`describe`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ModelError
+from repro.hardware.spec import MachineSpec
+from repro.hardware.topology import MachineTopology
+from repro.sim.engine import Job
+from repro.sim.noise import NoiseModel
+from repro.sim.os_iface import SimulatedOS
+from repro.sim.run import measure_stressors
+from repro.sim import stressors
+
+
+@dataclass(frozen=True)
+class MachineDescription:
+    """Measured model of one machine, in Pandia's resource vocabulary.
+
+    Bandwidths are GB/s; instruction rates are Ginstr/s.  For the toy
+    worked-example machine the same fields hold the paper's unit-less
+    numbers — only consistency between machine and workload matters
+    (Section 3).
+    """
+
+    machine_name: str
+    topology: MachineTopology
+    core_rate: float
+    core_rate_smt: float
+    cache_link_bw: Dict[str, float] = field(default_factory=dict)
+    cache_agg_bw: Dict[str, float] = field(default_factory=dict)
+    dram_bw_per_node: float = 0.0
+    interconnect_bw: float = 0.0
+    #: Measured off-machine (NIC) bandwidth; 0 when the machine models
+    #: no I/O link (the paper's machines — Section 8 extension).
+    nic_bw: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.core_rate <= 0:
+            raise ModelError("core rate must be positive")
+        if self.core_rate_smt < self.core_rate:
+            raise ModelError(
+                "SMT aggregate rate cannot be below the single-thread rate"
+            )
+        if self.dram_bw_per_node <= 0:
+            raise ModelError("DRAM bandwidth must be positive")
+        if self.topology.n_sockets > 1 and self.interconnect_bw <= 0:
+            raise ModelError("multi-socket description needs interconnect bandwidth")
+        for name, bw in self.cache_link_bw.items():
+            if bw <= 0:
+                raise ModelError(f"cache link bandwidth for {name} must be positive")
+
+    @property
+    def cache_levels(self) -> Tuple[str, ...]:
+        """Cache level names, inner to outer (insertion order preserved)."""
+        return tuple(self.cache_link_bw)
+
+    def core_capacity(self, n_threads_on_core: int) -> float:
+        """Measured instruction capacity of a core hosting *n* threads."""
+        if n_threads_on_core < 1:
+            raise ModelError("core must host at least one thread")
+        return self.core_rate if n_threads_on_core == 1 else self.core_rate_smt
+
+    def summary(self) -> str:
+        """Human-readable one-machine report (CLI output)."""
+        topo = self.topology
+        lines = [
+            f"machine {self.machine_name}: {topo.n_sockets} sockets x "
+            f"{topo.cores_per_socket} cores x {topo.threads_per_core} threads",
+            f"  core rate: {self.core_rate:.2f} Ginstr/s "
+            f"(SMT aggregate {self.core_rate_smt:.2f})",
+        ]
+        for name in self.cache_levels:
+            agg = self.cache_agg_bw.get(name)
+            agg_txt = f", aggregate {agg:.1f} GB/s/socket" if agg else ""
+            lines.append(
+                f"  {name} link: {self.cache_link_bw[name]:.1f} GB/s/core{agg_txt}"
+            )
+        lines.append(f"  DRAM: {self.dram_bw_per_node:.1f} GB/s/node")
+        if topo.n_sockets > 1:
+            lines.append(f"  interconnect: {self.interconnect_bw:.1f} GB/s/link")
+        if self.nic_bw > 0:
+            lines.append(f"  NIC: {self.nic_bw:.1f} GB/s")
+        return "\n".join(lines)
+
+
+def _stressor_rate_metric(
+    machine: MachineSpec,
+    spec_jobs: List[Job],
+    metric: str,
+    noise: Optional[NoiseModel],
+    run_tag: str,
+    level: str = "",
+    node: int = 0,
+    link: Tuple[int, int] = (0, 1),
+) -> float:
+    """Run stressors and read one saturated rate from the counters."""
+    sim = measure_stressors(machine, spec_jobs, noise=noise, run_tag=run_tag)
+    counters = sim.job_results[0].counters
+    if metric == "instructions":
+        return counters.instruction_rate
+    if metric == "cache":
+        return counters.cache_bandwidth(level)
+    if metric == "dram":
+        return counters.dram_bandwidth(node)
+    if metric == "link":
+        return counters.link_bandwidth(link)
+    if metric == "nic":
+        return counters.nic_bandwidth
+    raise ModelError(f"unknown metric {metric!r}")
+
+
+def generate_machine_description(
+    machine: MachineSpec,
+    noise: Optional[NoiseModel] = None,
+) -> MachineDescription:
+    """Measure *machine* with stress applications (paper Section 3).
+
+    Every number comes from counters on a stressor run, never from the
+    machine spec ("we use results obtained from workloads running on
+    the machine itself rather than numbers obtained from data sheets").
+    """
+    osi = SimulatedOS(machine)
+    topo = osi.topology
+    socket0 = topo.socket(0)
+    core0 = topo.core(socket0.core_ids[0])
+
+    def measure(jobs: List[Job], metric: str, tag: str, **kw) -> float:
+        return _stressor_rate_metric(machine, jobs, metric, noise, tag, **kw)
+
+    # Core instruction rate: one CPU-bound thread (Section 3.2).
+    core_rate = measure(
+        [Job(stressors.cpu_stressor(), (core0.hw_thread_ids[0],))],
+        "instructions",
+        "machine-desc/core",
+    )
+
+    # SMT aggregate: two CPU-bound threads on one core.
+    if topo.threads_per_core >= 2:
+        core_rate_smt = measure(
+            [Job(stressors.cpu_stressor(), core0.hw_thread_ids[:2])],
+            "instructions",
+            "machine-desc/core-smt",
+        )
+        core_rate_smt = max(core_rate_smt, core_rate)
+    else:
+        core_rate_smt = core_rate
+
+    # Per-core cache link bandwidths: one streaming thread per level.
+    cache_link_bw: Dict[str, float] = {}
+    cache_agg_bw: Dict[str, float] = {}
+    for level in machine.caches:
+        cache_link_bw[level.name] = measure(
+            [Job(stressors.cache_stressor(level.name), (core0.hw_thread_ids[0],))],
+            "cache",
+            f"machine-desc/{level.name}-link",
+            level=level.name,
+        )
+        if not level.private:
+            # Aggregate: every core of socket 0 streaming at once
+            # (Section 3.1's "360 per core, 5000 in aggregate").
+            all_cores = osi.first_context_of_cores(socket0.core_ids)
+            cache_agg_bw[level.name] = measure(
+                [Job(stressors.cache_stressor(level.name), all_cores)],
+                "cache",
+                f"machine-desc/{level.name}-agg",
+                level=level.name,
+            )
+
+    # DRAM node bandwidth: all cores of socket 0 streaming node-0 memory.
+    all_cores0 = osi.first_context_of_cores(socket0.core_ids)
+    dram_bw = measure(
+        [Job(stressors.dram_stressor(nodes=(0,)), all_cores0)],
+        "dram",
+        "machine-desc/dram",
+        node=0,
+    )
+
+    # Interconnect: socket-1 cores streaming memory bound to node 0.
+    interconnect_bw = 0.0
+    if topo.n_sockets > 1:
+        socket1_cores = osi.first_context_of_cores(topo.socket(1).core_ids)
+        interconnect_bw = measure(
+            [Job(stressors.remote_dram_stressor(0), socket1_cores)],
+            "link",
+            "machine-desc/interconnect",
+            link=(0, 1),
+        )
+
+    # Off-machine link, where the machine models one (Section 8).
+    nic_bw = 0.0
+    if machine.nic_gbs > 0:
+        nic_bw = measure(
+            [Job(stressors.io_stressor(), all_cores0)],
+            "nic",
+            "machine-desc/nic",
+        )
+
+    return MachineDescription(
+        machine_name=machine.name,
+        topology=topo,
+        core_rate=core_rate,
+        core_rate_smt=core_rate_smt,
+        cache_link_bw=cache_link_bw,
+        cache_agg_bw=cache_agg_bw,
+        dram_bw_per_node=dram_bw,
+        interconnect_bw=interconnect_bw,
+        nic_bw=nic_bw,
+    )
+
+
+_DESCRIPTION_CACHE: Dict[Tuple[str, float, int], MachineDescription] = {}
+
+
+def describe(machine: MachineSpec, noise: Optional[NoiseModel] = None) -> MachineDescription:
+    """Cached :func:`generate_machine_description` (one per machine)."""
+    model = noise if noise is not None else NoiseModel()
+    key = (machine.name, model.sigma, model.seed)
+    if key not in _DESCRIPTION_CACHE:
+        _DESCRIPTION_CACHE[key] = generate_machine_description(machine, noise=model)
+    return _DESCRIPTION_CACHE[key]

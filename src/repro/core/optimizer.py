@@ -1,0 +1,102 @@
+"""Placement optimisation on top of the predictor.
+
+The paper's two headline uses of Pandia (Section 1):
+
+* pick the best-performing placement for a workload — including
+  whether to span sockets and whether SMT helps (:func:`best_placement`);
+* find where extra resources stop buying performance, so a poorly
+  scaling workload can be confined to fewer cores (:func:`rightsize`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.description import WorkloadDescription
+from repro.core.placement import Placement
+from repro.core.predictor import PandiaPredictor, Prediction
+from repro.errors import PredictionError
+
+
+@dataclass
+class RankedPlacement:
+    """One placement with its prediction, ordered fastest-first."""
+
+    placement: Placement
+    prediction: Prediction
+
+    @property
+    def predicted_time_s(self) -> float:
+        return self.prediction.predicted_time_s
+
+
+def rank_placements(
+    predictor: PandiaPredictor,
+    workload: WorkloadDescription,
+    placements: Sequence[Placement],
+) -> List[RankedPlacement]:
+    """Predict every placement and sort fastest-first."""
+    if not placements:
+        raise PredictionError("no placements to rank")
+    ranked = [
+        RankedPlacement(pl, predictor.predict(workload, pl)) for pl in placements
+    ]
+    ranked.sort(key=lambda r: r.predicted_time_s)
+    return ranked
+
+
+def best_placement(
+    predictor: PandiaPredictor,
+    workload: WorkloadDescription,
+    placements: Sequence[Placement],
+) -> Tuple[Placement, Prediction]:
+    """The placement Pandia predicts to be fastest."""
+    top = rank_placements(predictor, workload, placements)[0]
+    return top.placement, top.prediction
+
+
+def _footprint(placement: Placement) -> Tuple[int, int, int]:
+    """(threads, occupied cores, active sockets) — the resource cost."""
+    return (
+        placement.n_threads,
+        len(placement.threads_per_core()),
+        len(placement.active_sockets()),
+    )
+
+
+def rightsize(
+    predictor: PandiaPredictor,
+    workload: WorkloadDescription,
+    placements: Sequence[Placement],
+    tolerance: float = 0.05,
+) -> Tuple[Placement, Prediction]:
+    """Smallest-footprint placement within *tolerance* of the best.
+
+    Identifies "opportunities for reducing resource consumption where
+    additional resources are not matched by additional performance"
+    (Section 1): any placement predicted to be at most
+    ``(1+tolerance)`` times slower than the best qualifies, and the one
+    using the fewest threads, then cores, then sockets wins.
+    """
+    if tolerance < 0:
+        raise PredictionError("tolerance must be >= 0")
+    ranked = rank_placements(predictor, workload, placements)
+    budget = ranked[0].predicted_time_s * (1.0 + tolerance)
+    eligible = [r for r in ranked if r.predicted_time_s <= budget]
+    winner = min(eligible, key=lambda r: _footprint(r.placement))
+    return winner.placement, winner.prediction
+
+
+def peak_thread_count(
+    predictor: PandiaPredictor,
+    workload: WorkloadDescription,
+    placements: Sequence[Placement],
+) -> int:
+    """Thread count of the predicted-fastest placement.
+
+    Section 6.1 observes that on larger machines the peak often sits
+    below the maximum thread count (81% of workloads on the X5-2).
+    """
+    placement, _ = best_placement(predictor, workload, placements)
+    return placement.n_threads

@@ -1,0 +1,218 @@
+"""Thread placements and their enumeration.
+
+A placement assigns each software thread to one hardware context.  On a
+homogeneous machine (the paper's assumption: identical cores, identical
+sockets, fully-connected interconnect) performance depends only on the
+placement's *shape*: per socket, how many cores run one thread and how
+many run two.  ``enumerate_canonical`` therefore yields one concrete
+representative per shape, with socket order normalised — exactly the
+equivalence the paper's placement sort exposes on its x-axes
+(Figures 1, 10, 13).
+
+The paper explored every placement on the 32-thread machines (41 868
+runs) and a ~20% sample on the 72-thread X5-2; ``sample_canonical``
+provides the deterministic sampling equivalent.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import PlacementError
+from repro.hardware.topology import MachineTopology
+
+#: Per-socket shape: (cores running one thread, cores running two threads).
+SocketShape = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """An assignment of software threads to hardware contexts."""
+
+    topology: MachineTopology
+    hw_thread_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "hw_thread_ids", tuple(self.hw_thread_ids))
+        if not self.hw_thread_ids:
+            raise PlacementError("placement needs at least one thread")
+        seen = set()
+        for tid in self.hw_thread_ids:
+            if tid < 0 or tid >= self.topology.n_hw_threads:
+                raise PlacementError(
+                    f"hardware thread {tid} outside 0..{self.topology.n_hw_threads - 1}"
+                )
+            if tid in seen:
+                raise PlacementError(f"hardware thread {tid} used twice")
+            seen.add(tid)
+
+    # -- structure -------------------------------------------------------
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.hw_thread_ids)
+
+    def threads_per_core(self) -> Dict[int, int]:
+        """Core id -> resident thread count (only occupied cores)."""
+        return self.topology.threads_per_core_map(self.hw_thread_ids)
+
+    def active_sockets(self) -> Tuple[int, ...]:
+        return self.topology.active_sockets(self.hw_thread_ids)
+
+    def socket_shapes(self) -> Tuple[SocketShape, ...]:
+        """Per socket, (#cores with one thread, #cores with two threads)."""
+        per_core = self.threads_per_core()
+        shapes: List[SocketShape] = []
+        for socket in self.topology.sockets:
+            ones = sum(1 for c in socket.core_ids if per_core.get(c) == 1)
+            twos = sum(1 for c in socket.core_ids if per_core.get(c, 0) >= 2)
+            shapes.append((ones, twos))
+        return tuple(shapes)
+
+    def canonical_key(self) -> Tuple[SocketShape, ...]:
+        """Shape with socket order normalised (descending)."""
+        return tuple(sorted(self.socket_shapes(), reverse=True))
+
+    def sort_key(self) -> Tuple[int, ...]:
+        """The paper's x-axis order: total threads, then per-core counts."""
+        per_core = self.threads_per_core()
+        counts = tuple(per_core.get(c, 0) for c in range(self.topology.n_cores))
+        return (self.n_threads,) + counts
+
+    def __len__(self) -> int:
+        return self.n_threads
+
+    def __str__(self) -> str:
+        shapes = self.socket_shapes()
+        body = ", ".join(f"s{i}:{o}x1+{t}x2" for i, (o, t) in enumerate(shapes))
+        return f"Placement({self.n_threads} threads; {body})"
+
+
+def from_shapes(
+    topology: MachineTopology, shapes: Sequence[SocketShape]
+) -> Placement:
+    """Build the canonical concrete placement for per-socket shapes.
+
+    Within each socket, dual-thread cores take the lowest core ids,
+    then single-thread cores — an arbitrary but fixed choice; any
+    concrete layout of the same shape performs identically on a
+    homogeneous machine.
+    """
+    if len(shapes) != topology.n_sockets:
+        raise PlacementError(
+            f"need one shape per socket ({topology.n_sockets}), got {len(shapes)}"
+        )
+    tids: List[int] = []
+    for socket_id, (ones, twos) in enumerate(shapes):
+        if ones < 0 or twos < 0:
+            raise PlacementError(f"negative shape {shapes[socket_id]}")
+        if ones + twos > topology.cores_per_socket:
+            raise PlacementError(
+                f"socket {socket_id}: shape {shapes[socket_id]} exceeds "
+                f"{topology.cores_per_socket} cores"
+            )
+        if twos > 0 and topology.threads_per_core < 2:
+            raise PlacementError("machine has no SMT contexts for dual-thread cores")
+        core_ids = topology.socket(socket_id).core_ids
+        for c in core_ids[:twos]:
+            tids.extend(topology.core(c).hw_thread_ids[:2])
+        for c in core_ids[twos : twos + ones]:
+            tids.append(topology.core(c).hw_thread_ids[0])
+    return Placement(topology, tuple(tids))
+
+
+def _socket_shape_options(topology: MachineTopology) -> List[SocketShape]:
+    cps = topology.cores_per_socket
+    max_twos = cps if topology.threads_per_core >= 2 else 0
+    return [
+        (ones, twos)
+        for twos in range(max_twos + 1)
+        for ones in range(cps - twos + 1)
+    ]
+
+
+def _iter_shape_combos(
+    topology: MachineTopology,
+    max_threads: Optional[int] = None,
+    max_sockets: Optional[int] = None,
+    max_cores: Optional[int] = None,
+) -> Iterator[Tuple[SocketShape, ...]]:
+    """Lazily yield canonical (socket-order-normalised) shape combos."""
+    options = _socket_shape_options(topology)
+    for combo in itertools.combinations_with_replacement(
+        sorted(options, reverse=True), topology.n_sockets
+    ):
+        n_threads = sum(ones + 2 * twos for ones, twos in combo)
+        if n_threads == 0:
+            continue
+        if max_threads is not None and n_threads > max_threads:
+            continue
+        if max_sockets is not None:
+            active = sum(1 for ones, twos in combo if ones + twos > 0)
+            if active > max_sockets:
+                continue
+        if max_cores is not None:
+            cores = sum(ones + twos for ones, twos in combo)
+            if cores > max_cores:
+                continue
+        yield combo
+
+
+def count_canonical(topology: MachineTopology, **filters) -> int:
+    """How many canonical placements exist under the given filters."""
+    return sum(1 for _ in _iter_shape_combos(topology, **filters))
+
+
+def enumerate_canonical(
+    topology: MachineTopology,
+    max_threads: Optional[int] = None,
+    max_sockets: Optional[int] = None,
+    max_cores: Optional[int] = None,
+) -> List[Placement]:
+    """All canonical placements, in the paper's sort order.
+
+    One representative per shape equivalence class; socket order is
+    normalised (non-increasing shapes) so mirrored placements are not
+    duplicated.  Optional filters restrict the set, matching the
+    Figure 12 placement classes: ``max_sockets`` bounds how many sockets
+    may be active and ``max_cores`` bounds the number of occupied cores.
+    """
+    placements = [
+        from_shapes(topology, combo)
+        for combo in _iter_shape_combos(
+            topology,
+            max_threads=max_threads,
+            max_sockets=max_sockets,
+            max_cores=max_cores,
+        )
+    ]
+    placements.sort(key=lambda p: p.sort_key())
+    return placements
+
+
+def sample_canonical(
+    topology: MachineTopology,
+    max_count: int,
+    seed: int = 0,
+    **filters,
+) -> List[Placement]:
+    """A deterministic sample of canonical placements in sort order.
+
+    Mirrors the paper's ~20% sampling on the X5-2.  Shape combos are
+    enumerated lazily (the 4-socket machine has ~10^6) and sampled
+    without replacement with a fixed seed, so every experiment sees the
+    same placements.
+    """
+    if max_count < 1:
+        raise PlacementError("sample size must be >= 1")
+    combos = list(_iter_shape_combos(topology, **filters))
+    if len(combos) > max_count:
+        rng = random.Random(seed)
+        chosen = sorted(rng.sample(range(len(combos)), max_count))
+        combos = [combos[i] for i in chosen]
+    placements = [from_shapes(topology, combo) for combo in combos]
+    placements.sort(key=lambda p: p.sort_key())
+    return placements

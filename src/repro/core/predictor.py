@@ -1,0 +1,359 @@
+"""The Pandia performance predictor (paper Section 5).
+
+Given a machine description, a workload description and a proposed
+thread placement, predict the workload's performance.  The prediction
+combines an Amdahl's-law speedup with per-thread slowdowns computed by
+iterating three penalty calculations until stable (Figure 8):
+
+1. **resource contention** — each thread is slowed by the largest
+   oversubscription among the resources it touches, plus a burstiness
+   penalty when it shares a core (Section 5.1);
+2. **inter-socket communication** — the measured per-remote-peer
+   overhead, interpolated between lock-step and work-weighted extremes
+   by the load-balance factor (Section 5.2);
+3. **load balancing** — threads are dragged toward the slowest thread
+   to the degree the workload cannot rebalance (Section 5.3).
+
+Thread-utilisation factors scale every demand ("a thread busy 50% of
+the time demands 50% less") and carry information between iterations
+(Section 5.4).  The worked example of Figures 7 and 9 is reproduced
+number-for-number by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.amdahl import amdahl_speedup
+from repro.core.description import WorkloadDescription
+from repro.core.machine_desc import MachineDescription
+from repro.core.placement import Placement
+from repro.errors import PredictionError
+from repro.numa import dram_shares
+
+ResourceKey = Tuple[str, Hashable]
+
+#: Iteration count after which the dampening function engages
+#: (Section 5.4: "To prevent oscillation a dampening function engages
+#: after a 100 iterations").
+DAMPEN_AFTER = 100
+
+
+@dataclass
+class IterationTrace:
+    """Intermediate values of one predictor iteration (Figure 7 rows)."""
+
+    resource_slowdown: Tuple[float, ...]  # after the burstiness penalty
+    comm_penalty: Tuple[float, ...]
+    balance_penalty: Tuple[float, ...]
+    overall_slowdown: Tuple[float, ...]
+    start_utilisation: Tuple[float, ...]
+    end_utilisation: Tuple[float, ...]
+
+
+@dataclass
+class Prediction:
+    """Pandia's output for one (workload, machine, placement) triple."""
+
+    workload_name: str
+    machine_name: str
+    placement: Placement
+    amdahl: float
+    speedup: float
+    predicted_time_s: float
+    slowdowns: Tuple[float, ...]
+    utilisations: Tuple[float, ...]
+    iterations: int
+    converged: bool
+    trace: List[IterationTrace] = field(default_factory=list)
+    #: Predicted aggregate demand on each resource at convergence,
+    #: alongside its capacity — Pandia "provides predictions of
+    #: resource consumption as well as predictions of performance"
+    #: (Section 6.3); this is what co-scheduling builds on.
+    resource_loads: Dict[ResourceKey, float] = field(default_factory=dict)
+    resource_capacities: Dict[ResourceKey, float] = field(default_factory=dict)
+
+    def resource_utilisation(self) -> Dict[ResourceKey, float]:
+        """Predicted load/capacity ratio per resource."""
+        return {
+            key: self.resource_loads[key] / self.resource_capacities[key]
+            for key in self.resource_loads
+        }
+
+    def bottleneck(self) -> Optional[ResourceKey]:
+        """The most-utilised resource, or ``None`` if nothing is loaded."""
+        ratios = self.resource_utilisation()
+        if not ratios:
+            return None
+        return max(ratios, key=ratios.get)
+
+    @property
+    def n_threads(self) -> int:
+        return self.placement.n_threads
+
+    @property
+    def relative_time(self) -> float:
+        """Predicted time relative to the single-thread run (r = 1/speedup)."""
+        return 1.0 / self.speedup
+
+
+class _ThreadDemands:
+    """Per-thread demand rows against the measured resource capacities."""
+
+    def __init__(
+        self,
+        md: MachineDescription,
+        wd: WorkloadDescription,
+        placement: Placement,
+    ) -> None:
+        topo = md.topology
+        per_core = placement.threads_per_core()
+        active = placement.active_sockets()
+        demands = wd.demands
+
+        self.capacities: Dict[ResourceKey, float] = {}
+        self.rows: List[List[Tuple[ResourceKey, float]]] = []
+        self.core_shared: List[bool] = []
+        self.sockets: List[int] = []
+
+        for tid in placement.hw_thread_ids:
+            hw = topo.hw_thread(tid)
+            row: List[Tuple[ResourceKey, float]] = []
+
+            core_key: ResourceKey = ("core", hw.core_id)
+            self.capacities[core_key] = md.core_capacity(per_core[hw.core_id])
+            row.append((core_key, demands.inst_rate))
+
+            for level, bw in demands.cache_bw.items():
+                if bw <= 0 or level not in md.cache_link_bw:
+                    continue
+                link_key: ResourceKey = ("cache_link", (level, hw.core_id))
+                self.capacities[link_key] = md.cache_link_bw[level]
+                row.append((link_key, bw))
+                agg = md.cache_agg_bw.get(level)
+                if agg:
+                    agg_key: ResourceKey = ("cache_agg", (level, hw.socket_id))
+                    self.capacities[agg_key] = agg
+                    row.append((agg_key, bw))
+
+            if demands.dram_bw > 0:
+                shares = dram_shares(
+                    demands.numa_local_fraction, hw.socket_id, active
+                )
+                for node, share in shares.items():
+                    traffic = demands.dram_bw * share
+                    node_key: ResourceKey = ("dram", node)
+                    self.capacities[node_key] = md.dram_bw_per_node
+                    row.append((node_key, traffic))
+                    if node != hw.socket_id:
+                        link = topo.link_between(hw.socket_id, node)
+                        link_key = ("link", link)
+                        self.capacities[link_key] = md.interconnect_bw
+                        row.append((link_key, traffic))
+
+            if demands.io_bw > 0 and md.nic_bw > 0:
+                nic_key: ResourceKey = ("nic", 0)
+                self.capacities[nic_key] = md.nic_bw
+                row.append((nic_key, demands.io_bw))
+
+            self.rows.append(row)
+            self.core_shared.append(per_core[hw.core_id] > 1)
+            self.sockets.append(hw.socket_id)
+        self._build_arrays()
+
+    def _build_arrays(self) -> None:
+        """Dense demand matrix for the vectorised iteration."""
+        self._keys = list(self.capacities)
+        index = {key: i for i, key in enumerate(self._keys)}
+        n, m = len(self.rows), len(self._keys)
+        self._caps = np.array([self.capacities[k] for k in self._keys])
+        self._coeffs = np.zeros((n, m))
+        for i, row in enumerate(self.rows):
+            for key, demand in row:
+                self._coeffs[i, index[key]] += demand
+        self._used = self._coeffs > 0
+        self._shared = np.array(self.core_shared, dtype=bool)
+
+    def loads_array(self, utilisation: np.ndarray) -> np.ndarray:
+        """Aggregate demand per resource (column order of ``keys``)."""
+        return utilisation @ self._coeffs
+
+    def loads(self, utilisation: Sequence[float]) -> Dict[ResourceKey, float]:
+        """Aggregate demand on each resource, scaled by utilisation."""
+        values = self.loads_array(np.asarray(utilisation, dtype=float))
+        return {key: float(v) for key, v in zip(self._keys, values)}
+
+    def resource_slowdowns_array(self, utilisation: np.ndarray) -> np.ndarray:
+        """Per-thread max oversubscription among its resources (>= 1)."""
+        ratio = self.loads_array(utilisation) / self._caps
+        worst = np.where(self._used, ratio[np.newaxis, :], 0.0).max(axis=1)
+        return np.maximum(worst, 1.0)
+
+    def resource_slowdowns(self, utilisation: Sequence[float]) -> List[float]:
+        """List form of :meth:`resource_slowdowns_array`."""
+        return [
+            float(s)
+            for s in self.resource_slowdowns_array(
+                np.asarray(utilisation, dtype=float)
+            )
+        ]
+
+
+class PandiaPredictor:
+    """Performance predictor bound to one machine description."""
+
+    def __init__(
+        self,
+        machine_description: MachineDescription,
+        max_iterations: int = 500,
+        tolerance: float = 1e-6,
+    ) -> None:
+        if max_iterations < 1:
+            raise PredictionError("need at least one iteration")
+        self.md = machine_description
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+
+    # -- public API ------------------------------------------------------
+
+    def predict(
+        self,
+        workload: WorkloadDescription,
+        placement: Placement,
+        keep_trace: bool = False,
+    ) -> Prediction:
+        """Predict the performance of *workload* under *placement*."""
+        n = placement.n_threads
+        p = workload.parallel_fraction
+        amdahl = amdahl_speedup(p, n)
+        f_initial = amdahl / n
+
+        demands = _ThreadDemands(self.md, workload, placement)
+        lock_comm, remote_mask = self._communication_terms(workload, demands, n)
+
+        f_start = np.full(n, f_initial)
+        prev_overall: Optional[np.ndarray] = None
+        slowdown_cap: Optional[float] = None
+        trace: List[IterationTrace] = []
+        converged = False
+        iterations = 0
+
+        for iteration in range(1, self.max_iterations + 1):
+            iterations = iteration
+            resource, comm, balance, overall = self._one_iteration(
+                workload, demands, f_initial, f_start, lock_comm, remote_mask, n
+            )
+
+            # Bound all values between no slowdown and the maximum seen
+            # on the first iteration (Section 5.4).
+            if slowdown_cap is None:
+                slowdown_cap = float(overall.max())
+            overall = np.clip(overall, 1.0, slowdown_cap)
+            if keep_trace:
+                trace.append(
+                    IterationTrace(
+                        resource_slowdown=tuple(float(v) for v in resource),
+                        comm_penalty=tuple(float(v) for v in comm),
+                        balance_penalty=tuple(float(v) for v in balance),
+                        overall_slowdown=tuple(float(v) for v in overall),
+                        start_utilisation=tuple(float(v) for v in f_start),
+                        end_utilisation=tuple(float(v) for v in f_initial / overall),
+                    )
+                )
+
+            if prev_overall is not None:
+                delta = float(np.max(np.abs(overall - prev_overall)))
+                if delta < self.tolerance:
+                    converged = True
+                    prev_overall = overall
+                    break
+            prev_overall = overall
+
+            # Feed the penalty ratio into the next iteration's starting
+            # utilisation (Section 5.4).
+            f_next = f_initial * np.minimum(resource / overall, 1.0)
+            if iteration > DAMPEN_AFTER:
+                f_next = 0.5 * (f_start + f_next)
+            f_start = f_next
+
+        assert prev_overall is not None
+        slowdowns = prev_overall
+        speedup = amdahl * float(np.mean(1.0 / slowdowns))
+        final_utilisation = f_initial / slowdowns
+        loads = demands.loads(final_utilisation)
+        return Prediction(
+            workload_name=workload.name,
+            machine_name=self.md.machine_name,
+            placement=placement,
+            amdahl=amdahl,
+            speedup=speedup,
+            predicted_time_s=workload.t1 / speedup,
+            slowdowns=tuple(float(s) for s in slowdowns),
+            utilisations=tuple(float(f) for f in final_utilisation),
+            iterations=iterations,
+            converged=converged,
+            trace=trace,
+            resource_loads=loads,
+            resource_capacities=dict(demands.capacities),
+        )
+
+    def predict_time(self, workload: WorkloadDescription, placement: Placement) -> float:
+        """Convenience: predicted absolute execution time in seconds."""
+        return self.predict(workload, placement).predicted_time_s
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _communication_terms(
+        workload: WorkloadDescription, demands: _ThreadDemands, n: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Lock-step comm costs and the thread-pair remoteness matrix."""
+        os_ = workload.inter_socket_overhead
+        sockets = np.array(demands.sockets)
+        remote = sockets[:, np.newaxis] != sockets[np.newaxis, :]
+        np.fill_diagonal(remote, False)
+        lock = os_ * remote.sum(axis=1).astype(float) if os_ > 0 else np.zeros(n)
+        return lock, remote
+
+    def _one_iteration(
+        self,
+        workload: WorkloadDescription,
+        demands: _ThreadDemands,
+        f_initial: float,
+        f_start: np.ndarray,
+        lock_comm: np.ndarray,
+        remote_mask: np.ndarray,
+        n: int,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        b = workload.burstiness
+        l = workload.load_balance
+        os_ = workload.inter_socket_overhead
+
+        # Step 1: slowdown from resource contention (Section 5.1),
+        # plus the burstiness penalty for threads sharing a core.
+        base = demands.resource_slowdowns_array(f_start)
+        resource = np.where(
+            demands._shared, base * (1.0 + b * f_start), base
+        )
+        f_cur = f_initial / resource
+
+        # Step 2: penalties for off-socket communication (Section 5.2).
+        comm = np.zeros(n)
+        overall = resource.copy()
+        if os_ > 0 and lock_comm.any():
+            work = 1.0 / resource
+            weights = work / work.sum()
+            independent = n * os_ * (remote_mask @ weights)
+            comm_slowdown = l * independent + (1.0 - l) * lock_comm
+            comm = comm_slowdown * f_cur
+            overall = resource + comm
+            f_cur = f_initial / overall
+
+        # Step 3: penalties for poor load balancing (Section 5.3).
+        worst = overall.max()
+        target = l * overall + (1.0 - l) * worst
+        balance = target - overall
+        return resource, comm, balance, target

@@ -1,0 +1,95 @@
+"""The "simple pattern exploration" baseline (paper Section 6.3).
+
+Instead of Pandia's six profiling runs, one can simply *measure* a
+sweep of placements — 1..n threads packed as close together as possible
+and spread as far apart as possible — and pick the best observed.  The
+paper finds this effective on small machines but both slower to run
+(4-8x the profiling cost) and decreasingly effective on large machines
+(best placement found for only 8 of 22 workloads on the X5-2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.placement import Placement
+from repro.hardware.spec import MachineSpec
+from repro.hardware.topology import MachineTopology
+from repro.sim.noise import NoiseModel
+from repro.sim.run import run_workload
+from repro.workloads.spec import WorkloadSpec
+
+
+def packed_placement(topology: MachineTopology, n_threads: int) -> Placement:
+    """*n* threads on as few cores (then sockets) as possible."""
+    tids: List[int] = []
+    for socket in topology.sockets:
+        for core_id in socket.core_ids:
+            tids.extend(topology.core(core_id).hw_thread_ids)
+    return Placement(topology, tuple(tids[:n_threads]))
+
+
+def spread_placement(topology: MachineTopology, n_threads: int) -> Placement:
+    """*n* threads spread as far apart as possible.
+
+    Sockets are filled round-robin, one thread per core first; second
+    SMT contexts are used only once every core has a thread.
+    """
+    order: List[int] = []
+    for way in range(topology.threads_per_core):
+        for core_offset in range(topology.cores_per_socket):
+            for socket in topology.sockets:
+                core = topology.core(socket.core_ids[core_offset])
+                order.append(core.hw_thread_ids[way])
+    return Placement(topology, tuple(order[:n_threads]))
+
+
+def sweep_placements(topology: MachineTopology) -> List[Placement]:
+    """The full sweep: packed and spread variants for every thread count."""
+    seen: Dict[Tuple, Placement] = {}
+    for n in range(1, topology.n_hw_threads + 1):
+        for placement in (packed_placement(topology, n), spread_placement(topology, n)):
+            key = (placement.n_threads, placement.canonical_key())
+            seen.setdefault(key, placement)
+    return sorted(seen.values(), key=lambda p: p.sort_key())
+
+
+@dataclass
+class SweepResult:
+    """Outcome of measuring the whole sweep for one workload."""
+
+    workload_name: str
+    machine_name: str
+    timings: List[Tuple[Placement, float]]
+    total_cost_s: float
+
+    @property
+    def best(self) -> Tuple[Placement, float]:
+        return min(self.timings, key=lambda pt: pt[1])
+
+
+def run_sweep(
+    machine: MachineSpec,
+    spec: WorkloadSpec,
+    noise: Optional[NoiseModel] = None,
+) -> SweepResult:
+    """Measure the sweep placements for one workload (timed runs)."""
+    timings: List[Tuple[Placement, float]] = []
+    total = 0.0
+    for placement in sweep_placements(machine.topology):
+        run = run_workload(
+            machine,
+            spec,
+            placement.hw_thread_ids,
+            noise=noise,
+            run_tag=f"sweep/{spec.name}/{placement.sort_key()}",
+        )
+        timings.append((placement, run.elapsed_s))
+        total += run.elapsed_s
+    return SweepResult(
+        workload_name=spec.name,
+        machine_name=machine.name,
+        timings=timings,
+        total_cost_s=total,
+    )

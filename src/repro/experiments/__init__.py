@@ -1,0 +1,25 @@
+"""Reproductions of the paper's evaluation artifacts, one module each.
+
+Every module exposes ``run(context) -> ExperimentReport``; the registry
+in :mod:`repro.experiments.run_all` maps experiment ids (``fig1``,
+``fig10`` ... ``sweep``, ``headline``) to them.  See DESIGN.md for the
+per-experiment index.
+"""
+
+from repro.experiments.common import (
+    DEFAULT,
+    FULL,
+    QUICK,
+    ExperimentContext,
+    ExperimentReport,
+    Scale,
+)
+
+__all__ = [
+    "DEFAULT",
+    "FULL",
+    "QUICK",
+    "ExperimentContext",
+    "ExperimentReport",
+    "Scale",
+]

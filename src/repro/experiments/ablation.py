@@ -1,0 +1,117 @@
+"""Ablation: which parts of Pandia's model actually matter?
+
+The predictor composes five mechanisms (Sections 4-5): the demand
+vector with utilisation scaling, the parallel fraction, inter-socket
+overhead, load-balance coupling, and core burstiness — refined by the
+utilisation-feedback iteration.  This experiment removes one mechanism
+at a time and measures the error delta across workloads on the X3-2,
+plus the partial-description ladder (step 1..5) that a runtime
+integration would climb (Section 8).
+
+Two metrics per variant: the median prediction error over the
+normalised series, and — the one that measures Pandia's actual job —
+the median placement *regret*: how much slower the variant's chosen
+placement really runs than the true best.
+
+Not a paper figure; it substantiates DESIGN.md's claim that each
+modelled mechanism pays for itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Tuple
+
+from repro.analysis.evaluation import EvaluationResult, PlacementOutcome
+from repro.analysis.tables import format_table
+from repro.core.description import WorkloadDescription
+from repro.core.predictor import PandiaPredictor
+from repro.experiments.common import ExperimentContext, ExperimentReport
+from repro.units import median
+
+MACHINE = "X5-2"
+
+#: Variant name -> transformation of (description, predictor-kwargs).
+VARIANTS: Dict[str, Callable[[WorkloadDescription], WorkloadDescription]] = {
+    "full model": lambda wd: wd,
+    "no burstiness (b=0)": lambda wd: replace(wd, burstiness=0.0),
+    "no inter-socket overhead (os=0)": lambda wd: replace(wd, inter_socket_overhead=0.0),
+    "no load-balance coupling (l=1)": lambda wd: replace(wd, load_balance=1.0),
+    "amdahl only (steps 1-2)": lambda wd: wd.partial(2),
+}
+
+
+def _evaluate_variant(
+    context: ExperimentContext,
+    workload_name: str,
+    description: WorkloadDescription,
+    predictor: PandiaPredictor,
+) -> Tuple[float, float]:
+    """(median error %, placement regret %) for one variant."""
+    outcomes = [
+        PlacementOutcome(
+            placement=placement,
+            measured_time_s=measured_s,
+            predicted_time_s=predictor.predict(description, placement).predicted_time_s,
+        )
+        for placement, measured_s in context.measured(MACHINE, workload_name)
+    ]
+    result = EvaluationResult(
+        workload_name=workload_name, machine_name=MACHINE, outcomes=outcomes
+    )
+    return result.errors().median_error, result.placement_regret_percent()
+
+
+def run(context: ExperimentContext) -> ExperimentReport:
+    md = context.machine_description(MACHINE)
+    rows: List[List[object]] = []
+    headline: Dict[str, float] = {}
+
+    variants: Dict[str, List[Tuple[float, float]]] = {name: [] for name in VARIANTS}
+    variants["single iteration (no feedback)"] = []
+
+    for workload_name in context.workloads():
+        base = context.description(MACHINE, workload_name)
+        for name, transform in VARIANTS.items():
+            variants[name].append(
+                _evaluate_variant(
+                    context, workload_name, transform(base), PandiaPredictor(md)
+                )
+            )
+        # Separate axis: disable the utilisation-feedback iteration.
+        variants["single iteration (no feedback)"].append(
+            _evaluate_variant(
+                context, workload_name, base, PandiaPredictor(md, max_iterations=1)
+            )
+        )
+
+    for name, pairs in variants.items():
+        med_error = median([e for e, _ in pairs])
+        med_regret = median([r for _, r in pairs])
+        rows.append([name, med_error, med_regret])
+        key = name.split(" (")[0].replace(" ", "_").replace("-", "_")
+        headline[f"median_error_{key}"] = med_error
+        headline[f"median_regret_{key}"] = med_regret
+
+    table = format_table(
+        ["model variant", "median error %", "median regret %"],
+        rows,
+        title=f"predictor ablation on {MACHINE} (medians across workloads)",
+    )
+    full = headline["median_regret_full_model"]
+    headline["worst_ablation_regret_delta"] = max(
+        value - full
+        for key, value in headline.items()
+        if key.startswith("median_regret_") and key != "median_regret_full_model"
+    )
+    return ExperimentReport(
+        experiment_id="ablation",
+        title="Predictor mechanism ablation (design-choice study)",
+        paper_claim=(
+            "Not a paper artifact: quantifies the contribution of each "
+            "modelled mechanism (burstiness, inter-socket overhead, "
+            "load-balance coupling, iteration) to prediction accuracy."
+        ),
+        body=table,
+        headline=headline,
+    )

@@ -1,0 +1,93 @@
+"""Baseline comparison: Pandia vs the Section-7 alternatives.
+
+For every workload on the X5-2, four deciders pick a placement:
+
+* Pandia (six profiling runs, full placement search),
+* the OS "always pack" heuristic (all threads, packed),
+* the OS "always spread" heuristic (all threads, spread),
+* regression extrapolation from small thread counts (best count,
+  spread policy — thread count only, like Barnes et al. / ESTIMA).
+
+Each choice is then *measured*; the regret against the best measured
+placement in the evaluation set is the scoreboard.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.tables import format_table
+from repro.baselines import os_packed_choice, os_spread_choice, regression_choice
+from repro.core.optimizer import best_placement
+from repro.core.predictor import PandiaPredictor
+from repro.experiments.common import ExperimentContext, ExperimentReport
+from repro.sim.run import run_workload
+from repro.units import mean, median
+from repro.workloads import catalog
+
+MACHINE = "X5-2"
+
+
+def run(context: ExperimentContext) -> ExperimentReport:
+    machine = context.machine(MACHINE)
+    md = context.machine_description(MACHINE)
+    predictor = PandiaPredictor(md)
+    topo = machine.topology
+
+    deciders = ["pandia", "os packed", "os spread", "regression"]
+    regrets: Dict[str, List[float]] = {d: [] for d in deciders}
+    rows: List[List[object]] = []
+
+    for name in context.workloads():
+        spec = catalog.get(name)
+        evaluation = context.evaluation(MACHINE, name)
+        best_time = evaluation.best_measured_time
+
+        description = context.description(MACHINE, name)
+        pandia_pick, _ = best_placement(
+            predictor, description, context.placements(MACHINE)
+        )
+        reg_pick, _ = regression_choice(machine, spec, noise=context.noise)
+        choices = {
+            "pandia": pandia_pick,
+            "os packed": os_packed_choice(topo),
+            "os spread": os_spread_choice(topo),
+            "regression": reg_pick,
+        }
+        row: List[object] = [name]
+        for decider in deciders:
+            placement = choices[decider]
+            measured = run_workload(
+                machine,
+                spec,
+                placement.hw_thread_ids,
+                noise=context.noise,
+                run_tag=f"baseline/{decider}",
+            ).elapsed_s
+            regret = (measured / best_time - 1.0) * 100.0
+            regrets[decider].append(regret)
+            row.append(regret)
+        rows.append(row)
+
+    table = format_table(
+        ["workload"] + [f"{d} regret%" for d in deciders],
+        rows,
+        title=f"placement regret by decider on {MACHINE}",
+    )
+    headline = {}
+    for d in deciders:
+        key = d.replace(" ", "_")
+        headline[f"median_regret_{key}"] = median(regrets[d])
+        headline[f"mean_regret_{key}"] = mean(regrets[d])
+        headline[f"worst_regret_{key}"] = max(regrets[d])
+    return ExperimentReport(
+        experiment_id="baselines",
+        title="Pandia vs OS heuristics and regression extrapolation",
+        paper_claim=(
+            "Section 7: OS heuristics pick placements but not thread "
+            "counts; regression techniques predict thread counts but not "
+            "placements.  Pandia does both."
+        ),
+        body=table,
+        headline=headline,
+    )

@@ -1,0 +1,96 @@
+"""Persistent cache of timed-run measurements.
+
+The paper's placement sweeps took 342 machine-days — measurements are
+the expensive side and are collected once.  This cache plays that role
+for the experiments: timed runs are keyed by (machine, workload,
+canonical placement, noise identity) and stored as JSON lines, so a
+re-run of any experiment at the same scale reuses every measurement.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.core.placement import Placement
+from repro.errors import ReproError
+from repro.sim.noise import NoiseModel
+from repro.workloads.spec import WorkloadSpec
+
+_KEY_SEP = "\x1f"
+
+
+def spec_fingerprint(spec: WorkloadSpec) -> str:
+    """Short digest of every behavioural field of a workload spec.
+
+    Editing a catalog entry must invalidate its cached measurements;
+    keying on the name alone would silently reuse stale timings.
+    """
+    import hashlib
+
+    material = repr(spec)
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
+def measurement_key(
+    machine_name: str,
+    spec: WorkloadSpec,
+    placement: Placement,
+    noise: NoiseModel,
+) -> str:
+    """Stable string key for one timed run."""
+    shape = ";".join(f"{o}+{t}" for o, t in placement.canonical_key())
+    return _KEY_SEP.join(
+        [
+            machine_name,
+            spec.name,
+            spec_fingerprint(spec),
+            shape,
+            f"{noise.sigma:g}",
+            str(noise.seed),
+        ]
+    )
+
+
+class MeasurementCache:
+    """Append-only JSON-lines store of measured times."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._entries: Dict[str, float] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        for line_no, line in enumerate(self.path.read_text().splitlines(), 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                self._entries[record["key"]] = float(record["elapsed_s"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                raise ReproError(
+                    f"{self.path}:{line_no}: corrupt cache line ({exc})"
+                ) from exc
+
+    def get(self, key: str) -> Optional[float]:
+        return self._entries.get(key)
+
+    def put(self, key: str, elapsed_s: float) -> None:
+        if elapsed_s <= 0:
+            raise ReproError("cached time must be positive")
+        if key in self._entries:
+            return
+        self._entries[key] = elapsed_s
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps({"key": key, "elapsed_s": elapsed_s}) + "\n")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries

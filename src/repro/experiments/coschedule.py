@@ -1,0 +1,75 @@
+"""Co-scheduling interference study (the paper's Section 8 direction).
+
+"We believe this resource-based approach will let Pandia handle mixes
+of workloads running together by looking at their total demands."
+This experiment measures that claim: every pair of workloads is
+co-scheduled on the X3-2, one per socket, and the predicted pairwise
+interference matrix is compared against the measured one.
+
+Not a paper figure — the validation of its closing claim.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.interference import (
+    measured_interference,
+    predicted_interference,
+)
+from repro.analysis.tables import format_table
+from repro.experiments.common import ExperimentContext, ExperimentReport
+from repro.workloads import catalog
+
+MACHINE = "X3-2"
+
+
+def run(context: ExperimentContext) -> ExperimentReport:
+    names = context.workloads()
+    machine = context.machine(MACHINE)
+    md = context.machine_description(MACHINE)
+    descriptions = [context.description(MACHINE, name) for name in names]
+    specs = [catalog.get(name) for name in names]
+
+    predicted = predicted_interference(md, machine, descriptions)
+    measured = measured_interference(machine, specs, noise=context.noise)
+
+    rows: List[List[object]] = []
+    worst_agreements = 0
+    for victim in names:
+        pred_worst, pred_s = predicted.worst_aggressor(victim)
+        meas_worst, meas_s = measured.worst_aggressor(victim)
+        # Agreement if Pandia names an aggressor within 2% of the true worst.
+        agree = (
+            pred_worst == meas_worst
+            or measured.slowdown(victim, pred_worst) >= meas_s - 0.02
+        )
+        worst_agreements += agree
+        rows.append(
+            [
+                victim,
+                f"{meas_worst} ({meas_s:.2f}x)",
+                f"{pred_worst} ({pred_s:.2f}x)",
+                "yes" if agree else "no",
+            ]
+        )
+
+    mae = predicted.mean_absolute_error(measured)
+    table = format_table(
+        ["victim", "worst aggressor (measured)", "worst aggressor (predicted)", "agree"],
+        rows,
+        title=f"pairwise interference on {MACHINE} (alternating cores, both sockets shared)",
+    )
+    return ExperimentReport(
+        experiment_id="coschedule",
+        title="Co-scheduling interference: predicted vs measured",
+        paper_claim=(
+            "Section 8: Pandia's resource-based approach should handle "
+            "mixes of workloads by looking at their total demands."
+        ),
+        body=table,
+        headline={
+            "interference_mae": mae,
+            "worst_aggressor_agreement": worst_agreements / len(names),
+        },
+    )

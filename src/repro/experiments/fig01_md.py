@@ -1,0 +1,52 @@
+"""Figure 1: measured vs predicted performance for MD on the X5-2.
+
+The paper's opening figure: normalised speedup of the molecular
+dynamics simulation over every explored placement of the 72-thread
+Haswell machine, with Pandia's predictions overlaid.  The reproduction
+renders the same two series as an ASCII scatter plus the error summary.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import ascii_scatter, format_table
+from repro.experiments.common import ExperimentContext, ExperimentReport
+
+MACHINE = "X5-2"
+WORKLOAD = "MD"
+
+
+def run(context: ExperimentContext) -> ExperimentReport:
+    evaluation = context.evaluation(MACHINE, WORKLOAD)
+    measured = evaluation.measured_normalized()
+    predicted = evaluation.predicted_normalized()
+    summary = evaluation.errors()
+
+    plot = ascii_scatter(
+        {"measured": measured, "predicted": predicted},
+        y_label=f"{WORKLOAD} on {MACHINE}: normalised speedup per placement",
+    )
+    table = format_table(
+        ["metric", "value"],
+        [
+            ["placements", len(measured)],
+            ["mean error %", summary.mean_error],
+            ["median error %", summary.median_error],
+            ["mean offset error %", summary.mean_offset_error],
+            ["median offset error %", summary.median_offset_error],
+            ["placement regret %", evaluation.placement_regret_percent()],
+        ],
+    )
+    return ExperimentReport(
+        experiment_id="fig1",
+        title="Measured vs predicted performance for MD (X5-2)",
+        paper_claim=(
+            "For most placements the measured and predicted results are "
+            "visually close (Figure 1)."
+        ),
+        body=plot + "\n\n" + table,
+        headline={
+            "median_error_percent": summary.median_error,
+            "median_offset_error_percent": summary.median_offset_error,
+            "placement_regret_percent": evaluation.placement_regret_percent(),
+        },
+    )

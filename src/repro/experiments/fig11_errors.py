@@ -1,0 +1,83 @@
+"""Figure 11: prediction errors per workload and description portability.
+
+(a) errors on the X5-2; (b) errors on the X3-2; (c) X3-2 workload
+descriptions used on the X5-2; (d) X5-2 descriptions used on the X3-2.
+The paper reports that portability raises errors but stays useful, and
+that going from a smaller to a larger machine is the harder direction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import ExperimentContext, ExperimentReport
+from repro.units import mean, median
+
+
+def _error_table(
+    context: ExperimentContext,
+    machine: str,
+    description_machine: Optional[str] = None,
+) -> tuple:
+    rows = []
+    medians: List[float] = []
+    offset_medians: List[float] = []
+    for name in context.workloads():
+        evaluation = context.evaluation(
+            machine, name, description_machine=description_machine
+        )
+        summary = evaluation.errors()
+        medians.append(summary.median_error)
+        offset_medians.append(summary.median_offset_error)
+        rows.append(
+            [
+                name,
+                summary.mean_error,
+                summary.median_error,
+                summary.mean_offset_error,
+                summary.median_offset_error,
+            ]
+        )
+    source = description_machine or machine
+    title = f"errors on {machine} (workload descriptions from {source})"
+    table = format_table(
+        ["workload", "mean%", "median%", "off-mean%", "off-median%"], rows, title=title
+    )
+    return table, median(medians), median(offset_medians), mean(medians)
+
+
+def run(context: ExperimentContext) -> ExperimentReport:
+    sections = []
+    headline = {}
+
+    for tag, machine, source in (
+        ("a", "X5-2", None),
+        ("b", "X3-2", None),
+        ("c", "X5-2", "X3-2"),
+        ("d", "X3-2", "X5-2"),
+    ):
+        table, med, off_med, mean_err = _error_table(context, machine, source)
+        sections.append(f"-- Figure 11{tag} --\n{table}")
+        headline[f"11{tag}_median_error_percent"] = med
+        headline[f"11{tag}_median_offset_error_percent"] = off_med
+
+    # Portability should cost accuracy relative to native descriptions.
+    headline["portability_penalty_x5"] = (
+        headline["11c_median_error_percent"] - headline["11a_median_error_percent"]
+    )
+    headline["portability_penalty_x3"] = (
+        headline["11d_median_error_percent"] - headline["11b_median_error_percent"]
+    )
+
+    return ExperimentReport(
+        experiment_id="fig11",
+        title="Prediction errors and workload-description portability",
+        paper_claim=(
+            "Median error 8.5% / offset 3.6% on the X5-2; 3.8% / 1.5% on the "
+            "X3-2.  Using descriptions from the other machine increases "
+            "relative error but the results still appear useful."
+        ),
+        body="\n\n".join(sections),
+        headline=headline,
+    )

@@ -1,0 +1,66 @@
+"""Figure 12: mean errors on the 4-socket Westmere (X2-4).
+
+Placements fall into three classes: at most two sockets active, at most
+20 cores active (spread anywhere), and the whole machine.  The paper
+sees larger errors on this pre-adaptive-cache machine than on the newer
+2-socket systems, but no *additional* error from spreading work over
+more sockets.  Sort-Join is omitted (its AVX instructions do not exist
+on Westmere).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import ExperimentContext, ExperimentReport
+from repro.units import mean
+
+MACHINE = "X2-4"
+
+#: The paper's three placement classes as canonical-enumeration filters.
+CLASSES = (
+    ("2 socket", {"max_sockets": 2}),
+    ("20 core", {"max_cores": 20}),
+    ("whole machine", {}),
+)
+
+
+def run(context: ExperimentContext) -> ExperimentReport:
+    workloads = [w for w in context.workloads() if w != "Sort-Join"]
+    rows = []
+    class_means: Dict[str, List[float]] = {label: [] for label, _ in CLASSES}
+    for name in workloads:
+        row: List[object] = [name]
+        for label, filters in CLASSES:
+            evaluation = context.evaluation(MACHINE, name, **filters)
+            err = evaluation.errors().mean_error
+            class_means[label].append(err)
+            row.append(err)
+        rows.append(row)
+
+    table = format_table(
+        ["workload"] + [label for label, _ in CLASSES],
+        rows,
+        title=f"mean errors (%) on {MACHINE} by placement class",
+    )
+    headline = {
+        f"mean_error_{label.replace(' ', '_')}": mean(values)
+        for label, values in class_means.items()
+    }
+    # The paper's observation: whole-machine errors are not systematically
+    # worse than the 2-socket class on this machine.
+    headline["spread_penalty"] = (
+        headline["mean_error_whole_machine"] - headline["mean_error_2_socket"]
+    )
+    return ExperimentReport(
+        experiment_id="fig12",
+        title="Mean errors on the 4-socket Westmere (X2-4)",
+        paper_claim=(
+            "Larger errors than the newer 2-socket machines (no adaptive "
+            "caches), but generally no additional error when spreading "
+            "work over more sockets."
+        ),
+        body=table,
+        headline=headline,
+    )

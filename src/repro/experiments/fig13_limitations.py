@@ -1,0 +1,75 @@
+"""Figure 13: behaviour outside the model's comfort zone.
+
+(a) a single-threaded version of the NPO join — Pandia must detect the
+absence of scaling and the impact of memory placement;
+(b, c) equake, whose total work grows with the thread count, violating
+the fixed-work assumption: predictions stay good on the 16-core X3-2
+(small thread counts) and degrade visibly on the 36-core X5-2.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import ascii_scatter, format_table
+from repro.experiments.common import ExperimentContext, ExperimentReport
+
+
+def _section(context: ExperimentContext, machine: str, workload: str, label: str):
+    evaluation = context.evaluation(machine, workload)
+    summary = evaluation.errors()
+    plot = ascii_scatter(
+        {
+            "measured": evaluation.measured_normalized(),
+            "predicted": evaluation.predicted_normalized(),
+        },
+        height=10,
+        y_label=f"({label}) {workload} on {machine}",
+    )
+    return plot, summary, evaluation
+
+
+def run(context: ExperimentContext) -> ExperimentReport:
+    sections = []
+    rows = []
+    headline = {}
+
+    for label, machine, workload in (
+        ("a", "X3-2", "NPO-1T"),
+        ("b", "X3-2", "equake"),
+        ("c", "X5-2", "equake"),
+    ):
+        plot, summary, evaluation = _section(context, machine, workload, label)
+        sections.append(plot)
+        rows.append(
+            [
+                f"13{label}",
+                workload,
+                machine,
+                summary.mean_error,
+                summary.median_error,
+                summary.median_offset_error,
+            ]
+        )
+        headline[f"13{label}_median_error_percent"] = summary.median_error
+        if workload == "NPO-1T":
+            headline["npo1t_peak_measured_threads"] = float(
+                evaluation.peak_measured_threads()
+            )
+
+    # The broken-assumption signature: equake errors grow with machine size.
+    headline["equake_error_growth"] = (
+        headline["13c_median_error_percent"] - headline["13b_median_error_percent"]
+    )
+    table = format_table(
+        ["figure", "workload", "machine", "mean%", "median%", "off-median%"], rows
+    )
+    return ExperimentReport(
+        experiment_id="fig13",
+        title="Poor scaling (NPO single-thread) and broken assumptions (equake)",
+        paper_claim=(
+            "Pandia detects the absence of scaling for single-threaded NPO; "
+            "equake predictions are good on the X3-2 but the broken "
+            "fixed-work assumption is clear on the larger X5-2."
+        ),
+        body="\n\n".join(sections + [table]),
+        headline=headline,
+    )

@@ -1,0 +1,127 @@
+"""Registry and runner for the evaluation experiments.
+
+Run from the command line::
+
+    python -m repro.experiments.run_all --scale quick fig1 fig14
+    python -m repro.experiments.run_all --scale default           # everything
+    python -m repro.experiments.run_all --out results.txt
+
+or programmatically through :func:`run_experiments`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.experiments import ablation, baselines, coschedule, fig01_md, fig10_benchmarks
+from repro.experiments import fig11_errors, fig12_foursocket, fig13_limitations
+from repro.experiments import fig14_turbo, headline, scaling, sweep_comparison
+from repro.experiments.common import (
+    DEFAULT,
+    FULL,
+    QUICK,
+    ExperimentContext,
+    ExperimentReport,
+    Scale,
+)
+
+REGISTRY = {
+    "fig1": fig01_md,
+    "fig10": fig10_benchmarks,
+    "fig11": fig11_errors,
+    "fig12": fig12_foursocket,
+    "fig13": fig13_limitations,
+    "fig14": fig14_turbo,
+    "sweep": sweep_comparison,
+    "headline": headline,
+    "ablation": ablation,
+    "scaling": scaling,
+    "coschedule": coschedule,
+    "baselines": baselines,
+}
+
+SCALES: Dict[str, Scale] = {"quick": QUICK, "default": DEFAULT, "full": FULL}
+
+
+def run_experiments(
+    ids: Optional[Sequence[str]] = None,
+    scale: Scale = DEFAULT,
+    context: Optional[ExperimentContext] = None,
+) -> List[ExperimentReport]:
+    """Run the named experiments (all of them by default)."""
+    chosen = list(ids) if ids else list(REGISTRY)
+    unknown = [i for i in chosen if i not in REGISTRY]
+    if unknown:
+        raise ReproError(
+            f"unknown experiment ids {unknown}; known: {sorted(REGISTRY)}"
+        )
+    ctx = context or ExperimentContext(scale=scale)
+    return [REGISTRY[i].run(ctx) for i in chosen]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.run_all",
+        description="Reproduce the paper's evaluation artifacts.",
+    )
+    parser.add_argument("ids", nargs="*", help=f"experiments to run {sorted(REGISTRY)}")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="default")
+    parser.add_argument("--out", help="also write the reports to this file")
+    parser.add_argument("--html", help="also write a standalone HTML report")
+    parser.add_argument(
+        "--cache", help="persist timed-run measurements to this JSON-lines file"
+    )
+    args = parser.parse_args(argv)
+
+    scale = SCALES[args.scale]
+    context = ExperimentContext(scale=scale, cache_path=args.cache)
+    chunks: List[str] = []
+    reports: List[ExperimentReport] = []
+    for experiment_id in args.ids or list(REGISTRY):
+        start = time.time()
+        report = run_experiments([experiment_id], context=context)[0]
+        reports.append(report)
+        text = report.render()
+        chunks.append(text)
+        print(text)
+        print(f"[{experiment_id} took {time.time() - start:.1f}s]\n")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write("\n\n".join(chunks) + "\n")
+    # When a run covers experiments with published numbers, append the
+    # generated paper-vs-reproduction table.
+    from repro.paper import CLAIMS, comparison_table
+
+    covered = {r.experiment_id for r in reports} & {c.experiment_id for c in CLAIMS}
+    if covered:
+        headlines = {r.experiment_id: r.headline for r in reports}
+        comparison = comparison_table(headlines)
+        print(comparison)
+        chunks.append(comparison)
+        if args.out:
+            with open(args.out, "a") as handle:
+                handle.write("\n" + comparison + "\n")
+
+    if args.html:
+        from repro.analysis.report import evaluation_figure, write_html_report
+
+        figures = {}
+        ran = {r.experiment_id for r in reports}
+        if "fig1" in ran:
+            figures["fig1"] = [evaluation_figure(context.evaluation("X5-2", "MD"))]
+        write_html_report(
+            args.html,
+            reports,
+            title=f"Pandia reproduction report ({scale.name} scale)",
+            figures=figures,
+        )
+        print(f"wrote HTML report to {args.html}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Fitting workload specs to observed timings.
+
+The substrate's :class:`~repro.workloads.spec.WorkloadSpec` parameters
+are normally authored; this package solves the inverse problem — given
+a handful of timed runs of a *real* workload at different thread
+counts, recover a spec whose simulated scaling matches.  That is the
+bridge for importing measurements from actual machines (collected, for
+instance, with :mod:`repro.perf`) into the simulator.
+"""
+
+from repro.fit.fit import FitResult, Observation, fit_workload_spec
+
+__all__ = ["FitResult", "Observation", "fit_workload_spec"]

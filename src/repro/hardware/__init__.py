@@ -1,0 +1,23 @@
+"""Hardware models: machine topology, resource capacities, Turbo Boost.
+
+This package models the *true* machines the simulator executes on.  The
+Pandia side of the system (``repro.core``) never reads these parameters
+directly; it measures them through stress applications, exactly as the
+paper measures real machines through performance counters.
+"""
+
+from repro.hardware.topology import Core, HwThread, MachineTopology, Socket
+from repro.hardware.turbo import TurboModel
+from repro.hardware.spec import CacheLevelSpec, MachineSpec
+from repro.hardware import machines
+
+__all__ = [
+    "Core",
+    "HwThread",
+    "MachineTopology",
+    "Socket",
+    "TurboModel",
+    "CacheLevelSpec",
+    "MachineSpec",
+    "machines",
+]

@@ -1,0 +1,161 @@
+"""Catalog of the machines used in the paper's evaluation (Section 6).
+
+Four Oracle Intel Xeon systems:
+
+* **X5-2** — 2-socket Haswell (E5-2699 v3), 18 cores/socket, 2-way SMT,
+  72 hardware threads.  Nominal 2.3 GHz, turbo 2.8–3.6 GHz (Figure 14).
+* **X4-2** — 2-socket Ivy Bridge, 8 cores/socket, 32 hardware threads.
+* **X3-2** — 2-socket Sandy Bridge, 8 cores/socket, 32 hardware threads.
+* **X2-4** — 4-socket Westmere, 10 cores/socket, 80 hardware threads.
+  Pre-adaptive-cache generation; the paper observes larger errors here.
+
+Capacities are engineering approximations of the real parts — the exact
+values do not matter for reproduction (Pandia measures whatever machine
+it is given); what matters is that the relative proportions are
+realistic: DRAM far slower than LLC, LLC aggregate below the sum of the
+per-core links, interconnect narrower than local DRAM.
+
+``FIG3`` is the cache-less toy machine of the paper's worked example
+(Figure 3): two dual-core single-thread sockets, core rate 10, DRAM 100
+per socket, interconnect 50 — in the paper's unit-less scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import TopologyError
+from repro.hardware.spec import CacheLevelSpec, MachineSpec
+from repro.hardware.topology import MachineTopology
+from repro.hardware.turbo import TurboModel
+from repro.units import KIB, MIB
+
+
+def _xeon_caches(
+    l3_mib: float, l3_aggregate_gbs: float, l2_kib: float = 256.0
+) -> tuple:
+    """Cache hierarchy shared by the Xeon family entries."""
+    return (
+        CacheLevelSpec(
+            name="L1",
+            capacity_bytes=32 * KIB,
+            link_bytes_per_cycle=32.0,
+            private=True,
+        ),
+        CacheLevelSpec(
+            name="L2",
+            capacity_bytes=l2_kib * KIB,
+            link_bytes_per_cycle=16.0,
+            private=True,
+        ),
+        CacheLevelSpec(
+            name="L3",
+            capacity_bytes=l3_mib * MIB,
+            link_bytes_per_cycle=8.0,
+            private=False,
+            aggregate_gbs=l3_aggregate_gbs,
+        ),
+    )
+
+
+X5_2 = MachineSpec(
+    name="X5-2",
+    description="2-socket Intel Haswell (E5-2699 v3), 18 cores/socket, SMT2",
+    topology=MachineTopology(n_sockets=2, cores_per_socket=18, threads_per_core=2),
+    turbo=TurboModel(nominal_ghz=2.3, max_turbo_ghz=3.6, all_core_turbo_ghz=2.8),
+    ipc_single=4.0,
+    smt_throughput_factor=1.30,
+    caches=_xeon_caches(l3_mib=45.0, l3_aggregate_gbs=320.0),
+    dram_gbs_per_node=58.0,
+    interconnect_gbs=32.0,
+    adaptive_caches=True,
+)
+
+X4_2 = MachineSpec(
+    name="X4-2",
+    description="2-socket Intel Ivy Bridge, 8 cores/socket, SMT2",
+    topology=MachineTopology(n_sockets=2, cores_per_socket=8, threads_per_core=2),
+    turbo=TurboModel(nominal_ghz=2.7, max_turbo_ghz=3.5, all_core_turbo_ghz=3.0),
+    ipc_single=4.0,
+    smt_throughput_factor=1.28,
+    caches=_xeon_caches(l3_mib=25.0, l3_aggregate_gbs=170.0),
+    dram_gbs_per_node=48.0,
+    interconnect_gbs=28.0,
+    adaptive_caches=True,
+)
+
+X3_2 = MachineSpec(
+    name="X3-2",
+    description="2-socket Intel Sandy Bridge, 8 cores/socket, SMT2",
+    topology=MachineTopology(n_sockets=2, cores_per_socket=8, threads_per_core=2),
+    turbo=TurboModel(nominal_ghz=2.6, max_turbo_ghz=3.3, all_core_turbo_ghz=2.9),
+    ipc_single=4.0,
+    smt_throughput_factor=1.25,
+    caches=_xeon_caches(l3_mib=20.0, l3_aggregate_gbs=180.0),
+    dram_gbs_per_node=42.0,
+    interconnect_gbs=25.0,
+    adaptive_caches=True,
+)
+
+X2_4 = MachineSpec(
+    name="X2-4",
+    description="4-socket Intel Westmere, 10 cores/socket, SMT2 (no adaptive caches)",
+    topology=MachineTopology(n_sockets=4, cores_per_socket=10, threads_per_core=2),
+    turbo=TurboModel(nominal_ghz=2.26, max_turbo_ghz=2.66, all_core_turbo_ghz=2.4),
+    ipc_single=4.0,
+    smt_throughput_factor=1.22,
+    caches=_xeon_caches(l3_mib=30.0, l3_aggregate_gbs=160.0, l2_kib=256.0),
+    dram_gbs_per_node=30.0,
+    interconnect_gbs=22.0,
+    adaptive_caches=False,
+)
+
+#: The worked-example toy machine (paper Figure 3): no caches, unit-less
+#: scale.  We encode "core rate 10" as 10 instructions/cycle at a fixed
+#: 1.0 frequency, "DRAM 100 per socket" and "interconnect 50" directly.
+FIG3 = MachineSpec(
+    name="FIG3",
+    description="Paper Figure 3 toy machine: 2 sockets x 2 cores, no caches",
+    topology=MachineTopology(n_sockets=2, cores_per_socket=2, threads_per_core=2),
+    turbo=TurboModel.fixed(1.0),
+    ipc_single=10.0,
+    smt_throughput_factor=1.0,
+    caches=(),
+    dram_gbs_per_node=100.0,
+    interconnect_gbs=50.0,
+    adaptive_caches=True,
+    smt_per_thread_slowdown=0.0,
+)
+
+#: A small fast machine for tests: 2 sockets x 4 cores x 2 threads.
+TESTBOX = MachineSpec(
+    name="TESTBOX",
+    description="Small 2-socket machine for fast tests",
+    topology=MachineTopology(n_sockets=2, cores_per_socket=4, threads_per_core=2),
+    turbo=TurboModel(nominal_ghz=2.0, max_turbo_ghz=3.0, all_core_turbo_ghz=2.4),
+    ipc_single=4.0,
+    smt_throughput_factor=1.25,
+    caches=_xeon_caches(l3_mib=10.0, l3_aggregate_gbs=60.0),
+    dram_gbs_per_node=30.0,
+    interconnect_gbs=18.0,
+    adaptive_caches=True,
+    nic_gbs=6.0,  # ~50 GbE off-machine link (Section 8 extension)
+)
+
+CATALOG: Dict[str, MachineSpec] = {
+    m.name: m for m in (X5_2, X4_2, X3_2, X2_4, FIG3, TESTBOX)
+}
+
+
+def get(name: str) -> MachineSpec:
+    """Look up a machine by catalog name (case-insensitive)."""
+    key = name.upper()
+    if key not in CATALOG:
+        known = ", ".join(sorted(CATALOG))
+        raise TopologyError(f"unknown machine {name!r}; known machines: {known}")
+    return CATALOG[key]
+
+
+def names() -> List[str]:
+    """Sorted list of catalog machine names."""
+    return sorted(CATALOG)

@@ -1,0 +1,178 @@
+"""True physical machine parameters used by the ground-truth simulator.
+
+A :class:`MachineSpec` combines a topology with the capacities of every
+contended resource the simulator models:
+
+* core instruction issue (instructions/cycle, scaled by Turbo frequency),
+* SMT aggregate throughput when two hardware threads share a core,
+* per-level cache link bandwidth (bytes/cycle per core, frequency-scaled)
+  and, for the shared LLC, an aggregate per-socket ceiling (GB/s),
+* DRAM bandwidth per memory node (GB/s),
+* interconnect bandwidth per socket pair (GB/s).
+
+These are the numbers Pandia must *recover* by running stress
+applications (Section 3 of the paper); Pandia never reads them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import TopologyError
+from repro.hardware.topology import MachineTopology
+from repro.hardware.turbo import TurboModel
+
+
+@dataclass(frozen=True)
+class CacheLevelSpec:
+    """One level of the cache hierarchy.
+
+    ``link_bytes_per_cycle`` is the bandwidth of the link from one core
+    into this level; it scales with core frequency.  For shared levels
+    (``private=False``) ``aggregate_gbs`` bounds the total bandwidth the
+    level can sustain across all cores of a socket — the paper's
+    "360 per core, 5000 in aggregate" example (Section 3.1).
+    """
+
+    name: str
+    capacity_bytes: float
+    link_bytes_per_cycle: float
+    private: bool = True
+    aggregate_gbs: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise TopologyError(f"{self.name}: cache capacity must be positive")
+        if self.link_bytes_per_cycle <= 0:
+            raise TopologyError(f"{self.name}: link bandwidth must be positive")
+        if not self.private and self.aggregate_gbs is None:
+            raise TopologyError(f"{self.name}: shared cache needs an aggregate limit")
+
+    def link_gbs(self, freq_ghz: float) -> float:
+        """Per-core link bandwidth in GB/s at the given core frequency."""
+        return self.link_bytes_per_cycle * freq_ghz
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Complete physical description of one machine.
+
+    Attributes
+    ----------
+    ipc_single:
+        Peak instructions/cycle for one hardware thread on a core.
+    smt_throughput_factor:
+        Aggregate instruction throughput of a core running two hardware
+        threads, relative to one (e.g. 1.3 means +30%).
+    smt_per_thread_slowdown:
+        Slowdown each thread suffers from merely *sharing* a core
+        (front-end arbitration, partitioned structures), applied on top
+        of the aggregate limit: a resident thread's standalone rate is
+        divided by ``1 + smt_per_thread_slowdown`` when the core hosts
+        more than one active thread.  This is why co-scheduling a
+        CPU-bound spinner beside a memory-bound thread still delays it
+        on real hardware.
+    caches:
+        Levels ordered from closest to the core (L1) outward (LLC last).
+    dram_gbs_per_node:
+        Sustainable bandwidth of each socket's memory controllers.
+    interconnect_gbs:
+        Sustainable bandwidth of the link between each socket pair.
+    adaptive_caches:
+        Modern chips (paper Section 2.2) adapt insertion policy, making
+        working-set overflow gradual; older chips (Westmere X2-4) show a
+        sharper fall-off.  The simulator uses this to pick the LLC spill
+        curve steepness.
+    nic_gbs:
+        Bandwidth of the machine's off-machine link (NIC), shared by
+        every thread that performs I/O.  The paper's Section 8 future
+        work: "off-machine communication links can be accommodated
+        directly in our machine models in terms of available
+        bandwidth".  Zero means the machine model carries no NIC.
+    """
+
+    name: str
+    topology: MachineTopology
+    turbo: TurboModel
+    ipc_single: float
+    smt_throughput_factor: float
+    caches: Tuple[CacheLevelSpec, ...]
+    dram_gbs_per_node: float
+    interconnect_gbs: float
+    adaptive_caches: bool = True
+    smt_per_thread_slowdown: float = 0.12
+    nic_gbs: float = 0.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.ipc_single <= 0:
+            raise TopologyError("ipc_single must be positive")
+        if self.smt_throughput_factor < 1.0:
+            raise TopologyError("smt_throughput_factor must be >= 1.0")
+        if self.smt_per_thread_slowdown < 0:
+            raise TopologyError("smt_per_thread_slowdown must be >= 0")
+        if self.nic_gbs < 0:
+            raise TopologyError("nic bandwidth must be >= 0")
+        if self.dram_gbs_per_node <= 0:
+            raise TopologyError("dram bandwidth must be positive")
+        if self.topology.n_sockets > 1 and self.interconnect_gbs <= 0:
+            raise TopologyError("multi-socket machine needs interconnect bandwidth")
+        names = [c.name for c in self.caches]
+        if len(set(names)) != len(names):
+            raise TopologyError(f"duplicate cache level names: {names}")
+
+    # -- derived quantities -------------------------------------------
+
+    @property
+    def llc(self) -> Optional[CacheLevelSpec]:
+        """The last-level cache, or ``None`` for cache-less toy machines."""
+        return self.caches[-1] if self.caches else None
+
+    def cache(self, name: str) -> CacheLevelSpec:
+        for level in self.caches:
+            if level.name == name:
+                return level
+        raise TopologyError(f"machine {self.name} has no cache level {name!r}")
+
+    def core_issue_ginstr(self, freq_ghz: float, n_threads_on_core: int) -> float:
+        """Peak instruction throughput of one core in Ginstr/s.
+
+        With one resident thread the core issues ``ipc_single`` per
+        cycle; with two or more SMT siblings the aggregate rises by
+        ``smt_throughput_factor`` (per the dual-thread stress run of
+        Section 3.2).
+        """
+        if n_threads_on_core <= 0:
+            raise TopologyError("core must host at least one thread")
+        base = self.ipc_single * freq_ghz
+        if n_threads_on_core == 1:
+            return base
+        return base * self.smt_throughput_factor
+
+    def frequency_ghz(
+        self, active_cores_on_socket: int, turbo_enabled: bool = True
+    ) -> float:
+        """Core frequency for a socket with the given busy-core count."""
+        return self.turbo.frequency_ghz(
+            active_cores_on_socket,
+            self.topology.cores_per_socket,
+            enabled=turbo_enabled,
+        )
+
+    def with_topology(self, topology: MachineTopology, name: str) -> "MachineSpec":
+        """Clone this spec onto a different topology (used in tests)."""
+        return MachineSpec(
+            name=name,
+            topology=topology,
+            turbo=self.turbo,
+            ipc_single=self.ipc_single,
+            smt_throughput_factor=self.smt_throughput_factor,
+            caches=self.caches,
+            dram_gbs_per_node=self.dram_gbs_per_node,
+            interconnect_gbs=self.interconnect_gbs,
+            adaptive_caches=self.adaptive_caches,
+            smt_per_thread_slowdown=self.smt_per_thread_slowdown,
+            nic_gbs=self.nic_gbs,
+            description=self.description,
+        )

@@ -1,0 +1,75 @@
+"""Turbo Boost frequency model (paper Section 6.3, Figure 14).
+
+Intel Turbo Boost lets a chip clock above its nominal frequency when few
+cores are active.  The paper shows (Figure 14) that disabling Turbo
+Boost is both unrealistic and slower than all-core turbo, and that the
+authors cancel its measurement-time effects by filling idle cores with a
+core-local background workload during profiling.
+
+We model the per-socket frequency as a piecewise-linear function of the
+number of *active cores on that socket*, interpolating between the
+single-core maximum turbo frequency and the all-core turbo frequency.
+With turbo disabled the chip runs at nominal frequency regardless of
+occupancy — which, matching the paper, is *below* all-core turbo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+
+
+@dataclass(frozen=True)
+class TurboModel:
+    """Per-socket core frequency as a function of active core count.
+
+    Attributes
+    ----------
+    nominal_ghz:
+        Frequency with Turbo Boost disabled (e.g. 2.3 GHz on the X5-2).
+    max_turbo_ghz:
+        Frequency with a single active core (e.g. 3.6 GHz).
+    all_core_turbo_ghz:
+        Frequency with every core of the socket active (e.g. 2.8 GHz).
+    """
+
+    nominal_ghz: float
+    max_turbo_ghz: float
+    all_core_turbo_ghz: float
+
+    def __post_init__(self) -> None:
+        if not (0 < self.nominal_ghz <= self.all_core_turbo_ghz <= self.max_turbo_ghz):
+            raise TopologyError(
+                "turbo model requires nominal <= all-core turbo <= max turbo, "
+                f"got {self.nominal_ghz}/{self.all_core_turbo_ghz}/{self.max_turbo_ghz}"
+            )
+
+    def frequency_ghz(
+        self, active_cores: int, socket_cores: int, enabled: bool = True
+    ) -> float:
+        """Core frequency on a socket with *active_cores* busy cores.
+
+        A socket with no active cores reports the single-core turbo
+        frequency (the frequency a thread would get the moment it woke).
+        """
+        if socket_cores < 1:
+            raise TopologyError("socket must have at least one core")
+        if active_cores < 0 or active_cores > socket_cores:
+            raise TopologyError(
+                f"active cores {active_cores} out of range 0..{socket_cores}"
+            )
+        if not enabled:
+            return self.nominal_ghz
+        if active_cores <= 1:
+            return self.max_turbo_ghz
+        if socket_cores == 1:
+            return self.max_turbo_ghz
+        # Linear fall-off from max turbo (1 core) to all-core turbo.
+        fraction = (active_cores - 1) / (socket_cores - 1)
+        return self.max_turbo_ghz - fraction * (self.max_turbo_ghz - self.all_core_turbo_ghz)
+
+    @classmethod
+    def fixed(cls, ghz: float) -> "TurboModel":
+        """A degenerate model that always runs at *ghz* (no turbo range)."""
+        return cls(nominal_ghz=ghz, max_turbo_ghz=ghz, all_core_turbo_ghz=ghz)

@@ -1,0 +1,162 @@
+"""JSON serialisation for Pandia's model artifacts.
+
+The format is versioned and deliberately explicit (no pickling): a
+description written by one deployment must be readable by another —
+the Figure 11(c)/(d) portability study is exactly the workflow of
+shipping a description file between machines.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.core.description import DemandVector, RunRecord, WorkloadDescription
+from repro.core.machine_desc import MachineDescription
+from repro.errors import ModelError
+from repro.hardware.topology import MachineTopology
+
+FORMAT_VERSION = 1
+
+
+def _check_version(payload: Dict[str, Any], kind: str) -> None:
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ModelError(
+            f"{kind}: unsupported format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    if payload.get("kind") != kind:
+        raise ModelError(
+            f"expected a {kind!r} document, found {payload.get('kind')!r}"
+        )
+
+
+# -- machine descriptions ---------------------------------------------------
+
+
+def machine_description_to_json(md: MachineDescription) -> str:
+    """Serialise a machine description to a stable JSON document."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "kind": "machine_description",
+        "machine_name": md.machine_name,
+        "topology": {
+            "n_sockets": md.topology.n_sockets,
+            "cores_per_socket": md.topology.cores_per_socket,
+            "threads_per_core": md.topology.threads_per_core,
+        },
+        "core_rate": md.core_rate,
+        "core_rate_smt": md.core_rate_smt,
+        "cache_link_bw": dict(md.cache_link_bw),
+        "cache_agg_bw": dict(md.cache_agg_bw),
+        "dram_bw_per_node": md.dram_bw_per_node,
+        "interconnect_bw": md.interconnect_bw,
+        "nic_bw": md.nic_bw,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def machine_description_from_json(text: str) -> MachineDescription:
+    """Parse a machine description written by :func:`machine_description_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ModelError(f"invalid JSON: {exc}") from exc
+    _check_version(payload, "machine_description")
+    try:
+        topo = payload["topology"]
+        return MachineDescription(
+            machine_name=payload["machine_name"],
+            topology=MachineTopology(
+                n_sockets=topo["n_sockets"],
+                cores_per_socket=topo["cores_per_socket"],
+                threads_per_core=topo["threads_per_core"],
+            ),
+            core_rate=payload["core_rate"],
+            core_rate_smt=payload["core_rate_smt"],
+            cache_link_bw=dict(payload["cache_link_bw"]),
+            cache_agg_bw=dict(payload["cache_agg_bw"]),
+            dram_bw_per_node=payload["dram_bw_per_node"],
+            interconnect_bw=payload["interconnect_bw"],
+            nic_bw=payload.get("nic_bw", 0.0),
+        )
+    except KeyError as exc:
+        raise ModelError(f"machine description missing field {exc}") from exc
+
+
+# -- workload descriptions --------------------------------------------------
+
+
+def description_to_json(wd: WorkloadDescription) -> str:
+    """Serialise a workload description to a stable JSON document."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "kind": "workload_description",
+        "name": wd.name,
+        "machine_name": wd.machine_name,
+        "t1": wd.t1,
+        "demands": {
+            "inst_rate": wd.demands.inst_rate,
+            "cache_bw": dict(wd.demands.cache_bw),
+            "dram_bw": wd.demands.dram_bw,
+            "numa_local_fraction": wd.demands.numa_local_fraction,
+            "io_bw": wd.demands.io_bw,
+        },
+        "parallel_fraction": wd.parallel_fraction,
+        "inter_socket_overhead": wd.inter_socket_overhead,
+        "load_balance": wd.load_balance,
+        "burstiness": wd.burstiness,
+        "runs": [
+            {
+                "label": r.label,
+                "n_threads": r.n_threads,
+                "elapsed_s": r.elapsed_s,
+                "relative_time": r.relative_time,
+                "known_factor": r.known_factor,
+                "unknown_factor": r.unknown_factor,
+            }
+            for r in wd.runs
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def description_from_json(text: str) -> WorkloadDescription:
+    """Parse a workload description written by :func:`description_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ModelError(f"invalid JSON: {exc}") from exc
+    _check_version(payload, "workload_description")
+    try:
+        demands = payload["demands"]
+        return WorkloadDescription(
+            name=payload["name"],
+            machine_name=payload["machine_name"],
+            t1=payload["t1"],
+            demands=DemandVector(
+                inst_rate=demands["inst_rate"],
+                cache_bw=dict(demands["cache_bw"]),
+                dram_bw=demands["dram_bw"],
+                numa_local_fraction=demands.get("numa_local_fraction", 0.0),
+                io_bw=demands.get("io_bw", 0.0),
+            ),
+            parallel_fraction=payload["parallel_fraction"],
+            inter_socket_overhead=payload["inter_socket_overhead"],
+            load_balance=payload["load_balance"],
+            burstiness=payload["burstiness"],
+            runs=tuple(
+                RunRecord(
+                    label=r["label"],
+                    n_threads=r["n_threads"],
+                    elapsed_s=r["elapsed_s"],
+                    relative_time=r["relative_time"],
+                    known_factor=r["known_factor"],
+                    unknown_factor=r["unknown_factor"],
+                )
+                for r in payload.get("runs", [])
+            ),
+        )
+    except KeyError as exc:
+        raise ModelError(f"workload description missing field {exc}") from exc

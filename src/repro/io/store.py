@@ -1,0 +1,133 @@
+"""On-disk store for machine and workload descriptions.
+
+Layout, one directory per deployment::
+
+    <root>/machines/<machine>.json
+    <root>/workloads/<machine>/<workload>.json
+
+``get_or_measure`` / ``get_or_profile`` implement the intended
+workflow: measure once, reuse forever (regenerate by deleting the
+file).  Workload descriptions are keyed by the machine they were
+profiled on, so the portability study (Figure 11c/d) is just reading a
+description from another machine's subdirectory.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, List, Union
+
+from repro.core.description import WorkloadDescription
+from repro.core.machine_desc import MachineDescription
+from repro.errors import ModelError
+from repro.io.serialization import (
+    description_from_json,
+    description_to_json,
+    machine_description_from_json,
+    machine_description_to_json,
+)
+
+
+def _safe_name(name: str) -> str:
+    """File-system-safe version of a machine or workload name."""
+    cleaned = "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
+    if not cleaned:
+        raise ModelError(f"cannot derive a file name from {name!r}")
+    return cleaned
+
+
+class DescriptionStore:
+    """Reads and writes descriptions under a root directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # -- paths -----------------------------------------------------------
+
+    def machine_path(self, machine_name: str) -> Path:
+        return self.root / "machines" / f"{_safe_name(machine_name)}.json"
+
+    def workload_path(self, machine_name: str, workload_name: str) -> Path:
+        return (
+            self.root
+            / "workloads"
+            / _safe_name(machine_name)
+            / f"{_safe_name(workload_name)}.json"
+        )
+
+    # -- machine descriptions ----------------------------------------------
+
+    def save_machine(self, md: MachineDescription) -> Path:
+        path = self.machine_path(md.machine_name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(machine_description_to_json(md))
+        return path
+
+    def load_machine(self, machine_name: str) -> MachineDescription:
+        path = self.machine_path(machine_name)
+        if not path.exists():
+            raise ModelError(f"no stored machine description at {path}")
+        return machine_description_from_json(path.read_text())
+
+    def get_or_measure(
+        self, machine_name: str, measure: Callable[[], MachineDescription]
+    ) -> MachineDescription:
+        """Load the stored description, or measure and store it."""
+        path = self.machine_path(machine_name)
+        if path.exists():
+            return machine_description_from_json(path.read_text())
+        md = measure()
+        if md.machine_name != machine_name:
+            raise ModelError(
+                f"measure() produced a description for {md.machine_name!r}, "
+                f"expected {machine_name!r}"
+            )
+        self.save_machine(md)
+        return md
+
+    # -- workload descriptions -----------------------------------------------
+
+    def save_workload(self, wd: WorkloadDescription) -> Path:
+        path = self.workload_path(wd.machine_name, wd.name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(description_to_json(wd))
+        return path
+
+    def load_workload(self, machine_name: str, workload_name: str) -> WorkloadDescription:
+        path = self.workload_path(machine_name, workload_name)
+        if not path.exists():
+            raise ModelError(f"no stored workload description at {path}")
+        return description_from_json(path.read_text())
+
+    def get_or_profile(
+        self,
+        machine_name: str,
+        workload_name: str,
+        profile: Callable[[], WorkloadDescription],
+    ) -> WorkloadDescription:
+        """Load the stored description, or profile and store it."""
+        path = self.workload_path(machine_name, workload_name)
+        if path.exists():
+            return description_from_json(path.read_text())
+        wd = profile()
+        if wd.name != workload_name or wd.machine_name != machine_name:
+            raise ModelError(
+                f"profile() produced {wd.name!r} on {wd.machine_name!r}, "
+                f"expected {workload_name!r} on {machine_name!r}"
+            )
+        self.save_workload(wd)
+        return wd
+
+    # -- enumeration -----------------------------------------------------------
+
+    def stored_machines(self) -> List[str]:
+        machines_dir = self.root / "machines"
+        if not machines_dir.is_dir():
+            return []
+        return sorted(p.stem for p in machines_dir.glob("*.json"))
+
+    def stored_workloads(self, machine_name: str) -> List[str]:
+        workloads_dir = self.root / "workloads" / _safe_name(machine_name)
+        if not workloads_dir.is_dir():
+            return []
+        return sorted(p.stem for p in workloads_dir.glob("*.json"))

@@ -1,0 +1,60 @@
+"""NUMA traffic-distribution arithmetic shared by simulator and model.
+
+A thread's DRAM traffic splits by the workload's locality: a
+``local_fraction`` stays on the thread's own node, the remainder
+interleaves evenly over the sockets the job occupies.  Both the
+ground-truth simulator and Pandia's predictor use this one function, so
+the model family stays aligned — Pandia *measures* the fraction from
+Run 3's interconnect counters rather than knowing it a priori.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.errors import ReproError
+
+
+def dram_shares(
+    local_fraction: float,
+    own_socket: int,
+    active_sockets: Sequence[int],
+) -> Dict[int, float]:
+    """Fraction of one thread's DRAM traffic going to each node.
+
+    ``local_fraction`` of the traffic targets ``own_socket``; the rest
+    interleaves evenly over ``active_sockets`` (which must contain the
+    thread's own socket).  Shares sum to exactly 1.
+    """
+    if not 0.0 <= local_fraction <= 1.0:
+        raise ReproError(f"local fraction {local_fraction} outside [0,1]")
+    nodes = list(active_sockets)
+    if own_socket not in nodes:
+        raise ReproError(
+            f"thread's socket {own_socket} not among active sockets {nodes}"
+        )
+    spread = (1.0 - local_fraction) / len(nodes)
+    shares = {node: spread for node in nodes}
+    shares[own_socket] += local_fraction
+    return shares
+
+
+def remote_fraction(local_fraction: float, n_active_sockets: int) -> float:
+    """Fraction of a thread's DRAM traffic that crosses the interconnect."""
+    if n_active_sockets < 1:
+        raise ReproError("need at least one active socket")
+    return (1.0 - local_fraction) * (n_active_sockets - 1) / n_active_sockets
+
+
+def local_fraction_from_remote(remote: float, n_active_sockets: int) -> float:
+    """Invert :func:`remote_fraction` (clamped to [0, 1]).
+
+    This is how Pandia recovers the locality from Run 3's measured
+    interconnect traffic: with the threads split over two sockets,
+    ``remote = (1 - local)/2``.
+    """
+    if n_active_sockets < 2:
+        raise ReproError("locality is unobservable on a single socket")
+    scale = (n_active_sockets - 1) / n_active_sockets
+    local = 1.0 - remote / scale
+    return min(1.0, max(0.0, local))

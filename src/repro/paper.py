@@ -1,0 +1,231 @@
+"""The paper's published numbers, as structured data.
+
+Every quantitative claim of the paper's evaluation that this
+reproduction regenerates, keyed by the experiment headline that
+measures it.  `compare_headlines` joins a run's headline values against
+these to produce the EXPERIMENTS.md-style side-by-side table
+programmatically — so the comparison itself is code, not prose.
+
+``expectation`` encodes how the two sides should relate:
+
+* ``"band"``   — the reproduction should land within ``band`` of the
+  paper's value (absolute numbers comparable: e.g. turbo frequency
+  ratios, which depend only on the published GHz table);
+* ``"order"``  — same order of magnitude / qualitative band (most error
+  metrics: the substrate is a simulator);
+* ``"shape"``  — only the sign/direction is claimed (growth, penalty,
+  ordering facts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One published number and how the reproduction should relate."""
+
+    headline_key: str
+    experiment_id: str
+    paper_value: float
+    section: str
+    description: str
+    expectation: str = "order"  # "band" | "order" | "shape"
+    band: float = 0.15  # relative, for expectation == "band"
+
+    def verdict(self, measured: float) -> str:
+        """"match" / "comparable" / "deviates" for a measured value."""
+        if self.expectation == "band":
+            if self.paper_value == 0:
+                return "match" if abs(measured) < 1e-6 else "deviates"
+            rel = abs(measured - self.paper_value) / abs(self.paper_value)
+            return "match" if rel <= self.band else "deviates"
+        if self.expectation == "shape":
+            same_sign = (measured > 0) == (self.paper_value > 0)
+            return "match" if same_sign else "deviates"
+        # "order": within a factor of ~4 either way counts as comparable.
+        if self.paper_value <= 0 or measured <= 0:
+            return "comparable"
+        ratio = measured / self.paper_value
+        return "comparable" if 0.25 <= ratio <= 4.0 else "deviates"
+
+
+CLAIMS: Tuple[PaperClaim, ...] = (
+    # Figure 14 / Section 6.3 — absolute frequency ratios.
+    PaperClaim(
+        "single_thread_boost_over_background", "fig14", 3.6 / 2.8, "6.3",
+        "single-thread Turbo boost over all-core turbo (3.6/2.8 GHz)",
+        expectation="band", band=0.05,
+    ),
+    PaperClaim(
+        "full_machine_penalty_for_disabling", "fig14", 2.8 / 2.3, "6.3",
+        "penalty for disabling Turbo at full occupancy (2.8/2.3 GHz)",
+        expectation="band", band=0.05,
+    ),
+    # Headline regret (abstract / 6.1).
+    PaperClaim(
+        "mean_regret_X5-2", "headline", 2.8, "6.1",
+        "mean fastest-predicted vs fastest-measured difference, X5-2 (%)",
+    ),
+    PaperClaim(
+        "mean_regret_X4-2", "headline", 0.29, "6.1",
+        "same, X4-2 (%)",
+    ),
+    PaperClaim(
+        "mean_regret_X3-2", "headline", 0.77, "6.1",
+        "same, X3-2 (%)",
+    ),
+    PaperClaim(
+        "below_max_threads_fraction_X5-2", "headline", 0.81, "6.1",
+        "fraction of X5-2 workloads peaking below the max thread count",
+        expectation="band", band=0.25,
+    ),
+    PaperClaim(
+        "sort_join_peak_threads_X5-2", "headline", 32.0, "6.1",
+        "Sort-Join peak thread count on the X5-2",
+    ),
+    # Figure 11 medians.
+    PaperClaim(
+        "11a_median_error_percent", "fig11", 8.5, "6.1",
+        "median error across runs, X5-2 (%)",
+    ),
+    PaperClaim(
+        "11a_median_offset_error_percent", "fig11", 3.6, "6.1",
+        "median offset error, X5-2 (%)",
+    ),
+    PaperClaim(
+        "11b_median_error_percent", "fig11", 3.8, "6.1",
+        "median error across runs, X3-2 (%)",
+    ),
+    PaperClaim(
+        "11b_median_offset_error_percent", "fig11", 1.4, "6.1",
+        "median offset error, X3-2 (%)",
+    ),
+    PaperClaim(
+        "portability_penalty_x5", "fig11", 1.0, "6.1/8",
+        "error increase from porting X3-2 descriptions up to the X5-2 "
+        "(the harder direction)",
+        expectation="shape",
+    ),
+    # Figure 13 — the broken-assumption signature.
+    PaperClaim(
+        "equake_error_growth", "fig13", 10.0, "6.3",
+        "equake error growth from the X3-2 to the X5-2 (points)",
+        expectation="shape",
+    ),
+    # Section 6.3 sweep.
+    PaperClaim(
+        "cost_ratio_X5-2", "sweep", 8.0, "6.3",
+        "sweep cost over Pandia profiling cost, X5-2",
+    ),
+    PaperClaim(
+        "cost_ratio_X4-2", "sweep", 4.2, "6.3",
+        "same, X4-2",
+    ),
+    PaperClaim(
+        "cost_ratio_X3-2", "sweep", 4.0, "6.3",
+        "same, X3-2",
+    ),
+)
+
+
+def claims_for(experiment_id: str) -> List[PaperClaim]:
+    """The published claims one experiment's headline covers."""
+    return [c for c in CLAIMS if c.experiment_id == experiment_id]
+
+
+def compare_headlines(
+    headlines: Dict[str, Dict[str, float]]
+) -> List[Tuple[PaperClaim, Optional[float], str]]:
+    """Join measured headlines against the paper's claims.
+
+    ``headlines`` maps experiment id -> that run's headline dict.
+    Returns (claim, measured-or-None, verdict) per claim, in CLAIMS
+    order; missing measurements get verdict ``"not run"``.
+    """
+    if not headlines:
+        raise ReproError("no headlines to compare")
+    out: List[Tuple[PaperClaim, Optional[float], str]] = []
+    for claim in CLAIMS:
+        run = headlines.get(claim.experiment_id)
+        if run is None or claim.headline_key not in run:
+            out.append((claim, None, "not run"))
+            continue
+        measured = run[claim.headline_key]
+        out.append((claim, measured, claim.verdict(measured)))
+    return out
+
+
+def parse_results_headlines(text: str) -> Dict[str, Dict[str, float]]:
+    """Extract per-experiment headline dicts from a results transcript.
+
+    The transcript format is what ``run_all --out`` writes: experiment
+    banners ``== id: title ==`` followed eventually by a ``headline
+    numbers:`` block of ``  key = value`` lines.
+    """
+    headlines: Dict[str, Dict[str, float]] = {}
+    current: Optional[str] = None
+    for line in text.splitlines():
+        if line.startswith("== ") and ":" in line:
+            current = line[3:].split(":", 1)[0].strip()
+            headlines.setdefault(current, {})
+            continue
+        stripped = line.strip()
+        if current and " = " in stripped and not stripped.startswith("#"):
+            key, _, value = stripped.partition(" = ")
+            try:
+                headlines[current][key.strip()] = float(value)
+            except ValueError:
+                continue
+    if not any(headlines.values()):
+        raise ReproError("transcript contained no headline numbers")
+    return headlines
+
+
+def comparison_table(headlines: Dict[str, Dict[str, float]]) -> str:
+    """EXPERIMENTS.md-style side-by-side table, generated."""
+    from repro.analysis.tables import format_table
+
+    rows = []
+    for claim, measured, verdict in compare_headlines(headlines):
+        rows.append(
+            [
+                f"§{claim.section}",
+                claim.description,
+                claim.paper_value,
+                "-" if measured is None else f"{measured:.3f}",
+                verdict,
+            ]
+        )
+    return format_table(
+        ["where", "claim", "paper", "reproduction", "verdict"],
+        rows,
+        title="paper vs reproduction (generated from experiment headlines)",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.paper results.txt`` — regenerate the comparison."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.paper",
+        description="Generate the paper-vs-reproduction table from a "
+        "run_all results transcript.",
+    )
+    parser.add_argument("results", help="transcript written by run_all --out")
+    args = parser.parse_args(argv)
+    with open(args.results) as handle:
+        headlines = parse_results_headlines(handle.read())
+    print(comparison_table(headlines))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

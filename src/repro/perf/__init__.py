@@ -1,0 +1,34 @@
+"""Real-hardware profiling support: ``perf stat`` wrappers.
+
+Everything in ``repro.core`` observes workloads through timed runs and
+counters.  On the simulator that interface is :mod:`repro.sim.run`; on
+a real Linux machine it is ``perf stat`` plus ``taskset``/``numactl``
+pinning.  This package provides that second backend's building blocks:
+
+* :mod:`repro.perf.events` — the hardware-event vocabulary and the
+  mapping from raw event counts to Pandia's counter model (bytes per
+  level from cache-access events, one line per access);
+* :mod:`repro.perf.parse` — a robust parser for ``perf stat -x,``
+  machine-readable output (multiplexing percentages, not-supported
+  markers, group syntax);
+* :mod:`repro.perf.command` — command-line builders for pinned,
+  counted runs and for the stress applications of Section 3.
+
+The builders and parsers are pure (no processes spawned), so the whole
+layer is unit-tested offline; wiring it to a live machine is a small
+exercise of running the built argv and feeding stderr to the parser.
+"""
+
+from repro.perf.command import PerfCommand, pinned_run_command, stressor_command
+from repro.perf.events import EVENT_SETS, counters_from_events
+from repro.perf.parse import PerfEvent, parse_perf_stat
+
+__all__ = [
+    "PerfCommand",
+    "pinned_run_command",
+    "stressor_command",
+    "EVENT_SETS",
+    "counters_from_events",
+    "PerfEvent",
+    "parse_perf_stat",
+]

@@ -1,0 +1,122 @@
+"""Command-line builders for pinned, counted runs on real Linux.
+
+These compose the same controls the paper's harness used: ``taskset``
+for thread placement, ``numactl`` for memory placement, and
+``perf stat`` for counters.  Builders return argv lists (never shell
+strings), so they are safe to pass to ``subprocess.run`` and easy to
+assert on in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ProfilingError
+from repro.perf.events import EVENT_SETS
+
+
+@dataclass(frozen=True)
+class PerfCommand:
+    """One runnable measurement: argv plus how to read its output."""
+
+    argv: Tuple[str, ...]
+    events: Tuple[str, ...]
+    description: str = ""
+
+    def __str__(self) -> str:
+        return " ".join(self.argv)
+
+
+def _cpu_list(hw_thread_ids: Sequence[int]) -> str:
+    if not hw_thread_ids:
+        raise ProfilingError("a pinned run needs at least one CPU")
+    if len(set(hw_thread_ids)) != len(hw_thread_ids):
+        raise ProfilingError(f"duplicate CPUs in pin list: {hw_thread_ids}")
+    return ",".join(str(cpu) for cpu in sorted(hw_thread_ids))
+
+
+def pinned_run_command(
+    workload_argv: Sequence[str],
+    hw_thread_ids: Sequence[int],
+    event_set: str = "workload",
+    interleave_nodes: Optional[Sequence[int]] = None,
+    bind_nodes: Optional[Sequence[int]] = None,
+    repeat: int = 1,
+) -> PerfCommand:
+    """``perf stat -x, -e ... -- taskset -c ... [numactl ...] cmd``.
+
+    ``interleave_nodes`` and ``bind_nodes`` are mutually exclusive and
+    map to ``numactl --interleave`` / ``--membind`` (Section 3.1: "tools
+    such as Linux numactl are used to control placement").
+    """
+    if not workload_argv:
+        raise ProfilingError("no workload command given")
+    if event_set not in EVENT_SETS:
+        raise ProfilingError(
+            f"unknown event set {event_set!r}; known: {sorted(EVENT_SETS)}"
+        )
+    if interleave_nodes is not None and bind_nodes is not None:
+        raise ProfilingError("interleave and bind memory policies conflict")
+    if repeat < 1:
+        raise ProfilingError("repeat must be >= 1")
+
+    events = tuple(EVENT_SETS[event_set])
+    argv: List[str] = ["perf", "stat", "-x,", "-e", ",".join(events)]
+    if repeat > 1:
+        argv += ["-r", str(repeat)]
+    argv += ["--", "taskset", "-c", _cpu_list(hw_thread_ids)]
+    if interleave_nodes is not None:
+        nodes = ",".join(str(n) for n in sorted(set(interleave_nodes)))
+        argv += ["numactl", f"--interleave={nodes}"]
+    elif bind_nodes is not None:
+        nodes = ",".join(str(n) for n in sorted(set(bind_nodes)))
+        argv += ["numactl", f"--membind={nodes}"]
+    argv += list(workload_argv)
+    return PerfCommand(
+        argv=tuple(argv),
+        events=events,
+        description=f"pinned run of {workload_argv[0]} on CPUs "
+        f"{_cpu_list(hw_thread_ids)}",
+    )
+
+
+#: stress-ng stressor classes used for machine description measurements
+#: (the paper used custom stress applications; stress-ng's vm/cache/cpu
+#: stressors with fixed buffer sizes play the same role off the shelf).
+_STRESSOR_METHODS = {
+    "cpu": ["--cpu", "{n}", "--cpu-method", "int64"],
+    "l1": ["--cache", "{n}", "--cache-level", "1"],
+    "l2": ["--cache", "{n}", "--cache-level", "2"],
+    "l3": ["--cache", "{n}", "--cache-level", "3"],
+    "dram": ["--stream", "{n}"],
+}
+
+
+def stressor_command(
+    kind: str,
+    hw_thread_ids: Sequence[int],
+    duration_s: float = 5.0,
+    bind_nodes: Optional[Sequence[int]] = None,
+) -> PerfCommand:
+    """A counted stressor run for machine description (Section 3).
+
+    ``kind`` is one of ``cpu``, ``l1``, ``l2``, ``l3``, ``dram``.
+    """
+    if kind not in _STRESSOR_METHODS:
+        raise ProfilingError(
+            f"unknown stressor kind {kind!r}; known: {sorted(_STRESSOR_METHODS)}"
+        )
+    if duration_s <= 0:
+        raise ProfilingError("stressor duration must be positive")
+    n = len(hw_thread_ids)
+    stress_args = [
+        part.format(n=n) for part in _STRESSOR_METHODS[kind]
+    ] + ["--timeout", f"{duration_s:g}s"]
+    event_set = "core" if kind == "cpu" else "bandwidth"
+    return pinned_run_command(
+        ["stress-ng"] + stress_args,
+        hw_thread_ids,
+        event_set=event_set,
+        bind_nodes=bind_nodes,
+    )

@@ -1,0 +1,113 @@
+"""Parser for ``perf stat`` machine-readable output.
+
+``perf stat -x, -e <events> -- <cmd>`` writes one CSV line per event to
+stderr.  The fields (see ``perf-stat(1)``) are::
+
+    value,unit,event,run-time,percentage[,metric-value,metric-unit]
+
+Values may be ``<not supported>`` or ``<not counted>``; the percentage
+reflects multiplexing (perf already scales the value, the percentage is
+informational).  The wall time arrives as the pseudo-events
+``duration_time`` (nanoseconds) or a trailing ``seconds time elapsed``
+line in non-CSV mode — both are handled.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ProfilingError
+
+
+@dataclass(frozen=True)
+class PerfEvent:
+    """One parsed counter reading."""
+
+    name: str
+    value: Optional[float]  # None when not supported / not counted
+    unit: str = ""
+    enabled_fraction: float = 1.0
+
+    @property
+    def supported(self) -> bool:
+        return self.value is not None
+
+
+_ELAPSED_RE = re.compile(r"^\s*([0-9.]+)\s+seconds time elapsed")
+
+
+def _parse_value(text: str) -> Optional[float]:
+    text = text.strip()
+    if text.startswith("<"):  # <not supported>, <not counted>
+        return None
+    try:
+        return float(text.replace(",", ""))
+    except ValueError as exc:
+        raise ProfilingError(f"unparseable perf value {text!r}") from exc
+
+
+def parse_perf_stat(output: str) -> Dict[str, PerfEvent]:
+    """Parse ``perf stat -x,`` output into events keyed by name.
+
+    Blank lines, comment lines (``#``) and the human-readable elapsed
+    footer are tolerated; unknown extra columns are ignored.  The wall
+    time, when present, is exposed as the event ``duration_time`` in
+    nanoseconds (perf's own convention).
+    """
+    events: Dict[str, PerfEvent] = {}
+    for raw in output.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        elapsed = _ELAPSED_RE.match(line)
+        if elapsed:
+            events["duration_time"] = PerfEvent(
+                name="duration_time",
+                value=float(elapsed.group(1)) * 1e9,
+                unit="ns",
+            )
+            continue
+        if "," not in line:
+            continue
+        fields = line.split(",")
+        if len(fields) < 3:
+            raise ProfilingError(f"malformed perf stat line: {raw!r}")
+        value = _parse_value(fields[0])
+        unit = fields[1].strip()
+        name = fields[2].strip()
+        if not name:
+            raise ProfilingError(f"perf stat line without event name: {raw!r}")
+        enabled = 1.0
+        if len(fields) >= 5 and fields[4].strip():
+            try:
+                enabled = float(fields[4]) / 100.0
+            except ValueError:
+                enabled = 1.0
+        events[name] = PerfEvent(
+            name=name, value=value, unit=unit, enabled_fraction=enabled
+        )
+    if not events:
+        raise ProfilingError("perf stat output contained no events")
+    return events
+
+
+def require_events(
+    events: Dict[str, PerfEvent], names: List[str]
+) -> Dict[str, float]:
+    """Extract required event values, failing with a clear message."""
+    out: Dict[str, float] = {}
+    missing = []
+    for name in names:
+        event = events.get(name)
+        if event is None or not event.supported:
+            missing.append(name)
+        else:
+            out[name] = event.value
+    if missing:
+        raise ProfilingError(
+            f"required perf events unavailable: {missing}; "
+            f"got {sorted(events)}"
+        )
+    return out

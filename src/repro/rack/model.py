@@ -1,0 +1,135 @@
+"""Rack data model: machines, assignments, schedules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.core.description import WorkloadDescription
+from repro.core.machine_desc import MachineDescription
+from repro.core.placement import Placement
+from repro.errors import PlacementError, ReproError
+from repro.hardware.spec import MachineSpec
+
+
+@dataclass(frozen=True)
+class RackMachine:
+    """One machine in the rack: physical spec plus measured description.
+
+    The spec is needed only to *validate* schedules through the
+    simulator; the scheduler itself reads the description, exactly as a
+    production deployment would only hold measured data.
+    """
+
+    name: str
+    spec: MachineSpec
+    description: MachineDescription
+
+    def __post_init__(self) -> None:
+        if self.spec.topology.shape() != self.description.topology.shape():
+            raise ReproError(
+                f"rack machine {self.name}: spec and description disagree on shape"
+            )
+
+    @property
+    def n_hw_threads(self) -> int:
+        return self.spec.topology.n_hw_threads
+
+
+@dataclass(frozen=True)
+class Rack:
+    """A collection of named machines."""
+
+    machines: Tuple[RackMachine, ...]
+
+    def __post_init__(self) -> None:
+        if not self.machines:
+            raise ReproError("a rack needs at least one machine")
+        names = [m.name for m in self.machines]
+        if len(set(names)) != len(names):
+            raise ReproError(f"duplicate rack machine names: {names}")
+
+    def machine(self, name: str) -> RackMachine:
+        for m in self.machines:
+            if m.name == name:
+                return m
+        known = ", ".join(m.name for m in self.machines)
+        raise ReproError(f"no rack machine {name!r}; rack has: {known}")
+
+    @property
+    def total_hw_threads(self) -> int:
+        return sum(m.n_hw_threads for m in self.machines)
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One workload pinned to a placement on one rack machine."""
+
+    workload: WorkloadDescription
+    machine_name: str
+    placement: Placement
+
+
+@dataclass
+class RackSchedule:
+    """A complete assignment of workloads to the rack."""
+
+    rack: Rack
+    assignments: List[Assignment] = field(default_factory=list)
+    predicted_times: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._check_no_overlap()
+
+    def _check_no_overlap(self) -> None:
+        used: Dict[str, Set[int]] = {}
+        for a in self.assignments:
+            slots = used.setdefault(a.machine_name, set())
+            overlap = slots & set(a.placement.hw_thread_ids)
+            if overlap:
+                raise PlacementError(
+                    f"machine {a.machine_name}: hardware threads {sorted(overlap)} "
+                    f"assigned twice"
+                )
+            slots.update(a.placement.hw_thread_ids)
+
+    def assignments_on(self, machine_name: str) -> List[Assignment]:
+        return [a for a in self.assignments if a.machine_name == machine_name]
+
+    def assignment_for(self, workload_name: str) -> Assignment:
+        for a in self.assignments:
+            if a.workload.name == workload_name:
+                return a
+        raise ReproError(f"workload {workload_name!r} is not scheduled")
+
+    @property
+    def predicted_makespan_s(self) -> float:
+        """The predicted completion time of the slowest workload."""
+        if not self.predicted_times:
+            raise ReproError("schedule has no predictions")
+        return max(self.predicted_times.values())
+
+    def occupied(self, machine_name: str) -> Set[int]:
+        """Hardware threads already taken on one machine."""
+        out: Set[int] = set()
+        for a in self.assignments_on(machine_name):
+            out.update(a.placement.hw_thread_ids)
+        return out
+
+    def summary(self) -> str:
+        lines = []
+        for machine in self.rack.machines:
+            here = self.assignments_on(machine.name)
+            lines.append(
+                f"{machine.name}: {len(here)} workload(s), "
+                f"{sum(a.placement.n_threads for a in here)}/{machine.n_hw_threads} "
+                f"hardware threads used"
+            )
+            for a in here:
+                predicted = self.predicted_times.get(a.workload.name, float('nan'))
+                lines.append(
+                    f"  {a.workload.name}: {a.placement.n_threads} threads, "
+                    f"predicted {predicted:.2f}s"
+                )
+        lines.append(f"predicted makespan: {self.predicted_makespan_s:.2f}s")
+        return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""Greedy rack scheduler driven by joint Pandia predictions.
+
+Workloads are placed longest-solo-first (classic LPT order).  For each
+workload the scheduler enumerates candidate placements on every
+machine's *free* hardware threads — one-thread-per-core first, SMT
+contexts after, at a ladder of thread counts — and scores each
+candidate by re-predicting the whole machine's co-schedule with the
+candidate added.  The candidate minimising the predicted rack makespan
+(tie-broken by the workload's own predicted time, then by footprint)
+wins.
+
+This uses exactly what the paper says makes Pandia suited to the job:
+it predicts resource consumption, so the scheduler can see that a
+second memory-bound workload on a socket will halve both, while a
+compute-bound neighbour is free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.coscheduling import CoSchedulePredictor, CoScheduledWorkload
+from repro.core.description import WorkloadDescription
+from repro.core.placement import Placement
+from repro.core.predictor import PandiaPredictor
+from repro.errors import ReproError
+from repro.rack.model import Assignment, Rack, RackMachine, RackSchedule
+
+
+def free_context_placement(
+    machine: RackMachine, occupied: Set[int], n_threads: int
+) -> Optional[Placement]:
+    """*n* threads on free contexts: cores first, SMT siblings after.
+
+    Returns ``None`` when fewer than *n* contexts are free.
+    """
+    topo = machine.spec.topology
+    order: List[int] = []
+    for way in range(topo.threads_per_core):
+        for core in topo.cores:
+            tid = core.hw_thread_ids[way]
+            if tid not in occupied:
+                order.append(tid)
+    if len(order) < n_threads:
+        return None
+    return Placement(topo, tuple(order[:n_threads]))
+
+
+def candidate_thread_counts(free: int) -> List[int]:
+    """The ladder of thread counts the scheduler tries: powers of two
+    up to the free-context count, plus the full free set."""
+    counts = []
+    n = 1
+    while n < free:
+        counts.append(n)
+        n *= 2
+    counts.append(free)
+    return counts
+
+
+class RackScheduler:
+    """Assigns a batch of profiled workloads to a rack."""
+
+    def __init__(self, rack: Rack) -> None:
+        self.rack = rack
+        self._joint = {
+            m.name: CoSchedulePredictor(m.description) for m in rack.machines
+        }
+        self._solo = {
+            m.name: PandiaPredictor(m.description) for m in rack.machines
+        }
+
+    # -- public API ------------------------------------------------------
+
+    def schedule(
+        self,
+        workloads: Sequence[WorkloadDescription],
+        refinement_rounds: int = 1,
+    ) -> RackSchedule:
+        """Place every workload; raises if one cannot fit anywhere.
+
+        Two phases: a fair-share greedy pass (each workload's thread
+        count capped at its share of the remaining rack, so early
+        arrivals cannot starve later ones), then *refinement_rounds*
+        passes in which each workload is removed and re-placed without
+        a cap, letting it grow into space the fair shares left over.
+        """
+        if not workloads:
+            raise ReproError("no workloads to schedule")
+        names = [w.name for w in workloads]
+        if len(set(names)) != len(names):
+            raise ReproError(f"duplicate workload names: {names}")
+
+        schedule = RackSchedule(rack=self.rack)
+        # Longest (predicted solo) first.
+        ordered = sorted(workloads, key=self._solo_estimate, reverse=True)
+        remaining = self.rack.total_hw_threads
+        for i, workload in enumerate(ordered):
+            cap = max(1, remaining // (len(ordered) - i))
+            assignment, predictions = self._best_candidate(
+                schedule, workload, max_threads=cap
+            )
+            schedule.assignments.append(assignment)
+            schedule.predicted_times.update(predictions)
+            remaining -= assignment.placement.n_threads
+            schedule._check_no_overlap()
+
+        for _ in range(refinement_rounds):
+            for workload in ordered:
+                self._replace(schedule, workload)
+        return schedule
+
+    def _replace(self, schedule: RackSchedule, workload: WorkloadDescription) -> None:
+        """Remove one workload and re-place it greedily (uncapped)."""
+        old = schedule.assignment_for(workload.name)
+        schedule.assignments.remove(old)
+        del schedule.predicted_times[workload.name]
+        self._repredict_machine(schedule, old.machine_name)
+        assignment, predictions = self._best_candidate(schedule, workload)
+        schedule.assignments.append(assignment)
+        schedule.predicted_times.update(predictions)
+        schedule._check_no_overlap()
+
+    def _repredict_machine(self, schedule: RackSchedule, machine_name: str) -> None:
+        """Refresh predictions for one machine's resident workloads."""
+        resident = [
+            CoScheduledWorkload(a.workload, a.placement)
+            for a in schedule.assignments_on(machine_name)
+        ]
+        if not resident:
+            return
+        joint = self._joint[machine_name].predict(resident)
+        for outcome in joint.outcomes:
+            schedule.predicted_times[outcome.workload_name] = outcome.predicted_time_s
+
+    # -- internals -------------------------------------------------------
+
+    def _solo_estimate(self, workload: WorkloadDescription) -> float:
+        """Predicted solo time on the workload's best single machine."""
+        best = float("inf")
+        for machine in self.rack.machines:
+            placement = free_context_placement(machine, set(), machine.n_hw_threads // 2 or 1)
+            if placement is None:
+                continue
+            predictor = self._solo[machine.name]
+            best = min(best, predictor.predict(workload, placement).predicted_time_s)
+        if best == float("inf"):
+            raise ReproError(f"workload {workload.name} fits on no rack machine")
+        return best
+
+    def _best_candidate(
+        self,
+        schedule: RackSchedule,
+        workload: WorkloadDescription,
+        max_threads: Optional[int] = None,
+    ) -> Tuple[Assignment, Dict[str, float]]:
+        best_key: Optional[Tuple[float, float, int]] = None
+        best_assignment: Optional[Assignment] = None
+        best_predictions: Dict[str, float] = {}
+
+        for machine in self.rack.machines:
+            occupied = schedule.occupied(machine.name)
+            free = machine.n_hw_threads - len(occupied)
+            if max_threads is not None:
+                free = min(free, max_threads)
+            if free < 1:
+                continue
+            resident = [
+                CoScheduledWorkload(a.workload, a.placement)
+                for a in schedule.assignments_on(machine.name)
+            ]
+            for n in candidate_thread_counts(free):
+                placement = free_context_placement(machine, occupied, n)
+                if placement is None:
+                    continue
+                jobs = resident + [CoScheduledWorkload(workload, placement)]
+                joint = self._joint[machine.name].predict(jobs)
+                predictions = {
+                    o.workload_name: o.predicted_time_s for o in joint.outcomes
+                }
+                makespan = self._makespan_with(schedule, machine.name, predictions)
+                key = (makespan, predictions[workload.name], n)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_assignment = Assignment(workload, machine.name, placement)
+                    best_predictions = predictions
+
+        if best_assignment is None:
+            raise ReproError(
+                f"workload {workload.name} does not fit on any rack machine"
+            )
+        return best_assignment, best_predictions
+
+    def _makespan_with(
+        self,
+        schedule: RackSchedule,
+        machine_name: str,
+        new_predictions: Dict[str, float],
+    ) -> float:
+        """Predicted rack makespan if *machine_name* is re-predicted."""
+        times = dict(schedule.predicted_times)
+        times.update(new_predictions)
+        return max(times.values()) if times else 0.0

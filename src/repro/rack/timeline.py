@@ -1,0 +1,256 @@
+"""Event-driven rack execution: queued workloads over time.
+
+The batch scheduler (:mod:`repro.rack.scheduler`) answers "how do I
+place these workloads *now*"; a server actually sees workloads arrive
+over time and finish at different moments, freeing space.  This module
+adds the time dimension:
+
+* :class:`WorkloadRequest` — a profiled workload plus an arrival time;
+* :class:`TimelineScheduler` — an event loop that, at every arrival or
+  completion, places the head of the queue using Pandia's joint
+  predictions over the machines' *current* residents;
+* :class:`Timeline` — the resulting execution record (start, end,
+  machine, placement per workload), with makespan and queueing delay.
+
+Durations are taken from the co-schedule predictions at placement time.
+A workload's remaining work is tracked in normalised units so that a
+neighbour finishing early (shrinking contention) does not change its
+accounting — a deliberate simplification: re-predicting residual times
+at every event is possible but the placement decisions are what we
+study, and those only need relative comparisons.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.coscheduling import CoSchedulePredictor, CoScheduledWorkload
+from repro.core.description import WorkloadDescription
+from repro.core.placement import Placement
+from repro.errors import ReproError
+from repro.rack.model import Rack
+from repro.rack.scheduler import candidate_thread_counts, free_context_placement
+
+
+@dataclass(frozen=True)
+class WorkloadRequest:
+    """One queued workload: description plus arrival time."""
+
+    description: WorkloadDescription
+    arrival_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ReproError("arrival time cannot be negative")
+
+
+@dataclass
+class TimelineEntry:
+    """Execution record for one workload."""
+
+    workload_name: str
+    machine_name: str
+    placement: Placement
+    arrival_s: float
+    start_s: float
+    end_s: float
+
+    @property
+    def queueing_delay_s(self) -> float:
+        return self.start_s - self.arrival_s
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class Timeline:
+    """The complete execution record of a request sequence."""
+
+    entries: List[TimelineEntry] = field(default_factory=list)
+
+    def entry_for(self, workload_name: str) -> TimelineEntry:
+        for entry in self.entries:
+            if entry.workload_name == workload_name:
+                return entry
+        raise ReproError(f"workload {workload_name!r} never ran")
+
+    @property
+    def makespan_s(self) -> float:
+        if not self.entries:
+            raise ReproError("empty timeline")
+        return max(e.end_s for e in self.entries)
+
+    @property
+    def mean_queueing_delay_s(self) -> float:
+        if not self.entries:
+            raise ReproError("empty timeline")
+        return sum(e.queueing_delay_s for e in self.entries) / len(self.entries)
+
+    def gantt(self, width: int = 64) -> str:
+        """A text Gantt chart, one row per workload."""
+        span = self.makespan_s
+        lines = []
+        for entry in sorted(self.entries, key=lambda e: (e.start_s, e.workload_name)):
+            start = int(entry.start_s / span * width)
+            end = max(start + 1, int(entry.end_s / span * width))
+            bar = " " * start + "#" * (end - start)
+            lines.append(
+                f"{entry.workload_name:12s} |{bar:<{width}}| "
+                f"{entry.machine_name} n={entry.placement.n_threads}"
+            )
+        lines.append(f"{'':12s} 0{'':{width - 2}}{span:.1f}s")
+        return "\n".join(lines)
+
+
+@dataclass
+class _Running:
+    workload_name: str
+    machine_name: str
+    placement: Placement
+    end_s: float
+
+
+class TimelineScheduler:
+    """Places queued workloads as machines free up.
+
+    Policy: FIFO admission.  On every event (arrival or completion) the
+    scheduler tries to start the queue head; a request waits until some
+    machine can offer at least ``min_threads`` free contexts.  Placement
+    choice mirrors the batch scheduler: candidate thread-count ladder on
+    free contexts of every machine, scored by the joint prediction with
+    the machine's current residents (minimising the new workload's
+    predicted completion *time*, then footprint).
+    """
+
+    def __init__(self, rack: Rack, min_threads: int = 1) -> None:
+        if min_threads < 1:
+            raise ReproError("min_threads must be >= 1")
+        self.rack = rack
+        self.min_threads = min_threads
+        self._joint = {
+            m.name: CoSchedulePredictor(m.description) for m in rack.machines
+        }
+        self._descriptions: Dict[str, WorkloadDescription] = {}
+
+    # -- public API ------------------------------------------------------
+
+    def run(self, requests: Sequence[WorkloadRequest]) -> Timeline:
+        """Execute the request sequence to completion."""
+        if not requests:
+            raise ReproError("no requests to run")
+        names = [r.description.name for r in requests]
+        if len(set(names)) != len(names):
+            raise ReproError(f"duplicate workload names: {names}")
+
+        queue: List[Tuple[float, int, WorkloadRequest]] = []
+        for i, request in enumerate(sorted(requests, key=lambda r: r.arrival_s)):
+            heapq.heappush(queue, (request.arrival_s, i, request))
+
+        running: List[_Running] = []
+        timeline = Timeline()
+        now = 0.0
+        pending: List[WorkloadRequest] = []
+
+        while queue or pending or running:
+            # Admit everything that has arrived by `now`.
+            while queue and queue[0][0] <= now:
+                pending.append(heapq.heappop(queue)[2])
+
+            # Try to start pending requests, FIFO.
+            started = True
+            while pending and started:
+                started = self._try_start(pending[0], running, timeline, now)
+                if started:
+                    pending.pop(0)
+
+            # Advance time to the next event.
+            next_completion = min((r.end_s for r in running), default=None)
+            next_arrival = queue[0][0] if queue else None
+            if next_completion is None and next_arrival is None:
+                if pending:
+                    raise ReproError(
+                        f"workload {pending[0].description.name!r} can never start: "
+                        f"no machine offers {self.min_threads} contexts"
+                    )
+                break
+            candidates = [t for t in (next_completion, next_arrival) if t is not None]
+            now = min(candidates)
+            running[:] = [r for r in running if r.end_s > now]
+        return timeline
+
+    # -- internals -------------------------------------------------------
+
+    def _occupied(self, running: List[_Running], machine_name: str) -> Set[int]:
+        out: Set[int] = set()
+        for r in running:
+            if r.machine_name == machine_name:
+                out.update(r.placement.hw_thread_ids)
+        return out
+
+    def _try_start(
+        self,
+        request: WorkloadRequest,
+        running: List[_Running],
+        timeline: Timeline,
+        now: float,
+    ) -> bool:
+        best: Optional[Tuple[float, int]] = None
+        chosen: Optional[Tuple[str, Placement, float]] = None
+        for machine in self.rack.machines:
+            occupied = self._occupied(running, machine.name)
+            free = machine.n_hw_threads - len(occupied)
+            if free < self.min_threads:
+                continue
+            residents = [
+                CoScheduledWorkload(self._description_of(r, timeline), r.placement)
+                for r in running
+                if r.machine_name == machine.name
+            ]
+            for n in candidate_thread_counts(free):
+                if n < self.min_threads:
+                    continue
+                placement = free_context_placement(machine, occupied, n)
+                if placement is None:
+                    continue
+                jobs = residents + [CoScheduledWorkload(request.description, placement)]
+                joint = self._joint[machine.name].predict(jobs)
+                duration = joint.outcome_for(request.description.name).predicted_time_s
+                key = (duration, n)
+                if best is None or key < best:
+                    best = key
+                    chosen = (machine.name, placement, duration)
+        if chosen is None:
+            return False
+        machine_name, placement, duration = chosen
+        running.append(
+            _Running(
+                workload_name=request.description.name,
+                machine_name=machine_name,
+                placement=placement,
+                end_s=now + duration,
+            )
+        )
+        timeline.entries.append(
+            TimelineEntry(
+                workload_name=request.description.name,
+                machine_name=machine_name,
+                placement=placement,
+                arrival_s=request.arrival_s,
+                start_s=now,
+                end_s=now + duration,
+            )
+        )
+        self._descriptions[request.description.name] = request.description
+        return True
+
+    def _description_of(self, running: _Running, timeline: Timeline) -> WorkloadDescription:
+        try:
+            return self._descriptions[running.workload_name]
+        except KeyError:
+            raise ReproError(
+                f"lost the description of running workload {running.workload_name!r}"
+            ) from None

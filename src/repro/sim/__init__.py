@@ -1,0 +1,30 @@
+"""Ground-truth execution substrate.
+
+This package stands in for the paper's physical testbed: it "runs"
+workloads on a machine model, resolving contention at every shared
+resource, and reports elapsed time plus simulated performance counters.
+Pandia (in :mod:`repro.core`) interacts with it only through
+:mod:`repro.sim.run` — the equivalent of launching a pinned binary under
+``perf stat``.
+"""
+
+from repro.sim.counters import CounterSet
+from repro.sim.engine import Job, JobResult, SimOptions, SimResult, simulate
+from repro.sim.noise import NoiseModel
+from repro.sim.run import TimedRun, run_workload
+from repro.sim import stressors
+from repro.sim.os_iface import SimulatedOS
+
+__all__ = [
+    "CounterSet",
+    "Job",
+    "JobResult",
+    "SimOptions",
+    "SimResult",
+    "simulate",
+    "NoiseModel",
+    "TimedRun",
+    "run_workload",
+    "stressors",
+    "SimulatedOS",
+]

@@ -1,0 +1,80 @@
+"""Simulated hardware performance counters.
+
+A :class:`CounterSet` is what a profiling run observes: totals over the
+run (instructions, bytes moved at each level / node / link) plus the
+elapsed wall time.  Rates are derived, never stored, so the counters
+compose like real ``perf stat`` output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.units import safe_div
+
+LinkKey = Tuple[int, int]
+
+
+@dataclass
+class CounterSet:
+    """Totals observed over one run of one job.
+
+    Units: instructions in giga-instructions, traffic in GB, time in
+    seconds — so every derived rate is Ginstr/s or GB/s.
+    """
+
+    elapsed_s: float = 0.0
+    instructions_g: float = 0.0
+    cache_gb: Dict[str, float] = field(default_factory=dict)
+    dram_gb_per_node: Dict[int, float] = field(default_factory=dict)
+    link_gb: Dict[LinkKey, float] = field(default_factory=dict)
+    nic_gb: float = 0.0
+
+    # -- derived rates -------------------------------------------------
+
+    @property
+    def instruction_rate(self) -> float:
+        """Giga-instructions per second across the whole job."""
+        return safe_div(self.instructions_g, self.elapsed_s)
+
+    def cache_bandwidth(self, level: str) -> float:
+        """GB/s of traffic at the named cache level."""
+        return safe_div(self.cache_gb.get(level, 0.0), self.elapsed_s)
+
+    def dram_bandwidth(self, node: int) -> float:
+        """GB/s of traffic to one memory node."""
+        return safe_div(self.dram_gb_per_node.get(node, 0.0), self.elapsed_s)
+
+    @property
+    def dram_bandwidth_total(self) -> float:
+        """GB/s of traffic summed over all memory nodes."""
+        return safe_div(sum(self.dram_gb_per_node.values()), self.elapsed_s)
+
+    def link_bandwidth(self, link: LinkKey) -> float:
+        """GB/s crossing one inter-socket link (canonical key)."""
+        key = (min(link), max(link))
+        return safe_div(self.link_gb.get(key, 0.0), self.elapsed_s)
+
+    @property
+    def link_bandwidth_total(self) -> float:
+        """GB/s crossing all inter-socket links."""
+        return safe_div(sum(self.link_gb.values()), self.elapsed_s)
+
+    @property
+    def nic_bandwidth(self) -> float:
+        """GB/s over the off-machine link."""
+        return safe_div(self.nic_gb, self.elapsed_s)
+
+    # -- composition ----------------------------------------------------
+
+    def scaled(self, factor: float) -> "CounterSet":
+        """Counters for the same run with all totals scaled by *factor*."""
+        return CounterSet(
+            elapsed_s=self.elapsed_s * factor,
+            instructions_g=self.instructions_g * factor,
+            cache_gb={k: v * factor for k, v in self.cache_gb.items()},
+            dram_gb_per_node={k: v * factor for k, v in self.dram_gb_per_node.items()},
+            link_gb={k: v * factor for k, v in self.link_gb.items()},
+            nic_gb=self.nic_gb * factor,
+        )

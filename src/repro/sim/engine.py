@@ -1,0 +1,341 @@
+"""Ground-truth execution engine.
+
+``simulate`` runs a set of jobs (pinned workloads and/or background
+stressors) to completion on a machine model and reports, per job, the
+elapsed time, the per-thread execution rates and a simulated
+performance-counter readout.
+
+The engine resolves contention with two nested fixed points:
+
+* **inner** — per-thread instantaneous rates: each thread runs at its
+  standalone limit divided by the largest oversubscription among the
+  resources it touches, with loads weighted by thread utilisation.
+  Geometric damping drives this to a stable allocation in which every
+  saturated resource sits at its capacity.
+* **outer** — thread utilisation: a thread that is idle part of the
+  time (sequential sections, straggler waits) imposes proportionally
+  less load (paper Section 2.3, "Thread utilization").  Utilisation is
+  recomputed from the predicted timing until stable.
+
+Job completion time combines the per-thread rates through the
+load-balancing interpolation of the paper's workload model: static
+distribution is gated by the slowest thread, dynamic balancing by the
+aggregate throughput, with the true ``load_balance`` factor
+interpolating linearly between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.hardware.spec import MachineSpec
+from repro.sim.counters import CounterSet
+from repro.sim.demand import DemandModel, JobSpecOnMachine, ResourceKey
+from repro.sim.noise import NoiseModel
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class Job:
+    """A workload spec pinned to hardware threads for one run."""
+
+    spec: WorkloadSpec
+    hw_thread_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "hw_thread_ids", tuple(self.hw_thread_ids))
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.hw_thread_ids)
+
+    @property
+    def background(self) -> bool:
+        return self.spec.background
+
+
+@dataclass(frozen=True)
+class SimOptions:
+    """Knobs for one simulation."""
+
+    turbo_enabled: bool = True
+    noise: NoiseModel = field(default_factory=NoiseModel)
+    measurement_window_s: float = 1.0
+    inner_max_iters: int = 200
+    inner_tolerance: float = 1e-6
+    outer_max_iters: int = 40
+    outer_tolerance: float = 1e-5
+    run_tag: str = ""
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job in a simulation."""
+
+    job: Job
+    elapsed_s: float
+    thread_rates: Tuple[float, ...]
+    counters: CounterSet
+
+    @property
+    def completed(self) -> bool:
+        return not self.job.background
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation of co-running jobs."""
+
+    machine_name: str
+    job_results: List[JobResult]
+    frequencies_ghz: Dict[int, float]
+    resource_loads: Dict[ResourceKey, float]
+    resource_capacities: Dict[ResourceKey, float]
+    outer_iterations: int
+
+    def result_for(self, job: Job) -> JobResult:
+        for jr in self.job_results:
+            if jr.job is job:
+                return jr
+        raise SimulationError("job was not part of this simulation")
+
+    @property
+    def foreground(self) -> JobResult:
+        """The single foreground job's result (raises if not exactly one)."""
+        fg = [jr for jr in self.job_results if not jr.job.background]
+        if len(fg) != 1:
+            raise SimulationError(f"expected one foreground job, found {len(fg)}")
+        return fg[0]
+
+
+@dataclass
+class _JobTiming:
+    elapsed_s: float
+    work_per_thread: np.ndarray
+    utilisation: np.ndarray
+
+
+def _water_fill(wants: np.ndarray, capacity: float) -> np.ndarray:
+    """Max-min fair allocation of *capacity* among traffic *wants*.
+
+    Users wanting less than their fair share receive their want in
+    full; the remainder is split evenly among the heavier users.  This
+    is how real memory controllers and links behave: a trickle of
+    requests into a saturated resource is served nearly unharmed.
+
+    Closed form: with wants sorted ascending, the fully-served users
+    form a prefix; everyone else gets the water level
+    ``(capacity - sum(prefix)) / #rest``.
+    """
+    order = np.argsort(wants)
+    w = wants[order]
+    n = w.size
+    prefix = np.concatenate(([0.0], np.cumsum(w[:-1])))
+    levels = (capacity - prefix) / (n - np.arange(n))
+    below = w <= levels
+    if below.all():
+        return wants.copy()  # capacity covers every want
+    first_heavy = int(np.argmin(below))
+    level = levels[first_heavy]
+    grants_sorted = np.minimum(w, level)
+    grants = np.empty_like(wants)
+    grants[order] = grants_sorted
+    return grants
+
+
+def _solve_rates(model: DemandModel, utilisation: np.ndarray, opts: SimOptions) -> np.ndarray:
+    """Inner fixed point: instantaneous per-thread rates (Ginstr/s).
+
+    Each saturated resource distributes its capacity max-min fairly
+    over its users' current traffic wants; a thread's rate is its
+    standalone limit capped by the tightest grant among its resources.
+    Geometric damping drives the recursion to a stable allocation.
+    """
+    limits = model.limits
+    if limits.size == 0:
+        return limits.copy()
+    if np.any(limits <= 0):
+        raise SimulationError("thread with non-positive standalone rate limit")
+    caps = model.capacities
+    coeffs = model.coeffs
+    rate = limits.copy()
+    for _ in range(opts.inner_max_iters):
+        scaled = np.maximum(utilisation, 1e-9)
+        traffic = (scaled * rate)[:, np.newaxis] * coeffs
+        loads = traffic.sum(axis=0)
+        bounds = np.full_like(rate, np.inf)
+        for r in np.nonzero(loads > caps * (1.0 + 1e-9))[0]:
+            users = np.nonzero(coeffs[:, r] > 0)[0]
+            grants = _water_fill(traffic[users, r], caps[r])
+            user_bounds = grants / (scaled[users] * coeffs[users, r])
+            np.minimum.at(bounds, users, user_bounds)
+        target = np.minimum(limits, np.maximum(bounds, 1e-12))
+        new_rate = np.sqrt(rate * target)
+        change = np.max(np.abs(new_rate - rate) / np.maximum(rate, 1e-12))
+        rate = new_rate
+        if change < opts.inner_tolerance:
+            break
+    return rate
+
+
+def _job_timing(spec: WorkloadSpec, rates: np.ndarray) -> _JobTiming:
+    """Completion time and per-thread work for one foreground job."""
+    k = rates.size
+    if k == 0:
+        raise SimulationError(f"{spec.name}: no active threads")
+    if np.any(rates <= 0):
+        raise SimulationError(f"{spec.name}: thread stalled at zero rate")
+    total_work = spec.total_work_ginstr(k)
+    p = spec.parallel_fraction
+    l = spec.load_balance
+    w_seq = (1.0 - p) * total_work
+    w_par = p * total_work
+
+    sum_rate = float(np.sum(rates))
+    min_rate = float(np.min(rates))
+    t_par_lock = (w_par / k) / min_rate if w_par > 0 else 0.0
+    t_par_bal = w_par / sum_rate if w_par > 0 else 0.0
+    t_par = (1.0 - l) * t_par_lock + l * t_par_bal
+    # Barrier-round quantisation for coarse-grained loops (Section 6.4):
+    # thread counts that do not divide the chunk count waste slots.
+    t_par *= spec.grain_waste(k)
+    inv_rates = 1.0 / rates
+    t_seq = (w_seq / k) * float(np.sum(inv_rates)) if w_seq > 0 else 0.0
+    elapsed = t_seq + t_par
+
+    w_par_lock = np.full(k, w_par / k)
+    w_par_bal = w_par * rates / sum_rate if w_par > 0 else np.zeros(k)
+    work_per_thread = (1.0 - l) * w_par_lock + l * w_par_bal + w_seq / k
+
+    busy = work_per_thread / rates
+    if elapsed <= 0:
+        raise SimulationError(f"{spec.name}: degenerate zero elapsed time")
+    utilisation = np.clip(busy / elapsed, 1e-6, 1.0)
+    return _JobTiming(elapsed_s=elapsed, work_per_thread=work_per_thread, utilisation=utilisation)
+
+
+def simulate(
+    machine: MachineSpec,
+    jobs: Sequence[Job],
+    options: Optional[SimOptions] = None,
+) -> SimResult:
+    """Run *jobs* together on *machine* and report per-job outcomes.
+
+    Background jobs (stressors) run for the whole duration and are
+    reported over ``options.measurement_window_s``; foreground jobs run
+    a fixed amount of work to completion.
+    """
+    opts = options or SimOptions()
+    if not jobs:
+        raise SimulationError("simulate() needs at least one job")
+    model = DemandModel(
+        machine,
+        [JobSpecOnMachine(j.spec, j.hw_thread_ids) for j in jobs],
+        turbo_enabled=opts.turbo_enabled,
+    )
+
+    # Positions of each job's active threads within the model arrays.
+    positions: List[List[int]] = [[] for _ in jobs]
+    for pos, tinfo in enumerate(model.threads):
+        positions[tinfo.job_index].append(pos)
+
+    n = model.n_threads
+    utilisation = np.ones(n)
+    rates = _solve_rates(model, utilisation, opts)
+    timings: Dict[int, _JobTiming] = {}
+    outer_iters = 1
+
+    foreground_jobs = [j for j, job in enumerate(jobs) if not job.background]
+    if foreground_jobs:
+        for outer_iters in range(1, opts.outer_max_iters + 1):
+            rates = _solve_rates(model, utilisation, opts)
+            new_util = utilisation.copy()
+            for j in foreground_jobs:
+                pos = positions[j]
+                timing = _job_timing(jobs[j].spec, rates[pos])
+                timings[j] = timing
+                new_util[pos] = timing.utilisation
+            change = float(np.max(np.abs(new_util - utilisation)))
+            utilisation = 0.5 * (utilisation + new_util)
+            if change < opts.outer_tolerance:
+                break
+
+    job_results = _collect_results(machine, jobs, model, positions, rates, utilisation, timings, opts)
+
+    loads = (utilisation * rates) @ model.coeffs if n else np.zeros(0)
+    keys = model.resource_keys()
+    return SimResult(
+        machine_name=machine.name,
+        job_results=job_results,
+        frequencies_ghz=dict(model.frequencies),
+        resource_loads={k: float(loads[i]) for i, k in enumerate(keys)},
+        resource_capacities={k: float(model.capacities[i]) for i, k in enumerate(keys)},
+        outer_iterations=outer_iters,
+    )
+
+
+def _collect_results(
+    machine: MachineSpec,
+    jobs: Sequence[Job],
+    model: DemandModel,
+    positions: List[List[int]],
+    rates: np.ndarray,
+    utilisation: np.ndarray,
+    timings: Dict[int, _JobTiming],
+    opts: SimOptions,
+) -> List[JobResult]:
+    results: List[JobResult] = []
+    for j, job in enumerate(jobs):
+        pos = positions[j]
+        infos = [model.threads[p] for p in pos]
+        job_rates = rates[pos] if pos else np.zeros(0)
+
+        if job.background:
+            window = opts.measurement_window_s
+            noise = opts.noise.factor(
+                machine.name, job.spec.name, job.hw_thread_ids, opts.run_tag, "bg"
+            )
+            # Counter readings over the window carry measurement noise.
+            work = job_rates * window * noise
+            elapsed = window
+        else:
+            timing = timings[j]
+            work = timing.work_per_thread
+            noise = opts.noise.factor(
+                machine.name, job.spec.name, job.hw_thread_ids, opts.run_tag
+            )
+            elapsed = timing.elapsed_s * noise
+
+        counters = CounterSet(elapsed_s=elapsed, instructions_g=float(np.sum(work)))
+        for w, info in zip(work, infos):
+            for level, bpi in info.cache_traffic.items():
+                if bpi > 0:
+                    counters.cache_gb[level] = counters.cache_gb.get(level, 0.0) + w * bpi
+            for node, bpi in info.dram_traffic_per_node.items():
+                if bpi > 0:
+                    counters.dram_gb_per_node[node] = (
+                        counters.dram_gb_per_node.get(node, 0.0) + w * bpi
+                    )
+            for link, bpi in info.link_traffic.items():
+                if bpi > 0:
+                    counters.link_gb[link] = counters.link_gb.get(link, 0.0) + w * bpi
+            if info.io_traffic > 0:
+                counters.nic_gb += w * info.io_traffic
+
+        # Report a rate for every software thread; idle ones show 0.
+        full_rates = [0.0] * job.n_threads
+        for info, r in zip(infos, job_rates):
+            full_rates[info.local_index] = float(r)
+        results.append(
+            JobResult(
+                job=job,
+                elapsed_s=float(elapsed),
+                thread_rates=tuple(full_rates),
+                counters=counters,
+            )
+        )
+    return results

@@ -1,0 +1,113 @@
+"""Timed-run facade: the simulated equivalent of ``perf stat`` + pinning.
+
+Pandia's profiling layers call :func:`run_workload` (a pinned timed run
+of one workload, optionally with co-scheduled stressors and idle-core
+fillers) and :func:`measure_stressors` (a counter readout of stressors
+running alone, used by the machine description generator).  Nothing in
+``repro.core`` touches the simulation engine below this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.hardware.spec import MachineSpec
+from repro.sim.counters import CounterSet
+from repro.sim.engine import Job, SimOptions, SimResult, simulate
+from repro.sim.noise import NoiseModel
+from repro.sim.os_iface import SimulatedOS
+from repro.sim.stressors import background_filler
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass
+class TimedRun:
+    """What a profiling run observes: wall time plus counters."""
+
+    workload_name: str
+    machine_name: str
+    hw_thread_ids: Tuple[int, ...]
+    elapsed_s: float
+    counters: CounterSet
+    thread_rates: Tuple[float, ...]
+    sim: SimResult
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.hw_thread_ids)
+
+
+def run_workload(
+    machine: MachineSpec,
+    spec: WorkloadSpec,
+    hw_thread_ids: Sequence[int],
+    stressor_jobs: Sequence[Job] = (),
+    fill_idle_cores: bool = False,
+    turbo_enabled: bool = True,
+    noise: Optional[NoiseModel] = None,
+    run_tag: str = "",
+) -> TimedRun:
+    """Run one workload pinned to *hw_thread_ids* and report the timing.
+
+    ``stressor_jobs`` co-run for the duration (Runs 4-5 of the paper's
+    workload profiling).  ``fill_idle_cores`` places the background
+    filler on every otherwise-idle core, holding the machine at its
+    all-core turbo frequency as the paper does during profiling.
+    """
+    jobs = [Job(spec, tuple(hw_thread_ids))]
+    jobs.extend(stressor_jobs)
+    if fill_idle_cores:
+        busy = list(hw_thread_ids)
+        for job in stressor_jobs:
+            busy.extend(job.hw_thread_ids)
+        idle = SimulatedOS(machine).idle_core_contexts(busy)
+        if idle:
+            jobs.append(Job(background_filler(), idle))
+    options = SimOptions(
+        turbo_enabled=turbo_enabled,
+        noise=noise if noise is not None else NoiseModel(),
+        run_tag=run_tag,
+    )
+    sim = simulate(machine, jobs, options)
+    jr = sim.job_results[0]
+    return TimedRun(
+        workload_name=spec.name,
+        machine_name=machine.name,
+        hw_thread_ids=tuple(hw_thread_ids),
+        elapsed_s=jr.elapsed_s,
+        counters=jr.counters,
+        thread_rates=jr.thread_rates,
+        sim=sim,
+    )
+
+
+def measure_stressors(
+    machine: MachineSpec,
+    stressor_jobs: Sequence[Job],
+    fill_idle_cores: bool = True,
+    turbo_enabled: bool = True,
+    noise: Optional[NoiseModel] = None,
+    window_s: float = 1.0,
+    run_tag: str = "",
+) -> SimResult:
+    """Observe stressors running alone over a measurement window.
+
+    Used by the machine description generator to read saturated link
+    bandwidths and core instruction rates from the counters.  Idle cores
+    are filled by default so all measurements are taken at the all-core
+    turbo frequency.
+    """
+    jobs = list(stressor_jobs)
+    if fill_idle_cores:
+        busy = [tid for job in jobs for tid in job.hw_thread_ids]
+        idle = SimulatedOS(machine).idle_core_contexts(busy)
+        if idle:
+            jobs.append(Job(background_filler(), idle))
+    options = SimOptions(
+        turbo_enabled=turbo_enabled,
+        noise=noise if noise is not None else NoiseModel(),
+        measurement_window_s=window_s,
+        run_tag=run_tag,
+    )
+    return simulate(machine, jobs, options)

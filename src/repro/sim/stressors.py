@@ -1,0 +1,127 @@
+"""Stress applications (paper Section 3).
+
+The machine description generator learns resource capacities by running
+synthetic applications that saturate one resource at a time, and the
+workload description generator perturbs profiling runs by co-scheduling
+a CPU-bound stressor next to workload threads (Runs 4 and 5).
+
+All stressors are *background* specs: they perform unbounded work and
+are observed through counters over a measurement window rather than run
+to completion.
+
+Modelling note: a real streaming stressor moves its traffic through the
+whole hierarchy; our specs put the traffic only on the target level.
+The simulator takes per-level traffic as given, so this keeps each
+capacity measurement focused on the link it is designed to saturate —
+the same role the paper's array-size parameterisation plays.
+"""
+
+from __future__ import annotations
+
+from repro.units import CACHE_LINE_BYTES
+from repro.workloads.spec import MemoryPolicy, WorkloadSpec
+
+#: One read or write per cache line in an unrolled loop: the stress
+#: applications touch 64 bytes per handful of instructions; we charge a
+#: full line per instruction to guarantee the link binds before the core.
+STRESS_BYTES_PER_INSTR = float(CACHE_LINE_BYTES)
+
+
+def cpu_stressor(name: str = "stress-cpu") -> WorkloadSpec:
+    """Integer ALU loop: saturates a core's issue width, touches no memory.
+
+    Used both to measure core instruction rates (Section 3.2) and as the
+    co-scheduled delay source in workload Runs 4 and 5 (Section 4.4).
+    """
+    return WorkloadSpec(
+        name=name,
+        work_ginstr=1.0,
+        cpi=0.125,  # demands 8 IPC; every real core binds on issue width
+        working_set_mib=0.01,
+        background=True,
+        description="CPU-bound stress loop (small dataset, no stalls)",
+    )
+
+
+def background_filler(name: str = "filler") -> WorkloadSpec:
+    """Core-local background load used to pin Turbo Boost frequency.
+
+    The paper fills otherwise-idle cores during profiling so that
+    measurements are taken at the all-core turbo frequency (Section 6.3,
+    Figure 14).  The filler occupies a core but consumes no memory
+    bandwidth, so it perturbs only the frequency.
+    """
+    return WorkloadSpec(
+        name=name,
+        work_ginstr=1.0,
+        cpi=1.0,
+        working_set_mib=0.01,
+        background=True,
+        description="core-local filler to hold all-core turbo frequency",
+    )
+
+
+def cache_stressor(level: str, name: str = "") -> WorkloadSpec:
+    """Streaming loop whose array almost fills the named cache level."""
+    if level not in ("L1", "L2", "L3"):
+        raise ValueError(f"unknown cache level {level!r}")
+    traffic = {"l1_bpi": 0.0, "l2_bpi": 0.0, "l3_bpi": 0.0}
+    traffic[f"{level.lower()}_bpi"] = STRESS_BYTES_PER_INSTR
+    return WorkloadSpec(
+        name=name or f"stress-{level.lower()}",
+        work_ginstr=1.0,
+        cpi=0.25,
+        working_set_mib=0.05,
+        background=True,
+        description=f"linear scan sized to the {level} cache",
+        **traffic,
+    )
+
+
+def dram_stressor(nodes: tuple = (), name: str = "stress-dram") -> WorkloadSpec:
+    """Streaming loop over an array ~100x the LLC: every access misses.
+
+    ``nodes`` pins the array to specific memory nodes (the paper uses
+    ``numactl``); empty means interleave over the sockets the stressor
+    runs on.
+    """
+    policy = MemoryPolicy.bind(*nodes) if nodes else MemoryPolicy.interleave_active()
+    return WorkloadSpec(
+        name=name,
+        work_ginstr=1.0,
+        cpi=0.25,
+        dram_bpi=STRESS_BYTES_PER_INSTR,
+        working_set_mib=0.05,  # modelled traffic is charged directly to DRAM
+        memory_policy=policy,
+        background=True,
+        description="linear scan over an array far larger than the LLC",
+    )
+
+
+def io_stressor(name: str = "stress-nic") -> WorkloadSpec:
+    """Bulk network transfer loop: saturates the off-machine link.
+
+    Used to measure NIC bandwidth when a machine models one (the
+    Section 8 extension); the paper's own machines carry no I/O model.
+    """
+    return WorkloadSpec(
+        name=name,
+        work_ginstr=1.0,
+        cpi=0.5,
+        io_bpi=STRESS_BYTES_PER_INSTR,
+        working_set_mib=0.05,
+        background=True,
+        description="bulk transfer loop over the off-machine link",
+    )
+
+
+def remote_dram_stressor(target_node: int, name: str = "") -> WorkloadSpec:
+    """DRAM stressor whose memory is bound to one (remote) node.
+
+    Run on a different socket than *target_node*, its traffic crosses
+    the interconnect — how the machine description generator measures
+    inter-socket link bandwidth.
+    """
+    return dram_stressor(
+        nodes=(target_node,), name=name or f"stress-remote-dram-n{target_node}"
+    )

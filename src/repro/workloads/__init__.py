@@ -1,0 +1,12 @@
+"""Workload specifications: the "true" behaviour of each benchmark.
+
+A :class:`~repro.workloads.spec.WorkloadSpec` is the ground truth the
+simulator executes.  Pandia never reads a spec directly — it recovers a
+*workload description* from six profiling runs, exactly as the paper
+recovers one from perf counters on real binaries.
+"""
+
+from repro.workloads.spec import MemoryPolicy, WorkloadSpec
+from repro.workloads import catalog, synthetic
+
+__all__ = ["MemoryPolicy", "WorkloadSpec", "catalog", "synthetic"]

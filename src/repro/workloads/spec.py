@@ -1,0 +1,232 @@
+"""The ground-truth description of a workload's behaviour.
+
+The simulator executes these specs; Pandia's profiler sees only their
+externally observable effects (elapsed time and performance counters).
+Fields map to the behavioural axes of the paper's workload model
+(Section 2.3) plus the mechanisms the paper's *hardware* exhibits but
+Pandia deliberately does not model in detail (working sets, burst duty
+cycles, per-level traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.units import MIB
+
+
+@dataclass(frozen=True)
+class MemoryPolicy:
+    """Where a job's memory lives, mirroring Linux ``numactl`` controls.
+
+    * ``interleave_active`` (default) — pages are spread evenly over the
+      sockets on which the job has threads (first-touch by homogeneous
+      threads behaves this way for our workloads).
+    * ``bind`` — pages live only on the given memory nodes.
+    * ``local`` — every thread's traffic goes to its own socket's node.
+    """
+
+    kind: str = "interleave_active"
+    nodes: Tuple[int, ...] = ()
+
+    _KINDS = ("interleave_active", "bind", "local")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise SimulationError(f"unknown memory policy {self.kind!r}")
+        if self.kind == "bind" and not self.nodes:
+            raise SimulationError("bind policy requires at least one node")
+        if self.kind != "bind" and self.nodes:
+            raise SimulationError(f"{self.kind} policy takes no node list")
+
+    @classmethod
+    def interleave_active(cls) -> "MemoryPolicy":
+        return cls(kind="interleave_active")
+
+    @classmethod
+    def bind(cls, *nodes: int) -> "MemoryPolicy":
+        return cls(kind="bind", nodes=tuple(sorted(set(nodes))))
+
+    @classmethod
+    def local(cls) -> "MemoryPolicy":
+        return cls(kind="local")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """True behavioural parameters of one workload.
+
+    Attributes
+    ----------
+    work_ginstr:
+        Total useful instructions (giga) — the paper's "fixed amount of
+        computation" assumption.
+    cpi:
+        Cycles per instruction absent memory stalls; the compute
+        intensity of the instruction stream (lower = more ILP).
+    l1_bpi, l2_bpi, l3_bpi, dram_bpi:
+        Bytes of traffic generated per instruction at each memory level
+        when running alone (the workload's locality profile).
+    io_bpi:
+        Bytes sent/received over the machine's off-machine link (NIC)
+        per instruction.  Most of the paper's workloads do no I/O
+        (a stated assumption, Section 2.3); Section 8 proposes
+        accommodating such links in the machine model, which this field
+        exercises.
+    working_set_mib:
+        The job's *total* working set, shared by its threads (the
+        workloads are data-parallel over one dataset).  Drives
+        shared-LLC capacity spill; spreading threads over sockets also
+        spreads the cached slice.
+    parallel_fraction:
+        Amdahl parallel fraction ``p``.
+    load_balance:
+        ``l`` in [0, 1]: 0 = static partitioning (stragglers hurt),
+        1 = perfect work stealing.
+    burst_duty:
+        Fraction of time the thread's demands are actually active, in
+        (0, 1].  1.0 means steady demands; small values mean bursty
+        demands that interfere badly with an SMT sibling.
+    comm_fraction:
+        Per-remote-peer execution-time stretch: a thread with ``k``
+        active peers on other sockets runs ``1 + comm_fraction*k``
+        times slower, all else equal.  This is the ground truth behind
+        Pandia's measured inter-socket overhead ``os``.
+    numa_local_fraction:
+        Fraction of a thread's DRAM traffic that stays on its own
+        node (first-touch locality); the remainder interleaves over the
+        job's active sockets.  0 = fully interleaved (shared tables),
+        high values = data-parallel loops over locally initialised
+        arrays.  This is the ground truth behind the inter-socket
+        bandwidth the paper records "as part of the workload's resource
+        demands" (Section 2.3).
+    work_growth:
+        Extra total work per added thread: ``W(n) = W*(1+growth*(n-1))``.
+        Zero for well-behaved workloads; positive for equake, which the
+        paper uses to show a broken model assumption (Figure 13b-c).
+    active_threads:
+        If set, only the first ``active_threads`` software threads do
+        work (the rest idle after initialisation) — the single-threaded
+        NPO experiment (Figure 13a).
+    parallel_grain:
+        If set, the parallel work consists of this many indivisible
+        chunks separated by barriers — BT's small dataset has a 64-
+        iteration main loop (Section 6.4).  Thread counts that do not
+        divide the grain waste whole barrier rounds, producing the
+        staircase scaling Pandia's models cannot express.
+    memory_policy:
+        Default memory placement for this workload.
+    """
+
+    name: str
+    work_ginstr: float
+    cpi: float
+    l1_bpi: float = 0.0
+    l2_bpi: float = 0.0
+    l3_bpi: float = 0.0
+    dram_bpi: float = 0.0
+    io_bpi: float = 0.0
+    working_set_mib: float = 1.0
+    parallel_fraction: float = 1.0
+    load_balance: float = 1.0
+    burst_duty: float = 1.0
+    comm_fraction: float = 0.0
+    numa_local_fraction: float = 0.0
+    work_growth: float = 0.0
+    active_threads: Optional[int] = None
+    parallel_grain: Optional[int] = None
+    memory_policy: MemoryPolicy = field(default_factory=MemoryPolicy.interleave_active)
+    background: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.background and self.work_ginstr <= 0:
+            raise SimulationError(f"{self.name}: work must be positive")
+        if self.cpi <= 0:
+            raise SimulationError(f"{self.name}: cpi must be positive")
+        for label, value in (
+            ("l1_bpi", self.l1_bpi),
+            ("l2_bpi", self.l2_bpi),
+            ("l3_bpi", self.l3_bpi),
+            ("dram_bpi", self.dram_bpi),
+            ("io_bpi", self.io_bpi),
+            ("working_set_mib", self.working_set_mib),
+            ("work_growth", self.work_growth),
+            ("comm_fraction", self.comm_fraction),
+        ):
+            if value < 0:
+                raise SimulationError(f"{self.name}: {label} must be >= 0")
+        if not 0.0 <= self.parallel_fraction <= 1.0:
+            raise SimulationError(f"{self.name}: parallel fraction outside [0,1]")
+        if not 0.0 <= self.load_balance <= 1.0:
+            raise SimulationError(f"{self.name}: load balance outside [0,1]")
+        if not 0.0 <= self.numa_local_fraction <= 1.0:
+            raise SimulationError(f"{self.name}: numa_local_fraction outside [0,1]")
+        if not 0.0 < self.burst_duty <= 1.0:
+            raise SimulationError(f"{self.name}: burst duty outside (0,1]")
+        if self.active_threads is not None and self.active_threads < 1:
+            raise SimulationError(f"{self.name}: active_threads must be >= 1")
+        if self.parallel_grain is not None and self.parallel_grain < 1:
+            raise SimulationError(f"{self.name}: parallel_grain must be >= 1")
+
+    # -- derived ------------------------------------------------------
+
+    @property
+    def ipc_demand(self) -> float:
+        """Instructions per cycle the stream could sustain absent stalls."""
+        return 1.0 / self.cpi
+
+    @property
+    def working_set_bytes(self) -> float:
+        return self.working_set_mib * MIB
+
+    def cache_bpi(self, level_name: str) -> float:
+        """Traffic per instruction for a named cache level."""
+        try:
+            return {"L1": self.l1_bpi, "L2": self.l2_bpi, "L3": self.l3_bpi}[level_name]
+        except KeyError:
+            raise SimulationError(f"unknown cache level {level_name!r}") from None
+
+    def bpi_vector(self) -> Mapping[str, float]:
+        """All traffic-per-instruction values keyed by level name."""
+        return {
+            "L1": self.l1_bpi,
+            "L2": self.l2_bpi,
+            "L3": self.l3_bpi,
+            "DRAM": self.dram_bpi,
+        }
+
+    def with_(self, **changes) -> "WorkloadSpec":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def n_active(self, n_threads: int) -> int:
+        """How many of *n_threads* software threads actually do work."""
+        if n_threads < 1:
+            raise SimulationError("workload needs at least one thread")
+        if self.active_threads is None:
+            return n_threads
+        return min(self.active_threads, n_threads)
+
+    def total_work_ginstr(self, n_active: int) -> float:
+        """Total work when run with *n_active* working threads."""
+        return self.work_ginstr * (1.0 + self.work_growth * (n_active - 1))
+
+    def grain_waste(self, n_active: int) -> float:
+        """Slowdown factor from barrier-round quantisation (>= 1).
+
+        With ``G`` chunks and ``k`` threads, every barrier round issues
+        ``k`` chunk-slots but only ``G`` chunks exist: the parallel
+        phase takes ``ceil(G/k) * k / G`` times its ideal duration.
+        Between 33 and 63 threads of a 64-chunk loop this is exactly
+        the paper's "no further performance increase until 64 threads".
+        """
+        if self.parallel_grain is None:
+            return 1.0
+        grain = self.parallel_grain
+        if n_active < 1:
+            raise SimulationError("grain waste needs at least one thread")
+        rounds = -(-grain // n_active)  # ceil division
+        return rounds * n_active / grain

@@ -1,0 +1,52 @@
+"""Benchmark-suite metadata for the evaluation workloads.
+
+The paper draws its 22 workloads from four sources (Section 6); this
+module records that provenance so reports and analyses can group by
+suite — e.g. "the hash joins saturate the interconnect, the NPB codes
+saturate DRAM".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import SimulationError
+from repro.workloads import catalog
+
+#: Suite name -> the workloads the paper takes from it.
+SUITES: Dict[str, List[str]] = {
+    "NPB": ["BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP"],
+    "SPEC OMP": ["Applu", "Apsi", "Art", "Bwaves", "FMA-3D", "MD", "Swim", "Wupwise"],
+    "hash joins": ["NPO", "PRH", "PRHO", "PRO", "Sort-Join"],
+    "graph analytics": ["PageRank"],
+}
+
+
+def suite_of(workload_name: str) -> str:
+    """The suite a workload belongs to."""
+    for suite, names in SUITES.items():
+        if workload_name in names:
+            return suite
+    raise SimulationError(f"workload {workload_name!r} belongs to no suite")
+
+
+def workloads_in(suite: str) -> List[str]:
+    """The evaluation workloads of one suite."""
+    try:
+        return list(SUITES[suite])
+    except KeyError:
+        raise SimulationError(
+            f"unknown suite {suite!r}; known: {sorted(SUITES)}"
+        ) from None
+
+
+def verify_partition() -> None:
+    """Check the suites exactly partition the 22-workload set."""
+    listed = [name for names in SUITES.values() for name in names]
+    if sorted(listed) != sorted(catalog.names()):
+        missing = set(catalog.names()) - set(listed)
+        extra = set(listed) - set(catalog.names())
+        raise SimulationError(
+            f"suites do not partition the evaluation set "
+            f"(missing {sorted(missing)}, extra {sorted(extra)})"
+        )

@@ -1,0 +1,72 @@
+"""Tests for the measured-vs-predicted evaluation driver."""
+
+import pytest
+
+from repro.analysis.evaluation import EvaluationResult, PlacementOutcome, evaluate_workload
+from repro.core.placement import enumerate_canonical
+from repro.errors import ReproError
+from repro.sim.noise import NO_NOISE
+from repro.workloads.spec import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def evaluation(request):
+    testbox = request.getfixturevalue("testbox")
+    gen = request.getfixturevalue("testbox_gen")
+    predictor = request.getfixturevalue("testbox_predictor")
+    spec = WorkloadSpec(
+        name="eval-unit", work_ginstr=60.0, cpi=0.4, l1_bpi=6.0, dram_bpi=1.2,
+        working_set_mib=4.0, parallel_fraction=0.97, load_balance=0.5,
+        comm_fraction=0.003,
+    )
+    description = gen.generate(spec)
+    placements = enumerate_canonical(testbox.topology, max_threads=8)
+    return evaluate_workload(testbox, spec, description, predictor, placements,
+                             noise=NO_NOISE)
+
+
+class TestSeries:
+    def test_outcomes_in_paper_sort_order(self, evaluation):
+        keys = [o.placement.sort_key() for o in evaluation.outcomes]
+        assert keys == sorted(keys)
+
+    def test_normalized_series_peak_at_one(self, evaluation):
+        measured = evaluation.measured_normalized()
+        predicted = evaluation.predicted_normalized()
+        assert max(measured) == pytest.approx(1.0)
+        assert max(predicted) == pytest.approx(1.0)
+        assert all(0 < v <= 1.0 + 1e-9 for v in measured + predicted)
+
+    def test_series_lengths_match(self, evaluation):
+        assert len(evaluation.measured_normalized()) == len(evaluation.outcomes)
+
+
+class TestSummaries:
+    def test_errors_reasonable_for_well_profiled_workload(self, evaluation):
+        summary = evaluation.errors()
+        assert summary.median_error < 20.0
+        assert summary.median_offset_error <= summary.median_error + 1e-9
+
+    def test_regret_non_negative(self, evaluation):
+        assert evaluation.placement_regret_percent() >= 0.0
+
+    def test_best_placements_consistent(self, evaluation):
+        best_m = evaluation.best_measured_placement()
+        assert best_m.measured_time_s == evaluation.best_measured_time
+        best_p = evaluation.best_predicted_placement()
+        assert best_p.predicted_time_s == evaluation.best_predicted_time
+
+    def test_peak_threads_is_plausible(self, evaluation):
+        assert 1 <= evaluation.peak_measured_threads() <= 8
+
+
+class TestValidation:
+    def test_empty_outcomes_rejected(self):
+        with pytest.raises(ReproError):
+            EvaluationResult(workload_name="w", machine_name="m", outcomes=[])
+
+    def test_empty_placements_rejected(self, testbox, testbox_gen, testbox_predictor):
+        spec = WorkloadSpec(name="x", work_ginstr=1.0, cpi=0.5)
+        wd = testbox_gen.generate(spec)
+        with pytest.raises(ReproError):
+            evaluate_workload(testbox, spec, wd, testbox_predictor, [])

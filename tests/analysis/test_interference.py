@@ -1,0 +1,98 @@
+"""Tests for the pairwise interference analysis."""
+
+import pytest
+
+from repro.analysis.interference import (
+    InterferenceMatrix,
+    _half_machine_placements,
+    measured_interference,
+    predicted_interference,
+)
+from repro.errors import ReproError
+from repro.sim.noise import NO_NOISE, NoiseModel
+from repro.workloads.spec import WorkloadSpec
+
+
+def make_spec(name, dram=0.5, local=0.8, **overrides):
+    base = dict(
+        name=name, work_ginstr=60.0, cpi=0.5, l1_bpi=5.0, dram_bpi=dram,
+        working_set_mib=4.0, parallel_fraction=0.99,
+        numa_local_fraction=local,
+    )
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+class TestPlacements:
+    def test_halves_are_disjoint_and_span_sockets(self, testbox):
+        left, right = _half_machine_placements(testbox)
+        assert not set(left.hw_thread_ids) & set(right.hw_thread_ids)
+        assert left.active_sockets() == (0, 1)
+        assert right.active_sockets() == (0, 1)
+        assert left.n_threads == right.n_threads == 4
+
+
+class TestMeasuredMatrix:
+    def test_heavy_aggressor_hurts_heavy_victim_most(self, testbox):
+        light = make_spec("light", dram=0.1)
+        heavy = make_spec("heavy", dram=8.0)
+        matrix = measured_interference(testbox, [light, heavy], noise=NO_NOISE)
+        # The heavy workload suffers more from any co-runner than the
+        # light one does (it lives nearer its bottleneck).
+        assert matrix.slowdown("heavy", "light") >= 1.0
+        assert matrix.slowdown("light", "heavy") < matrix.slowdown("heavy", "light") + 1.0
+
+    def test_light_victims_survive_heavy_aggressors(self, testbox):
+        """Max-min fairness: a trickle-demand victim keeps most of its
+        speed next to a bandwidth hog."""
+        light = make_spec("light", dram=0.05)
+        hog = make_spec("hog", dram=8.0)
+        matrix = measured_interference(testbox, [light, hog], noise=NO_NOISE)
+        assert matrix.slowdown("light", "hog") < 1.25
+
+    def test_diagonal_absent(self, testbox):
+        a, b = make_spec("a"), make_spec("b")
+        matrix = measured_interference(testbox, [a, b], noise=NO_NOISE)
+        assert "a" not in matrix.entries["a"]
+        with pytest.raises(ReproError):
+            matrix.slowdown("a", "a")
+
+
+class TestPredictedMatrix:
+    def test_prediction_identifies_the_bandwidth_hog(self, testbox, testbox_gen, testbox_md):
+        cpu = make_spec("cpu-ish", dram=0.05)
+        mem = make_spec("mem-ish", dram=6.0, working_set_mib=40.0)
+        descriptions = [testbox_gen.generate(s) for s in (cpu, mem)]
+        matrix = predicted_interference(testbox_md, testbox, descriptions)
+        # The memory-bound victim suffers more from the hog than the
+        # compute-bound one does.
+        assert matrix.slowdown("mem-ish", "cpu-ish") >= 1.0
+
+    def test_mae_between_matrices(self, testbox, testbox_gen, testbox_md):
+        a = make_spec("ia", dram=2.0)
+        b = make_spec("ib", dram=4.0)
+        predicted = predicted_interference(
+            testbox_md, testbox, [testbox_gen.generate(s) for s in (a, b)]
+        )
+        measured = measured_interference(testbox, [a, b], noise=NoiseModel(sigma=0.01))
+        mae = predicted.mean_absolute_error(measured)
+        assert 0.0 <= mae < 1.5
+
+
+class TestMatrixApi:
+    def test_worst_aggressor(self):
+        matrix = InterferenceMatrix(
+            workload_names=["a", "b", "c"],
+            entries={"a": {"b": 1.2, "c": 1.5}},
+        )
+        assert matrix.worst_aggressor("a") == ("c", 1.5)
+
+    def test_missing_victim(self):
+        matrix = InterferenceMatrix(workload_names=["a"], entries={})
+        with pytest.raises(ReproError):
+            matrix.worst_aggressor("a")
+
+    def test_mae_requires_entries(self):
+        empty = InterferenceMatrix(workload_names=["a"], entries={"a": {}})
+        with pytest.raises(ReproError):
+            empty.mean_absolute_error(empty)

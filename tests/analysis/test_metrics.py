@@ -1,0 +1,70 @@
+"""Tests for the error metrics (paper Figure 11 definitions)."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    error_percent,
+    offset_error_percent,
+    summarize_errors,
+)
+from repro.errors import ReproError
+
+
+class TestError:
+    def test_exact_prediction_is_zero_error(self):
+        assert error_percent([1.0, 0.5], [1.0, 0.5]) == [0.0, 0.0]
+
+    def test_percentage_of_measured(self):
+        assert error_percent([0.9], [1.0]) == [pytest.approx(10.0)]
+        assert error_percent([1.0], [0.8]) == [pytest.approx(25.0)]
+
+    def test_symmetric_in_sign(self):
+        over = error_percent([1.1], [1.0])
+        under = error_percent([0.9], [1.0])
+        assert over[0] == pytest.approx(under[0])
+
+
+class TestOffsetError:
+    def test_constant_offset_vanishes(self):
+        """The whole point: a shifted-but-right-shaped curve scores ~0."""
+        measured = [1.0, 0.8, 0.6, 0.4]
+        predicted = [m - 0.1 for m in measured]
+        assert all(e == pytest.approx(0.0, abs=1e-9)
+                   for e in offset_error_percent(predicted, measured))
+
+    def test_shape_error_remains(self):
+        measured = [1.0, 0.5]
+        predicted = [0.5, 1.0]  # inverted shape
+        errors = offset_error_percent(predicted, measured)
+        assert all(e > 10 for e in errors)
+
+    def test_matches_manual_computation(self):
+        measured = [1.0, 0.9, 0.7]
+        predicted = [0.8, 0.8, 0.5]
+        offset = (0.2 + 0.1 + 0.2) / 3
+        expected = [abs(p + offset - m) / m * 100 for p, m in zip(predicted, measured)]
+        got = offset_error_percent(predicted, measured)
+        assert got == pytest.approx(expected)
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize_errors([0.9, 1.0, 0.7], [1.0, 1.0, 1.0])
+        assert summary.mean_error == pytest.approx((10 + 0 + 30) / 3)
+        assert summary.median_error == pytest.approx(10.0)
+        assert summary.mean_offset_error >= 0
+        assert "mean" in summary.row()
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(ReproError):
+            error_percent([1.0], [1.0, 2.0])
+
+    def test_empty_series(self):
+        with pytest.raises(ReproError):
+            error_percent([], [])
+
+    def test_non_positive_measured(self):
+        with pytest.raises(ReproError):
+            error_percent([1.0], [0.0])

@@ -1,0 +1,51 @@
+"""Tests for rank correlation and top-k overlap metrics."""
+
+import pytest
+
+from repro.analysis.metrics import rank_correlation, top_k_overlap
+from repro.errors import ReproError
+
+
+class TestRankCorrelation:
+    def test_identical_ordering_is_one(self):
+        measured = [0.1, 0.5, 0.9, 1.0]
+        assert rank_correlation(measured, measured) == pytest.approx(1.0)
+
+    def test_monotone_transform_preserves_correlation(self):
+        measured = [0.1, 0.5, 0.9, 1.0]
+        predicted = [m**2 for m in measured]  # same order, different values
+        assert rank_correlation(predicted, measured) == pytest.approx(1.0)
+
+    def test_reversed_ordering_is_minus_one(self):
+        measured = [0.1, 0.5, 0.9, 1.0]
+        assert rank_correlation(list(reversed(measured)), measured) == pytest.approx(
+            -1.0
+        )
+
+    def test_needs_two_points(self):
+        with pytest.raises(ReproError):
+            rank_correlation([1.0], [1.0])
+
+
+class TestTopKOverlap:
+    def test_perfect_prediction(self):
+        values = [0.2, 0.9, 0.5, 1.0, 0.1]
+        assert top_k_overlap(values, values, k=2) == 1.0
+
+    def test_disjoint_topk(self):
+        measured = [1.0, 0.9, 0.1, 0.2]
+        predicted = [0.1, 0.2, 1.0, 0.9]
+        assert top_k_overlap(predicted, measured, k=2) == 0.0
+
+    def test_partial_overlap(self):
+        measured = [1.0, 0.9, 0.5, 0.1]
+        predicted = [1.0, 0.1, 0.9, 0.5]
+        # top-2 measured = {0, 1}; top-2 predicted = {0, 2} -> 1 of 2.
+        assert top_k_overlap(predicted, measured, k=2) == 0.5
+
+    def test_k_clamped_to_length(self):
+        assert top_k_overlap([1.0, 0.5], [1.0, 0.5], k=10) == 1.0
+
+    def test_k_validated(self):
+        with pytest.raises(ReproError):
+            top_k_overlap([1.0], [1.0], k=0)

@@ -1,0 +1,73 @@
+"""Tests for HTML report generation."""
+
+import pytest
+
+from repro.analysis.metrics import ErrorSummary
+from repro.analysis.report import (
+    build_html_report,
+    error_bars_figure,
+    write_html_report,
+)
+from repro.errors import ReproError
+from repro.experiments.common import ExperimentReport
+
+
+@pytest.fixture
+def reports():
+    return [
+        ExperimentReport(
+            experiment_id="fig1",
+            title="Fig one",
+            paper_claim="close curves",
+            body="line1\nline2 <tag>",
+            headline={"median": 3.2},
+        ),
+        ExperimentReport(
+            experiment_id="fig14",
+            title="Turbo",
+            paper_claim="boost",
+            body="body",
+        ),
+    ]
+
+
+class TestBuildReport:
+    def test_contains_every_experiment(self, reports):
+        html = build_html_report(reports)
+        assert "fig1: Fig one" in html
+        assert "fig14: Turbo" in html
+
+    def test_bodies_escaped(self, reports):
+        html = build_html_report(reports)
+        assert "&lt;tag&gt;" in html
+        assert "<tag>" not in html.split("<pre>")[1].split("</pre>")[0].replace("&lt;tag&gt;", "")
+
+    def test_headlines_rendered(self, reports):
+        html = build_html_report(reports)
+        assert "median = 3.200" in html
+
+    def test_figures_embedded(self, reports):
+        summaries = [
+            ErrorSummary(5.0, 3.0, 2.0, 1.0),
+            ErrorSummary(8.0, 6.0, 4.0, 2.0),
+        ]
+        svg = error_bars_figure(["w1", "w2"], summaries, title="errors")
+        html = build_html_report(reports, figures={"fig1": [svg]})
+        assert "<figure>" in html
+        assert "svg" in html
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            build_html_report([])
+
+    def test_error_bars_figure_validates(self):
+        with pytest.raises(ReproError):
+            error_bars_figure(["a"], [], title="x")
+
+
+class TestWriteReport:
+    def test_writes_standalone_file(self, tmp_path, reports):
+        out = write_html_report(tmp_path / "report.html", reports)
+        text = out.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "</html>" in text

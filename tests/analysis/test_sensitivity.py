@@ -1,0 +1,59 @@
+"""Tests for the noise-sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import noise_sensitivity
+from repro.core.machine_desc import generate_machine_description
+from repro.core.placement import enumerate_canonical
+from repro.core.workload_desc import WorkloadDescriptionGenerator
+from repro.errors import ReproError
+from repro.sim.noise import NO_NOISE
+from repro.workloads.spec import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    testbox = request.getfixturevalue("testbox")
+    md = generate_machine_description(testbox, noise=NO_NOISE)
+    spec = WorkloadSpec(
+        name="sensitivity-unit", work_ginstr=60.0, cpi=0.5, l1_bpi=6.0,
+        dram_bpi=1.5, working_set_mib=8.0, parallel_fraction=0.98,
+        load_balance=0.6,
+    )
+    description = WorkloadDescriptionGenerator(testbox, md, noise=NO_NOISE).generate(spec)
+    placements = enumerate_canonical(testbox.topology, max_threads=12)
+    return testbox, spec, description, placements
+
+
+class TestSensitivity:
+    def test_noise_free_oracle_has_lower_regret(self, setup):
+        testbox, spec, description, placements = setup
+        result = noise_sensitivity(
+            testbox, spec, description, placements, seeds=(0, 1, 2), sigma=0.02
+        )
+        assert result.noise_free_regret <= result.median_regret + 1e-9
+        assert result.noise_floor >= 0.0
+
+    def test_seed_regrets_vary(self, setup):
+        testbox, spec, description, placements = setup
+        result = noise_sensitivity(
+            testbox, spec, description, placements, seeds=(0, 1, 2, 3), sigma=0.02
+        )
+        assert len(set(round(r, 6) for r in result.seed_regrets)) > 1
+
+    def test_zero_sigma_collapses_to_oracle(self, setup):
+        testbox, spec, description, placements = setup
+        result = noise_sensitivity(
+            testbox, spec, description, placements, seeds=(0,), sigma=0.0
+        )
+        assert result.seed_regrets[0] == pytest.approx(result.noise_free_regret)
+
+    def test_needs_seeds(self, setup):
+        testbox, spec, description, placements = setup
+        with pytest.raises(ReproError):
+            noise_sensitivity(testbox, spec, description, placements, seeds=())
+
+    def test_rejects_foreign_description(self, setup, x3):
+        testbox, spec, description, placements = setup
+        with pytest.raises(ReproError, match="profiled on"):
+            noise_sensitivity(x3, spec, description, placements, seeds=(0,))

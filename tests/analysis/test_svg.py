@@ -1,0 +1,99 @@
+"""Tests for SVG chart generation (valid XML, right structure)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svg import svg_bars, svg_scatter
+from repro.errors import ReproError
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestScatter:
+    def test_valid_xml(self):
+        root = parse(svg_scatter({"a": [0.2, 0.8, 1.0]}, title="t"))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_circle_per_point_plus_legend(self):
+        svg = svg_scatter({"m": [0.5, 1.0], "p": [0.4, 0.9]})
+        root = parse(svg)
+        circles = root.findall(f"{SVG_NS}circle")
+        # 2 points x 2 series + 2 legend markers
+        assert len(circles) == 6
+
+    def test_title_escaped(self):
+        svg = svg_scatter({"a": [1.0]}, title="x < y & z")
+        assert "x &lt; y &amp; z" in svg
+        parse(svg)  # still valid XML
+
+    def test_rejects_mismatched_series(self):
+        with pytest.raises(ReproError):
+            svg_scatter({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            svg_scatter({})
+
+    def test_points_within_canvas(self):
+        root = parse(svg_scatter({"a": [0.1, 0.9, 1.0]}, width=300, height=200))
+        for circle in root.findall(f"{SVG_NS}circle"):
+            assert 0 <= float(circle.get("cx")) <= 300
+            assert 0 <= float(circle.get("cy")) <= 200
+
+
+class TestBars:
+    def test_valid_xml_with_groups(self):
+        svg = svg_bars(
+            ["w1", "w2"],
+            {"mean": [5.0, 10.0], "median": [3.0, 8.0]},
+            title="errors",
+        )
+        root = parse(svg)
+        rects = root.findall(f"{SVG_NS}rect")
+        # background + 2x2 bars + 2 legend swatches
+        assert len(rects) == 1 + 4 + 2
+
+    def test_bar_heights_proportional(self):
+        svg = svg_bars(["a", "b"], {"v": [5.0, 10.0]})
+        root = parse(svg)
+        bars = [
+            r
+            for r in root.findall(f"{SVG_NS}rect")
+            if r.get("fill") not in ("white",) and float(r.get("height")) > 9
+        ]
+        assert len(bars) == 2
+        heights = [float(b.get("height")) for b in bars]
+        assert heights[1] == pytest.approx(2 * heights[0], rel=1e-6)
+
+    def test_rejects_ragged_series(self):
+        with pytest.raises(ReproError):
+            svg_bars(["a"], {"v": [1.0, 2.0]})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            svg_bars([], {})
+
+
+class TestReportIntegration:
+    def test_evaluation_figure(self, testbox, testbox_gen, testbox_predictor):
+        from repro.analysis.evaluation import evaluate_workload
+        from repro.analysis.report import evaluation_figure
+        from repro.core.placement import enumerate_canonical
+        from repro.sim.noise import NO_NOISE
+        from repro.workloads.spec import WorkloadSpec
+
+        spec = WorkloadSpec(name="svg-unit", work_ginstr=40.0, cpi=0.5, dram_bpi=1.0)
+        wd = testbox_gen.generate(spec)
+        placements = enumerate_canonical(testbox.topology, max_threads=4)
+        evaluation = evaluate_workload(
+            testbox, spec, wd, testbox_predictor, placements, noise=NO_NOISE
+        )
+        svg = evaluation_figure(evaluation)
+        root = parse(svg)
+        assert root.tag == f"{SVG_NS}svg"
+        assert "svg-unit" in svg

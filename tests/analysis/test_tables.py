@@ -1,0 +1,63 @@
+"""Tests for table formatting and ASCII plots."""
+
+import pytest
+
+from repro.analysis.tables import ascii_scatter, format_table
+from repro.errors import ReproError
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 20.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "----" in lines[1]
+        assert "1.50" in lines[2]
+        assert "20.25" in lines[3]
+
+    def test_title(self):
+        text = format_table(["h"], [["x"]], title="my table")
+        assert text.splitlines()[0] == "my table"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ReproError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ReproError):
+            format_table([], [])
+
+    def test_columns_aligned(self):
+        text = format_table(["x", "y"], [["a", 1.0], ["long-name", 2.0]])
+        lines = text.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+
+class TestAsciiScatter:
+    def test_contains_both_glyph_legends(self):
+        plot = ascii_scatter({"measured": [0.5, 1.0], "predicted": [0.4, 0.9]})
+        assert ". measured" in plot
+        assert "x predicted" in plot
+
+    def test_peak_row_near_top(self):
+        plot = ascii_scatter({"s": [0.1, 0.2, 1.0]}, width=30, height=8)
+        rows = [l for l in plot.splitlines() if "|" in l]
+        assert any(ch != " " for ch in rows[0].split("|", 1)[1])
+
+    def test_rejects_mismatched_series(self):
+        with pytest.raises(ReproError):
+            ascii_scatter({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_rejects_three_series(self):
+        with pytest.raises(ReproError):
+            ascii_scatter({"a": [1.0], "b": [1.0], "c": [1.0]})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            ascii_scatter({})
+        with pytest.raises(ReproError):
+            ascii_scatter({"a": []})
+
+    def test_overlap_marker(self):
+        plot = ascii_scatter({"a": [1.0], "b": [1.0]}, width=4, height=4)
+        assert "*" in plot

@@ -1,0 +1,101 @@
+"""Shared fixtures: machines, descriptions, and canned workloads.
+
+Machine and workload descriptions are expensive enough to share; they
+are deterministic (fixed noise seeds), so session scope is safe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.description import DemandVector, WorkloadDescription
+from repro.core.machine_desc import MachineDescription, generate_machine_description
+from repro.core.predictor import PandiaPredictor
+from repro.core.workload_desc import WorkloadDescriptionGenerator
+from repro.hardware import machines
+from repro.hardware.topology import MachineTopology
+from repro.sim.noise import NO_NOISE, NoiseModel
+from repro.workloads import catalog
+
+
+@pytest.fixture(scope="session")
+def testbox():
+    """Small 2-socket machine: fast enough for exhaustive tests."""
+    return machines.get("TESTBOX")
+
+
+@pytest.fixture(scope="session")
+def fig3():
+    """The paper's Figure-3 toy machine."""
+    return machines.get("FIG3")
+
+
+@pytest.fixture(scope="session")
+def x5():
+    return machines.get("X5-2")
+
+
+@pytest.fixture(scope="session")
+def x3():
+    return machines.get("X3-2")
+
+
+@pytest.fixture(scope="session")
+def testbox_md(testbox):
+    """Measured machine description of TESTBOX (no noise)."""
+    return generate_machine_description(testbox, noise=NO_NOISE)
+
+
+@pytest.fixture(scope="session")
+def testbox_gen(testbox, testbox_md):
+    return WorkloadDescriptionGenerator(testbox, testbox_md, noise=NO_NOISE)
+
+
+@pytest.fixture(scope="session")
+def testbox_predictor(testbox_md):
+    return PandiaPredictor(testbox_md)
+
+
+@pytest.fixture(scope="session")
+def x3_md(x3):
+    return generate_machine_description(x3, noise=NoiseModel(sigma=0.01))
+
+
+@pytest.fixture(scope="session")
+def fig3_description():
+    """MachineDescription matching the paper's worked example (Figure 3)."""
+    topo = MachineTopology(n_sockets=2, cores_per_socket=2, threads_per_core=2)
+    return MachineDescription(
+        machine_name="FIG3",
+        topology=topo,
+        core_rate=10.0,
+        core_rate_smt=10.0,
+        dram_bw_per_node=100.0,
+        interconnect_bw=50.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def example_workload():
+    """WorkloadDescription of the paper's worked example (Figure 4)."""
+    return WorkloadDescription(
+        name="example",
+        machine_name="FIG3",
+        t1=1000.0,
+        demands=DemandVector(inst_rate=7.0, dram_bw=80.0),
+        parallel_fraction=0.9,
+        inter_socket_overhead=0.1,
+        load_balance=0.5,
+        burstiness=0.5,
+    )
+
+
+@pytest.fixture(scope="session")
+def md_spec():
+    """The MD molecular-dynamics workload spec (paper Figure 1)."""
+    return catalog.get("MD")
+
+
+@pytest.fixture(scope="session")
+def cg_spec():
+    return catalog.get("CG")

@@ -1,0 +1,104 @@
+"""Tests for the Amdahl and load-balancing arithmetic."""
+
+import pytest
+
+from repro.core.amdahl import (
+    amdahl_relative_time,
+    amdahl_speedup,
+    balanced_slowdown,
+    lockstep_slowdown,
+    solve_load_balance,
+    solve_parallel_fraction,
+)
+from repro.errors import ModelError
+
+
+class TestSpeedup:
+    def test_paper_example(self):
+        """Section 5: p = 0.9, n = 3 gives speedup 2.5."""
+        assert amdahl_speedup(0.9, 3) == pytest.approx(2.5)
+
+    def test_serial_workload_never_speeds_up(self):
+        assert amdahl_speedup(0.0, 64) == 1.0
+
+    def test_fully_parallel_is_linear(self):
+        assert amdahl_speedup(1.0, 8) == pytest.approx(8.0)
+
+    def test_relative_time_is_inverse(self):
+        assert amdahl_relative_time(0.9, 3) == pytest.approx(0.4)
+
+    def test_single_thread_is_unity(self):
+        assert amdahl_speedup(0.97, 1) == 1.0
+
+    @pytest.mark.parametrize("bad_p", [-0.1, 1.1])
+    def test_rejects_bad_fraction(self, bad_p):
+        with pytest.raises(ModelError):
+            amdahl_speedup(bad_p, 4)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ModelError):
+            amdahl_speedup(0.5, 0)
+
+
+class TestSolveParallelFraction:
+    def test_round_trip(self):
+        for p in (0.0, 0.5, 0.9, 0.99, 1.0):
+            u2 = amdahl_relative_time(p, 6)
+            assert solve_parallel_fraction(u2, 6) == pytest.approx(p, abs=1e-12)
+
+    def test_clamps_superlinear_noise(self):
+        # measured faster than perfect scaling -> p capped at 1
+        assert solve_parallel_fraction(0.1, 6) == 1.0
+
+    def test_clamps_antiscaling(self):
+        # run slower with more threads -> p floored at 0
+        assert solve_parallel_fraction(1.2, 6) == 0.0
+
+    def test_needs_two_threads(self):
+        with pytest.raises(ModelError):
+            solve_parallel_fraction(0.5, 1)
+
+
+class TestLoadBalanceExtremes:
+    def test_lockstep_tracks_slowest(self):
+        assert lockstep_slowdown(1.0, [1.0, 1.0, 2.0]) == pytest.approx(2.0)
+
+    def test_balanced_tracks_aggregate(self):
+        # throughputs 1 + 1 + 0.5 = 2.5 of 3 -> slowdown 3/2.5
+        assert balanced_slowdown(1.0, [1.0, 1.0, 2.0]) == pytest.approx(1.2)
+
+    def test_serial_fraction_dilutes_both(self):
+        si = [1.0, 3.0]
+        assert lockstep_slowdown(0.5, si) == pytest.approx(0.5 + 0.5 * 3.0)
+        assert balanced_slowdown(0.5, si) < lockstep_slowdown(0.5, si)
+
+    def test_no_slowdown_case(self):
+        assert lockstep_slowdown(0.9, [1.0, 1.0]) == pytest.approx(1.0)
+        assert balanced_slowdown(0.9, [1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_balanced_never_exceeds_lockstep(self):
+        for sigma in (1.0, 1.5, 2.0, 10.0):
+            si = [1.0] * 7 + [sigma]
+            assert balanced_slowdown(0.95, si) <= lockstep_slowdown(0.95, si) + 1e-12
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            lockstep_slowdown(0.9, [])
+        with pytest.raises(ModelError):
+            balanced_slowdown(0.9, [])
+
+
+class TestSolveLoadBalance:
+    def test_endpoints(self):
+        assert solve_load_balance(2.0, lockstep=2.0, balanced=1.2) == 0.0
+        assert solve_load_balance(1.2, lockstep=2.0, balanced=1.2) == 1.0
+
+    def test_midpoint(self):
+        assert solve_load_balance(1.6, lockstep=2.0, balanced=1.2) == pytest.approx(0.5)
+
+    def test_clamped_outside_range(self):
+        assert solve_load_balance(2.5, lockstep=2.0, balanced=1.2) == 0.0
+        assert solve_load_balance(1.0, lockstep=2.0, balanced=1.2) == 1.0
+
+    def test_default_when_unidentifiable(self):
+        assert solve_load_balance(1.0, lockstep=1.0, balanced=1.0, default=0.5) == 0.5

@@ -1,0 +1,90 @@
+"""Tests for the workload-description data model."""
+
+import pytest
+
+from repro.core.description import DemandVector, RunRecord, WorkloadDescription
+from repro.errors import ModelError
+
+
+def make_description(**overrides):
+    base = dict(
+        name="w",
+        machine_name="TESTBOX",
+        t1=10.0,
+        demands=DemandVector(inst_rate=5.0, cache_bw={"L1": 20.0}, dram_bw=4.0),
+        parallel_fraction=0.95,
+        inter_socket_overhead=0.01,
+        load_balance=0.4,
+        burstiness=0.2,
+    )
+    base.update(overrides)
+    return WorkloadDescription(**base)
+
+
+class TestDemandVector:
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ModelError):
+            DemandVector(inst_rate=0.0)
+
+    def test_rejects_negative_bandwidths(self):
+        with pytest.raises(ModelError):
+            DemandVector(inst_rate=1.0, dram_bw=-1.0)
+        with pytest.raises(ModelError):
+            DemandVector(inst_rate=1.0, cache_bw={"L1": -1.0})
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("t1", 0.0),
+            ("parallel_fraction", 1.2),
+            ("load_balance", -0.1),
+            ("inter_socket_overhead", -0.01),
+            ("burstiness", -0.5),
+        ],
+    )
+    def test_rejects_out_of_range(self, field, value):
+        with pytest.raises(ModelError):
+            make_description(**{field: value})
+
+
+class TestPartial:
+    def test_partial_step1_neutralises_everything(self):
+        wd = make_description()
+        partial = wd.partial(1)
+        assert partial.parallel_fraction == 1.0
+        assert partial.inter_socket_overhead == 0.0
+        assert partial.load_balance == 1.0
+        assert partial.burstiness == 0.0
+
+    def test_partial_step3_keeps_p_and_os(self):
+        wd = make_description()
+        partial = wd.partial(3)
+        assert partial.parallel_fraction == wd.parallel_fraction
+        assert partial.inter_socket_overhead == wd.inter_socket_overhead
+        assert partial.load_balance == 1.0
+        assert partial.burstiness == 0.0
+
+    def test_partial_step5_is_identity(self):
+        wd = make_description()
+        assert wd.partial(5) == wd
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ModelError):
+            make_description().partial(0)
+
+
+class TestProfilingCost:
+    def test_sums_run_times(self):
+        runs = (
+            RunRecord("run1", 1, 10.0, 1.0, 1.0, 1.0),
+            RunRecord("run2", 4, 3.0, 0.3, 1.0, 0.3),
+        )
+        wd = make_description(runs=runs)
+        assert wd.profiling_cost_s == pytest.approx(13.0)
+
+    def test_summary_contains_parameters(self):
+        text = make_description().summary()
+        for token in ("t1", "parallel fraction", "load balance", "burstiness"):
+            assert token in text

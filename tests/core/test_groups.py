@@ -1,0 +1,143 @@
+"""Tests for heterogeneous thread groups (paper Section 6.4)."""
+
+import pytest
+
+from repro.core.groups import (
+    GroupedPredictor,
+    GroupedWorkloadDescription,
+    profile_grouped,
+)
+from repro.core.placement import Placement
+from repro.errors import ModelError, SimulationError
+from repro.sim.grouped import GroupedWorkloadSpec, master_worker, run_grouped
+from repro.sim.noise import NO_NOISE, NoiseModel
+from repro.workloads.spec import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def worker_spec():
+    return WorkloadSpec(
+        name="grouped-base", work_ginstr=80.0, cpi=0.5, l1_bpi=6.0, l2_bpi=2.0,
+        l3_bpi=1.0, dram_bpi=1.5, working_set_mib=8.0,
+        parallel_fraction=0.99, load_balance=0.7, burst_duty=0.9,
+    )
+
+
+@pytest.fixture(scope="module")
+def grouped_spec(worker_spec):
+    return master_worker("mw", worker_spec, master_fraction=0.05)
+
+
+class TestGroupedSpec:
+    def test_master_worker_shape(self, grouped_spec, worker_spec):
+        assert grouped_spec.labels == ("master", "workers")
+        master = grouped_spec.group("master")
+        workers = grouped_spec.group("workers")
+        assert master.parallel_fraction == 0.0
+        assert master.work_ginstr == pytest.approx(worker_spec.work_ginstr * 0.05)
+        assert workers.work_ginstr == pytest.approx(worker_spec.work_ginstr * 0.95)
+
+    def test_duplicate_labels_rejected(self, worker_spec):
+        with pytest.raises(SimulationError, match="duplicate"):
+            GroupedWorkloadSpec("x", (("a", worker_spec), ("a", worker_spec)))
+
+    def test_unknown_group_lookup(self, grouped_spec):
+        with pytest.raises(SimulationError, match="no group"):
+            grouped_spec.group("ghost")
+
+    def test_master_fraction_validated(self, worker_spec):
+        with pytest.raises(SimulationError):
+            master_worker("x", worker_spec, master_fraction=1.5)
+
+
+class TestGroupedExecution:
+    def test_completion_is_slowest_group(self, testbox, grouped_spec):
+        run = run_grouped(
+            testbox,
+            grouped_spec,
+            {"master": (0,), "workers": (1, 2, 3)},
+            noise=NO_NOISE,
+        )
+        assert run.elapsed_s == max(run.group_times.values())
+        assert set(run.group_times) == {"master", "workers"}
+
+    def test_missing_placement_rejected(self, testbox, grouped_spec):
+        with pytest.raises(SimulationError, match="without placements"):
+            run_grouped(testbox, grouped_spec, {"master": (0,)}, noise=NO_NOISE)
+
+    def test_extra_placement_rejected(self, testbox, grouped_spec):
+        with pytest.raises(SimulationError, match="unknown groups"):
+            run_grouped(
+                testbox,
+                grouped_spec,
+                {"master": (0,), "workers": (1,), "ghost": (2,)},
+                noise=NO_NOISE,
+            )
+
+    def test_more_workers_speed_up_worker_bound_workload(self, testbox, grouped_spec):
+        few = run_grouped(
+            testbox, grouped_spec, {"master": (0,), "workers": (1, 2)}, noise=NO_NOISE
+        )
+        many = run_grouped(
+            testbox,
+            grouped_spec,
+            {"master": (0,), "workers": (1, 2, 3, 4, 5, 6)},
+            noise=NO_NOISE,
+        )
+        assert many.elapsed_s < few.elapsed_s
+
+    def test_master_eventually_becomes_the_bottleneck(self, testbox, worker_spec):
+        """Adding workers stops helping once the serial master gates."""
+        grouped = master_worker("mw-heavy", worker_spec, master_fraction=0.3)
+        many = run_grouped(
+            testbox,
+            grouped,
+            {"master": (0,), "workers": tuple(range(1, 8))},
+            noise=NO_NOISE,
+        )
+        assert many.group_time("master") > many.group_time("workers")
+        assert many.elapsed_s == many.group_time("master")
+
+
+class TestGroupedProfilingAndPrediction:
+    @pytest.fixture(scope="class")
+    def grouped_description(self, request, grouped_spec):
+        generator = request.getfixturevalue("testbox_gen")
+        return profile_grouped(generator, grouped_spec)
+
+    def test_per_group_descriptions(self, grouped_description):
+        master = grouped_description.group("master")
+        workers = grouped_description.group("workers")
+        assert master.parallel_fraction < 0.2  # serial master detected
+        assert workers.parallel_fraction > 0.9
+
+    def test_prediction_tracks_simulation(
+        self, testbox, testbox_md, grouped_spec, grouped_description
+    ):
+        predictor = GroupedPredictor(testbox_md)
+        topo = testbox.topology
+        placements = {
+            "master": Placement(topo, (0,)),
+            "workers": Placement(topo, (1, 2, 3, 4, 5)),
+        }
+        prediction = predictor.predict(grouped_description, placements)
+        run = run_grouped(
+            testbox,
+            grouped_spec,
+            {label: p.hw_thread_ids for label, p in placements.items()},
+            noise=NoiseModel(sigma=0.01),
+        )
+        assert prediction.predicted_time_s == pytest.approx(run.elapsed_s, rel=0.35)
+
+    def test_prediction_validates_placements(self, testbox_md, grouped_description, testbox):
+        predictor = GroupedPredictor(testbox_md)
+        with pytest.raises(ModelError, match="without placements"):
+            predictor.predict(
+                grouped_description,
+                {"master": Placement(testbox.topology, (0,))},
+            )
+
+    def test_duplicate_group_description_rejected(self, grouped_description):
+        master = grouped_description.group("master")
+        with pytest.raises(ModelError, match="duplicate"):
+            GroupedWorkloadDescription("x", (("a", master), ("a", master)))

@@ -1,0 +1,108 @@
+"""Tests for machine descriptions and their stressor-based generator."""
+
+import pytest
+
+from repro.core.machine_desc import (
+    MachineDescription,
+    describe,
+    generate_machine_description,
+)
+from repro.errors import ModelError
+from repro.hardware import machines
+from repro.hardware.topology import MachineTopology
+from repro.sim.noise import NO_NOISE, NoiseModel
+
+
+class TestDataclass:
+    def test_core_capacity_switches_on_occupancy(self, fig3_description):
+        assert fig3_description.core_capacity(1) == 10.0
+        assert fig3_description.core_capacity(2) == 10.0
+
+    def test_rejects_smt_below_single(self):
+        with pytest.raises(ModelError):
+            MachineDescription(
+                machine_name="bad",
+                topology=MachineTopology(1, 1, 2),
+                core_rate=10.0,
+                core_rate_smt=8.0,
+                dram_bw_per_node=100.0,
+            )
+
+    def test_multi_socket_needs_interconnect(self):
+        with pytest.raises(ModelError):
+            MachineDescription(
+                machine_name="bad",
+                topology=MachineTopology(2, 1, 1),
+                core_rate=10.0,
+                core_rate_smt=10.0,
+                dram_bw_per_node=100.0,
+                interconnect_bw=0.0,
+            )
+
+    def test_summary_mentions_everything(self, testbox_md):
+        text = testbox_md.summary()
+        for token in ("core rate", "L1", "L3", "DRAM", "interconnect"):
+            assert token in text
+
+
+class TestGeneratedDescription:
+    """Measured values must recover the machine's true capacities."""
+
+    def test_core_rate_is_all_core_turbo_issue(self, testbox, testbox_md):
+        expected = testbox.ipc_single * testbox.turbo.all_core_turbo_ghz
+        assert testbox_md.core_rate == pytest.approx(expected, rel=0.01)
+
+    def test_smt_aggregate_reflects_throughput_factor(self, testbox, testbox_md):
+        assert testbox_md.core_rate_smt == pytest.approx(
+            testbox_md.core_rate * testbox.smt_throughput_factor, rel=0.02
+        )
+
+    def test_cache_links_measured_per_level(self, testbox, testbox_md):
+        freq = testbox.turbo.all_core_turbo_ghz
+        for level in testbox.caches:
+            assert testbox_md.cache_link_bw[level.name] == pytest.approx(
+                level.link_gbs(freq), rel=0.02
+            )
+
+    def test_llc_aggregate_measured(self, testbox, testbox_md):
+        assert testbox_md.cache_agg_bw["L3"] == pytest.approx(
+            testbox.cache("L3").aggregate_gbs, rel=0.02
+        )
+
+    def test_dram_bandwidth_measured(self, testbox, testbox_md):
+        assert testbox_md.dram_bw_per_node == pytest.approx(
+            testbox.dram_gbs_per_node, rel=0.02
+        )
+
+    def test_interconnect_measured(self, testbox, testbox_md):
+        assert testbox_md.interconnect_bw == pytest.approx(
+            testbox.interconnect_gbs, rel=0.02
+        )
+
+    def test_private_caches_have_no_aggregate(self, testbox_md):
+        assert "L1" not in testbox_md.cache_agg_bw
+        assert "L2" not in testbox_md.cache_agg_bw
+
+    def test_noise_perturbs_measurements(self, testbox, testbox_md):
+        noisy = generate_machine_description(testbox, noise=NoiseModel(sigma=0.02))
+        assert noisy.core_rate != testbox_md.core_rate
+        assert abs(noisy.core_rate / testbox_md.core_rate - 1) < 0.05
+
+
+class TestX5Description:
+    def test_x5_topology_preserved(self):
+        md = generate_machine_description(machines.get("X5-2"), noise=NO_NOISE)
+        assert md.topology.n_hw_threads == 72
+        assert md.machine_name == "X5-2"
+
+
+class TestDescribeCache:
+    def test_describe_returns_same_object(self, testbox):
+        a = describe(testbox, noise=NoiseModel(sigma=0.01, seed=42))
+        b = describe(testbox, noise=NoiseModel(sigma=0.01, seed=42))
+        assert a is b
+
+    def test_distinct_seeds_not_shared(self, testbox):
+        a = describe(testbox, noise=NoiseModel(sigma=0.01, seed=42))
+        b = describe(testbox, noise=NoiseModel(sigma=0.01, seed=43))
+        assert a is not b

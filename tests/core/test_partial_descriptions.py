@@ -1,0 +1,76 @@
+"""Tests for partial (online) workload descriptions (Section 8).
+
+A runtime system integrating Pandia cannot wait for all six profiling
+runs; ``generate_partial`` produces usable descriptions from the first
+few steps and must actually skip the un-needed runs.
+"""
+
+import pytest
+
+from repro.core.placement import Placement
+from repro.errors import ProfilingError
+from repro.workloads.spec import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return WorkloadSpec(
+        name="partial-unit", work_ginstr=80.0, cpi=0.5, l1_bpi=6.0,
+        l2_bpi=2.0, l3_bpi=1.0, dram_bpi=1.5, working_set_mib=8.0,
+        parallel_fraction=0.98, load_balance=0.3, burst_duty=0.8,
+        comm_fraction=0.004,
+    )
+
+
+class TestRunCounts:
+    @pytest.mark.parametrize("steps,expected_runs", [(1, 1), (2, 2), (3, 3), (4, 5), (5, 6)])
+    def test_only_needed_runs_execute(self, testbox_gen, spec, steps, expected_runs):
+        wd = testbox_gen.generate_partial(spec, steps)
+        assert len(wd.runs) == expected_runs
+
+    def test_partial_is_cheaper(self, testbox_gen, spec):
+        early = testbox_gen.generate_partial(spec, 2)
+        full = testbox_gen.generate(spec)
+        assert early.profiling_cost_s < full.profiling_cost_s
+
+    def test_rejects_bad_step(self, testbox_gen, spec):
+        with pytest.raises(ProfilingError):
+            testbox_gen.generate_partial(spec, 0)
+        with pytest.raises(ProfilingError):
+            testbox_gen.generate_partial(spec, 6)
+
+
+class TestNeutralDefaults:
+    def test_step1_has_neutral_parameters(self, testbox_gen, spec):
+        wd = testbox_gen.generate_partial(spec, 1)
+        assert wd.parallel_fraction == 1.0
+        assert wd.inter_socket_overhead == 0.0
+        assert wd.load_balance == 1.0
+        assert wd.burstiness == 0.0
+
+    def test_step3_measures_p_and_os_only(self, testbox_gen, spec):
+        wd = testbox_gen.generate_partial(spec, 3)
+        assert wd.parallel_fraction < 1.0
+        assert wd.load_balance == 1.0
+        assert wd.burstiness == 0.0
+
+    def test_steps_share_measured_prefix(self, testbox_gen, spec):
+        early = testbox_gen.generate_partial(spec, 2)
+        full = testbox_gen.generate(spec)
+        assert early.t1 == full.t1
+        assert early.parallel_fraction == full.parallel_fraction
+
+
+class TestPredictiveValue:
+    def test_step2_description_predicts_scaling_direction(
+        self, testbox, testbox_gen, testbox_predictor, spec
+    ):
+        """Even a two-run description must rank an obviously better
+        placement above an obviously worse one."""
+        wd = testbox_gen.generate_partial(spec, 2)
+        topo = testbox.topology
+        two = Placement(topo, (0, 1))
+        six = Placement(topo, (0, 1, 2, 3, 4, 5))
+        t_two = testbox_predictor.predict(wd, two).predicted_time_s
+        t_six = testbox_predictor.predict(wd, six).predicted_time_s
+        assert t_six < t_two

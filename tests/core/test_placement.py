@@ -1,0 +1,136 @@
+"""Tests for placements and canonical enumeration."""
+
+import pytest
+
+from repro.core.placement import (
+    Placement,
+    count_canonical,
+    enumerate_canonical,
+    from_shapes,
+    sample_canonical,
+)
+from repro.errors import PlacementError
+from repro.hardware.topology import MachineTopology
+
+
+@pytest.fixture
+def topo():
+    return MachineTopology(2, 4, 2)  # TESTBOX shape
+
+
+class TestPlacement:
+    def test_basic_structure(self, topo):
+        p = Placement(topo, (0, 8, 5))  # 0 and 8 share core 0; 5 on socket 1
+        assert p.n_threads == 3
+        assert p.threads_per_core() == {0: 2, 5: 1}
+        assert p.active_sockets() == (0, 1)
+
+    def test_socket_shapes(self, topo):
+        p = Placement(topo, (0, 8, 1, 5))
+        assert p.socket_shapes() == ((1, 1), (1, 0))
+
+    def test_canonical_key_mirrors_sockets(self, topo):
+        left = Placement(topo, (0, 1))  # two cores on socket 0
+        right = Placement(topo, (4, 5))  # two cores on socket 1
+        assert left.canonical_key() == right.canonical_key()
+
+    def test_sort_key_orders_by_total_then_cores(self, topo):
+        one = Placement(topo, (0,))
+        two = Placement(topo, (0, 1))
+        assert one.sort_key() < two.sort_key()
+
+    def test_rejects_duplicate_context(self, topo):
+        with pytest.raises(PlacementError):
+            Placement(topo, (0, 0))
+
+    def test_rejects_empty(self, topo):
+        with pytest.raises(PlacementError):
+            Placement(topo, ())
+
+    def test_rejects_unknown_context(self, topo):
+        with pytest.raises(PlacementError):
+            Placement(topo, (16,))
+
+    def test_str_is_informative(self, topo):
+        text = str(Placement(topo, (0, 8, 5)))
+        assert "3 threads" in text
+
+
+class TestFromShapes:
+    def test_builds_requested_shape(self, topo):
+        p = from_shapes(topo, [(2, 1), (1, 0)])
+        assert p.socket_shapes() == ((2, 1), (1, 0))
+        assert p.n_threads == 2 + 2 * 1 + 1
+
+    def test_rejects_overflow(self, topo):
+        with pytest.raises(PlacementError):
+            from_shapes(topo, [(3, 2), (0, 0)])  # 5 cores on a 4-core socket
+
+    def test_rejects_wrong_socket_count(self, topo):
+        with pytest.raises(PlacementError):
+            from_shapes(topo, [(1, 0)])
+
+    def test_rejects_smt_on_single_thread_machine(self):
+        topo1 = MachineTopology(1, 4, 1)
+        with pytest.raises(PlacementError):
+            from_shapes(topo1, [(0, 1)])
+
+
+class TestEnumeration:
+    def test_count_matches_formula(self, topo):
+        # per-socket options: ones+twos <= 4 -> 15; unordered pairs with
+        # repetition = 15*16/2 = 120, minus the empty-empty combo.
+        assert count_canonical(topo) == 120 - 1
+
+    def test_enumeration_is_sorted_and_unique(self, topo):
+        placements = enumerate_canonical(topo)
+        keys = [p.sort_key() for p in placements]
+        assert keys == sorted(keys)
+        canon = {p.canonical_key() for p in placements}
+        assert len(canon) == len(placements)
+
+    def test_covers_all_thread_counts(self, topo):
+        counts = {p.n_threads for p in enumerate_canonical(topo)}
+        assert counts == set(range(1, topo.n_hw_threads + 1))
+
+    def test_max_threads_filter(self, topo):
+        placements = enumerate_canonical(topo, max_threads=4)
+        assert all(p.n_threads <= 4 for p in placements)
+
+    def test_max_sockets_filter(self):
+        topo4 = MachineTopology(4, 2, 2)
+        placements = enumerate_canonical(topo4, max_sockets=2)
+        assert all(len(p.active_sockets()) <= 2 for p in placements)
+        assert placements  # non-empty
+
+    def test_max_cores_filter(self, topo):
+        placements = enumerate_canonical(topo, max_cores=2)
+        assert all(len(p.threads_per_core()) <= 2 for p in placements)
+
+    def test_x3_2_shape_count_is_exhaustive_scale(self):
+        """The paper exhaustively tested the 8-core/socket machines;
+        canonically that is (45*46/2 - 1) = 1034 distinct shapes."""
+        topo = MachineTopology(2, 8, 2)
+        assert count_canonical(topo) == 45 * 46 // 2 - 1
+
+
+class TestSampling:
+    def test_sample_is_deterministic(self, topo):
+        a = sample_canonical(topo, 20, seed=3)
+        b = sample_canonical(topo, 20, seed=3)
+        assert [p.hw_thread_ids for p in a] == [p.hw_thread_ids for p in b]
+
+    def test_sample_size_respected(self, topo):
+        assert len(sample_canonical(topo, 20, seed=0)) == 20
+
+    def test_small_space_returns_everything(self, topo):
+        assert len(sample_canonical(topo, 10_000)) == count_canonical(topo)
+
+    def test_different_seeds_differ(self, topo):
+        a = sample_canonical(topo, 20, seed=1)
+        b = sample_canonical(topo, 20, seed=2)
+        assert [p.hw_thread_ids for p in a] != [p.hw_thread_ids for p in b]
+
+    def test_rejects_non_positive_count(self, topo):
+        with pytest.raises(PlacementError):
+            sample_canonical(topo, 0)

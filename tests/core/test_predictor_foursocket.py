@@ -1,0 +1,77 @@
+"""Predictor behaviour on a 4-socket machine (multi-link interconnect)."""
+
+import pytest
+
+from repro.core.description import DemandVector, WorkloadDescription
+from repro.core.machine_desc import MachineDescription
+from repro.core.placement import Placement
+from repro.core.predictor import PandiaPredictor
+from repro.hardware.topology import MachineTopology
+
+
+@pytest.fixture(scope="module")
+def md4():
+    topo = MachineTopology(n_sockets=4, cores_per_socket=2, threads_per_core=1)
+    return MachineDescription(
+        machine_name="quad",
+        topology=topo,
+        core_rate=10.0,
+        core_rate_smt=10.0,
+        dram_bw_per_node=100.0,
+        interconnect_bw=50.0,
+    )
+
+
+def make_workload(**overrides):
+    base = dict(
+        name="quad-w",
+        machine_name="quad",
+        t1=100.0,
+        demands=DemandVector(inst_rate=5.0, dram_bw=40.0),
+        parallel_fraction=0.99,
+    )
+    base.update(overrides)
+    return WorkloadDescription(**base)
+
+
+class TestMultiLinkStructure:
+    def test_four_socket_placement_loads_pairwise_links(self, md4):
+        wd = make_workload()
+        # One thread per socket: cores 0, 2, 4, 6.
+        placement = Placement(md4.topology, (0, 2, 4, 6))
+        pred = PandiaPredictor(md4).predict(wd, placement)
+        link_keys = [k for k in pred.resource_loads if k[0] == "link"]
+        # Every thread reaches the three remote nodes: all six links load.
+        assert len(link_keys) == 6
+
+    def test_two_socket_subset_loads_one_link(self, md4):
+        wd = make_workload()
+        placement = Placement(md4.topology, (0, 2))  # sockets 0 and 1
+        pred = PandiaPredictor(md4).predict(wd, placement)
+        link_keys = [k for k in pred.resource_loads if k[0] == "link"]
+        assert link_keys == [("link", (0, 1))]
+
+    def test_links_share_traffic_evenly_for_symmetric_placement(self, md4):
+        wd = make_workload()
+        placement = Placement(md4.topology, (0, 2, 4, 6))
+        pred = PandiaPredictor(md4).predict(wd, placement)
+        loads = [v for k, v in pred.resource_loads.items() if k[0] == "link"]
+        assert max(loads) == pytest.approx(min(loads), rel=1e-9)
+
+    def test_spreading_relieves_dram_but_loads_links(self, md4):
+        """The paper's whole trade-off in one assertion: one socket
+        saturates its node; four sockets spread DRAM but pay the links."""
+        wd = make_workload(demands=DemandVector(inst_rate=5.0, dram_bw=80.0))
+        predictor = PandiaPredictor(md4)
+        packed = predictor.predict(wd, Placement(md4.topology, (0, 1)))
+        spread = predictor.predict(wd, Placement(md4.topology, (0, 2)))
+        packed_util = packed.resource_utilisation()
+        spread_util = spread.resource_utilisation()
+        assert packed_util[("dram", 0)] > spread_util[("dram", 0)]
+        assert ("link", (0, 1)) in spread_util
+
+    def test_bottleneck_identification(self, md4):
+        wd = make_workload(demands=DemandVector(inst_rate=5.0, dram_bw=80.0))
+        pred = PandiaPredictor(md4).predict(wd, Placement(md4.topology, (0, 2)))
+        kind, _ = pred.bottleneck()
+        assert kind in ("link", "dram")

@@ -1,0 +1,83 @@
+"""Invariants of the profiling run records (the k/u bookkeeping).
+
+Section 4.1 defines ``r_x = t_x/t1`` and ``u_x = r_x/k_x``; the
+RunRecords the generator emits must satisfy those identities exactly,
+and the layering conditions the paper imposes on each step must hold.
+"""
+
+import pytest
+
+from repro.workloads.spec import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def description(request):
+    generator = request.getfixturevalue("testbox_gen")
+    spec = WorkloadSpec(
+        name="records-unit", work_ginstr=80.0, cpi=0.5, l1_bpi=6.0,
+        l2_bpi=2.0, l3_bpi=1.0, dram_bpi=1.5, working_set_mib=8.0,
+        parallel_fraction=0.98, load_balance=0.3, burst_duty=0.85,
+        comm_fraction=0.004, numa_local_fraction=0.6,
+    )
+    return generator.generate(spec)
+
+
+class TestIdentities:
+    def test_relative_times_are_anchored_to_run1(self, description):
+        t1 = description.t1
+        for record in description.runs:
+            assert record.relative_time == pytest.approx(
+                record.elapsed_s / t1, rel=1e-9
+            ), record.label
+
+    def test_unknown_factor_identity(self, description):
+        for record in description.runs:
+            assert record.unknown_factor == pytest.approx(
+                record.relative_time / record.known_factor, rel=1e-9
+            ), record.label
+
+    def test_run1_is_the_unit(self, description):
+        run1 = description.runs[0]
+        assert (run1.relative_time, run1.known_factor, run1.unknown_factor) == (
+            1.0,
+            1.0,
+            1.0,
+        )
+
+
+class TestLayering:
+    """Each step's placement conditions (Section 4)."""
+
+    def test_runs_2_through_5_share_a_thread_count(self, description):
+        counts = {r.n_threads for r in description.runs[1:]}
+        assert len(counts) == 1  # the even n2, reused everywhere
+
+    def test_run2_known_factor_is_one(self, description):
+        """Run 2 is constructed to avoid all contention: k2 = 1."""
+        run2 = next(r for r in description.runs if r.label == "run2")
+        assert run2.known_factor == 1.0
+
+    def test_run2_shows_speedup(self, description):
+        run2 = next(r for r in description.runs if r.label == "run2")
+        assert run2.relative_time < 1.0
+
+    def test_perturbed_runs_are_slower_than_run2(self, description):
+        """Runs 4 and 5 add stressors to Run 2's placement; Run 6 packs
+        the same threads — all three must cost time."""
+        by_label = {r.label: r for r in description.runs}
+        for label in ("run4", "run5", "run6"):
+            assert by_label[label].elapsed_s > by_label["run2"].elapsed_s, label
+
+    def test_run4_hurts_at_least_as_much_as_run5(self, description):
+        """Slowing every thread costs at least as much as slowing one."""
+        by_label = {r.label: r for r in description.runs}
+        assert by_label["run4"].elapsed_s >= by_label["run5"].elapsed_s
+
+    def test_known_factors_come_from_the_partial_model(self, description):
+        """Runs 3 and 6 carry k from Pandia's partial predictions —
+        close to the measured r (the model explains most of each run)."""
+        by_label = {r.label: r for r in description.runs}
+        for label in ("run3", "run6"):
+            record = by_label[label]
+            assert record.known_factor != 1.0
+            assert record.unknown_factor == pytest.approx(1.0, abs=0.35)

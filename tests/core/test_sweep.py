@@ -1,0 +1,66 @@
+"""Tests for the sweep baseline (Section 6.3)."""
+
+import pytest
+
+from repro.core.sweep import (
+    packed_placement,
+    run_sweep,
+    spread_placement,
+    sweep_placements,
+)
+from repro.sim.noise import NO_NOISE
+from repro.workloads.spec import WorkloadSpec
+
+
+class TestPackedPlacement:
+    def test_fills_smt_contexts_first(self, testbox):
+        p = packed_placement(testbox.topology, 4)
+        assert p.threads_per_core() == {0: 2, 1: 2}
+
+    def test_full_machine(self, testbox):
+        p = packed_placement(testbox.topology, 16)
+        assert p.n_threads == 16
+
+
+class TestSpreadPlacement:
+    def test_alternates_sockets(self, testbox):
+        p = spread_placement(testbox.topology, 4)
+        shapes = p.socket_shapes()
+        assert shapes == ((2, 0), (2, 0))
+
+    def test_uses_all_cores_before_smt(self, testbox):
+        p = spread_placement(testbox.topology, 9)
+        counts = sorted(p.threads_per_core().values())
+        assert counts == [1] * 7 + [2]
+
+
+class TestSweepSet:
+    def test_covers_every_thread_count(self, testbox):
+        placements = sweep_placements(testbox.topology)
+        counts = {p.n_threads for p in placements}
+        assert counts == set(range(1, 17))
+
+    def test_no_duplicate_shapes(self, testbox):
+        placements = sweep_placements(testbox.topology)
+        keys = [(p.n_threads, p.canonical_key()) for p in placements]
+        assert len(keys) == len(set(keys))
+
+    def test_roughly_two_per_thread_count(self, testbox):
+        placements = sweep_placements(testbox.topology)
+        # packed == spread at n = full machine; most counts give two.
+        assert len(placements) > testbox.topology.n_hw_threads * 1.4
+
+
+class TestRunSweep:
+    def test_sweep_measures_and_totals(self, testbox):
+        spec = WorkloadSpec(
+            name="sweepee", work_ginstr=50.0, cpi=0.4, dram_bpi=1.0,
+            parallel_fraction=0.97,
+        )
+        result = run_sweep(testbox, spec, noise=NO_NOISE)
+        assert result.total_cost_s == pytest.approx(
+            sum(t for _, t in result.timings)
+        )
+        best_placement, best_time = result.best
+        assert best_time == min(t for _, t in result.timings)
+        assert best_placement.n_threads > 1  # parallel workload benefits

@@ -1,0 +1,107 @@
+"""The paper's worked example, reproduced number for number.
+
+Machine: Figure 3 (core rate 10, DRAM 100 per socket, interconnect 50).
+Workload: Figure 4 (d = [7 instructions, 40 DRAM per socket], p = 0.9,
+os = 0.1, l = 0.5, b = 0.5).
+Placement: threads U and V share a core on socket 0; W runs alone on
+socket 1 (Figure 7).
+
+Assertions follow the printed tables: Figure 7(b)-(e) for the first
+iteration, Figure 9(a) for the second iteration's starting state, and
+the final predicted speedup of ~1.005 (Section 5.5).  Tolerances match
+the two-decimal rounding of the paper's tables.
+"""
+
+import pytest
+
+from repro.core.placement import Placement
+from repro.core.predictor import PandiaPredictor
+
+
+@pytest.fixture(scope="module")
+def prediction(request):
+    fig3_description = request.getfixturevalue("fig3_description")
+    example_workload = request.getfixturevalue("example_workload")
+    topo = fig3_description.topology
+    # U, V = both contexts of core 0 (socket 0); W = core 2 (socket 1).
+    placement = Placement(topo, (0, 4, 2))
+    predictor = PandiaPredictor(fig3_description)
+    return predictor.predict(example_workload, placement, keep_trace=True)
+
+
+class TestSetup:
+    def test_amdahl_speedup_is_2_5(self, prediction):
+        assert prediction.amdahl == pytest.approx(2.5)
+
+    def test_initial_utilisation_is_083(self, prediction):
+        """Figure 7(a): threads busy 83% of the time under Amdahl."""
+        it1 = prediction.trace[0]
+        assert it1.start_utilisation == pytest.approx((5 / 6,) * 3)
+
+
+class TestFirstIteration:
+    """Figure 7(c)-(e)."""
+
+    def test_resource_slowdowns_with_burstiness(self, prediction):
+        # Interconnect oversubscribed 100/50 = 2.00 for every thread;
+        # U and V add the burstiness penalty 2.00 * 0.5 * 0.83 = 0.83.
+        it1 = prediction.trace[0]
+        assert it1.resource_slowdown[0] == pytest.approx(2.83, abs=0.01)
+        assert it1.resource_slowdown[1] == pytest.approx(2.83, abs=0.01)
+        assert it1.resource_slowdown[2] == pytest.approx(2.00, abs=0.01)
+
+    def test_communication_penalties(self, prediction):
+        # Figure 7(d): +0.03 for U and V, +0.08 for W.
+        it1 = prediction.trace[0]
+        assert it1.comm_penalty[0] == pytest.approx(0.03, abs=0.005)
+        assert it1.comm_penalty[1] == pytest.approx(0.03, abs=0.005)
+        assert it1.comm_penalty[2] == pytest.approx(0.08, abs=0.005)
+
+    def test_load_balance_drags_w_toward_the_slowest(self, prediction):
+        # Figure 7(e): W moves from 2.08 to 2.48 (midpoint at l = 0.5).
+        it1 = prediction.trace[0]
+        assert it1.overall_slowdown[0] == pytest.approx(2.87, abs=0.01)
+        assert it1.overall_slowdown[1] == pytest.approx(2.87, abs=0.01)
+        assert it1.overall_slowdown[2] == pytest.approx(2.48, abs=0.01)
+
+    def test_end_utilisations(self, prediction):
+        # Figure 7(e): utilisations 0.29, 0.29, 0.34.
+        it1 = prediction.trace[0]
+        assert it1.end_utilisation[0] == pytest.approx(0.29, abs=0.005)
+        assert it1.end_utilisation[2] == pytest.approx(0.34, abs=0.005)
+
+
+class TestSecondIteration:
+    """Figure 9(a): the utilisation feedback."""
+
+    def test_starting_utilisations(self, prediction):
+        # U, V reset to 0.83*0.99 = 0.82; W to 0.83*0.81 = 0.67.
+        it2 = prediction.trace[1]
+        assert it2.start_utilisation[0] == pytest.approx(0.82, abs=0.01)
+        assert it2.start_utilisation[1] == pytest.approx(0.82, abs=0.01)
+        assert it2.start_utilisation[2] == pytest.approx(0.67, abs=0.01)
+
+
+class TestFinalPrediction:
+    def test_speedup_close_to_paper(self, prediction):
+        """Section 5.5: 'a predicted speedup of 1.005 after 4 iterations'.
+
+        Our convergence criterion differs slightly from the authors'
+        (unspecified), so allow a small band around the printed value.
+        """
+        assert prediction.speedup == pytest.approx(1.005, abs=0.03)
+
+    def test_converges_in_a_few_iterations(self, prediction):
+        assert prediction.converged
+        assert prediction.iterations <= 10
+
+    def test_interconnect_saturation_is_the_story(self, prediction):
+        """'This extremely poor performance is primarily due to the
+        inter-socket link being almost completely saturated by a single
+        thread' — three threads buy almost nothing over one."""
+        assert prediction.speedup < 1.1
+
+    def test_predicted_time(self, prediction):
+        assert prediction.predicted_time_s == pytest.approx(
+            1000.0 / prediction.speedup
+        )

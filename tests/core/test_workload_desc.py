@@ -1,0 +1,130 @@
+"""Tests for the six-run workload-description generator."""
+
+import pytest
+
+from repro.core.description import DemandVector
+from repro.core.placement import Placement
+from repro.core.workload_desc import WorkloadDescriptionGenerator, max_oversubscription
+from repro.errors import ProfilingError
+from repro.sim.noise import NO_NOISE
+from repro.workloads.spec import WorkloadSpec
+
+
+def make_spec(**overrides):
+    base = dict(
+        name="unit",
+        work_ginstr=80.0,
+        cpi=0.5,
+        l1_bpi=6.0,
+        l2_bpi=2.0,
+        l3_bpi=1.0,
+        dram_bpi=1.5,
+        working_set_mib=4.0,
+        parallel_fraction=0.98,
+        load_balance=0.3,
+        burst_duty=0.8,
+        comm_fraction=0.004,
+    )
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def generated(request):
+    gen = request.getfixturevalue("testbox_gen")
+    return gen.generate(make_spec())
+
+
+class TestRunStructure:
+    def test_six_runs_recorded(self, generated):
+        labels = [r.label for r in generated.runs]
+        assert labels == ["run1", "run2", "run3", "run4", "run5", "run6"]
+
+    def test_run1_defines_the_baseline(self, generated):
+        run1 = generated.runs[0]
+        assert run1.n_threads == 1
+        assert run1.relative_time == 1.0
+        assert generated.t1 == run1.elapsed_s
+
+    def test_run2_thread_count_is_even_single_socket(self, generated):
+        assert generated.runs[1].n_threads % 2 == 0
+        assert 2 <= generated.runs[1].n_threads <= 4  # TESTBOX socket size
+
+    def test_profiling_cost_positive(self, generated):
+        assert generated.profiling_cost_s > generated.t1
+
+
+class TestRecoveredParameters:
+    def test_demand_vector_matches_solo_consumption(self, testbox, generated):
+        spec = make_spec()
+        # Solo rate at all-core turbo (profiling fills idle cores).
+        freq = testbox.turbo.all_core_turbo_ghz
+        expected_rate = min(
+            freq * min(spec.ipc_demand, testbox.ipc_single),
+            testbox.cache("L1").link_gbs(freq) / spec.l1_bpi,
+        )
+        assert generated.demands.inst_rate == pytest.approx(expected_rate, rel=0.02)
+        assert generated.demands.dram_bw == pytest.approx(
+            generated.demands.inst_rate * spec.dram_bpi, rel=0.02
+        )
+
+    def test_parallel_fraction_close_to_truth(self, generated):
+        assert generated.parallel_fraction == pytest.approx(0.98, abs=0.02)
+
+    def test_inter_socket_overhead_recovered(self, generated):
+        assert generated.inter_socket_overhead == pytest.approx(0.004, abs=0.004)
+
+    def test_load_balance_recovered(self, generated):
+        assert generated.load_balance == pytest.approx(0.3, abs=0.25)
+
+    def test_burstiness_positive_for_bursty_workload(self, generated):
+        assert generated.burstiness > 0
+
+
+class TestSpecialWorkloads:
+    def test_serial_workload_yields_zero_p(self, testbox_gen):
+        spec = make_spec(name="serial", parallel_fraction=0.0, active_threads=1)
+        wd = testbox_gen.generate(spec)
+        assert wd.parallel_fraction == pytest.approx(0.0, abs=0.02)
+
+    def test_steady_compute_workload_has_tiny_burstiness(self, testbox_gen):
+        spec = make_spec(
+            name="steady", burst_duty=1.0, l1_bpi=2.0, l2_bpi=0.0, l3_bpi=0.0,
+            dram_bpi=0.0, comm_fraction=0.0,
+        )
+        wd = testbox_gen.generate(spec)
+        assert wd.burstiness < 0.15
+
+    def test_no_communication_yields_zero_os(self, testbox_gen):
+        spec = make_spec(name="local-only", comm_fraction=0.0, dram_bpi=0.2)
+        wd = testbox_gen.generate(spec)
+        assert wd.inter_socket_overhead == pytest.approx(0.0, abs=0.003)
+
+
+class TestRun2ThreadChoice:
+    def test_memory_hog_gets_few_threads(self, testbox, testbox_md, testbox_gen):
+        # A workload whose solo demand eats most of a node's bandwidth.
+        hog = make_spec(name="hog", dram_bpi=8.0, cpi=1.0)
+        wd = testbox_gen.generate(hog)
+        assert wd.runs[1].n_threads == 2
+
+    def test_oversubscription_probe(self, testbox_md):
+        demands = DemandVector(inst_rate=2.0, dram_bw=testbox_md.dram_bw_per_node / 2)
+        topo = testbox_md.topology
+        light = Placement(topo, (0, 1))
+        heavy = Placement(topo, (0, 1, 2))
+        assert max_oversubscription(testbox_md, demands, light) <= 1.0 + 1e-9
+        assert max_oversubscription(testbox_md, demands, heavy) > 1.0
+
+
+class TestValidation:
+    def test_mismatched_machine_rejected(self, x3, testbox_md):
+        with pytest.raises(ProfilingError):
+            WorkloadDescriptionGenerator(x3, testbox_md, noise=NO_NOISE)
+
+    def test_description_is_deterministic(self, testbox_gen):
+        a = testbox_gen.generate(make_spec(name="det"))
+        b = testbox_gen.generate(make_spec(name="det"))
+        assert a.t1 == b.t1
+        assert a.parallel_fraction == b.parallel_fraction
+        assert a.burstiness == b.burstiness

@@ -1,0 +1,47 @@
+"""Smoke tests for individual experiment artifacts at tiny scale."""
+
+import pytest
+
+from repro.experiments import fig01_md, fig14_turbo
+from repro.experiments.common import ExperimentContext, Scale
+from repro.sim.noise import NoiseModel
+
+TINY = Scale("tiny", 20, ("MD", "EP"))
+
+
+@pytest.fixture(scope="module")
+def tiny_context():
+    return ExperimentContext(scale=TINY, noise=NoiseModel(sigma=0.01))
+
+
+class TestFig1:
+    def test_report_structure(self, tiny_context):
+        report = fig01_md.run(tiny_context)
+        assert report.experiment_id == "fig1"
+        assert "normalised speedup" in report.body
+        assert "median error %" in report.body
+        assert report.headline["median_error_percent"] >= 0
+
+    def test_plot_has_both_series(self, tiny_context):
+        report = fig01_md.run(tiny_context)
+        assert ". measured" in report.body
+        assert "x predicted" in report.body
+
+
+class TestFig14:
+    def test_turbo_ordering(self, tiny_context):
+        report = fig14_turbo.run(tiny_context)
+        h = report.headline
+        # One free thread boosts above the background-pinned frequency.
+        assert h["single_thread_boost_over_background"] > 1.0
+        # Disabling turbo is a loss even at full occupancy.
+        assert h["full_machine_penalty_for_disabling"] > 1.0
+
+    def test_boost_matches_turbo_table(self, tiny_context):
+        """The single-thread boost equals max-turbo / all-core-turbo."""
+        report = fig14_turbo.run(tiny_context)
+        machine = tiny_context.machine("X5-2")
+        expected = machine.turbo.max_turbo_ghz / machine.turbo.all_core_turbo_ghz
+        assert report.headline["single_thread_boost_over_background"] == pytest.approx(
+            expected, rel=0.05
+        )

@@ -1,0 +1,101 @@
+"""Tests for the persistent measurement cache."""
+
+import pytest
+
+from repro.core.placement import Placement
+from repro.errors import ReproError
+from repro.experiments.cache import MeasurementCache, measurement_key
+from repro.experiments.common import ExperimentContext, Scale
+from repro.hardware.topology import MachineTopology
+from repro.sim.noise import NoiseModel
+
+TINY = Scale("tiny", 10, ("EP",))
+
+
+class TestKey:
+    @staticmethod
+    def _spec(**overrides):
+        from repro.workloads.spec import WorkloadSpec
+
+        base = dict(name="W", work_ginstr=10.0, cpi=0.5)
+        base.update(overrides)
+        return WorkloadSpec(**base)
+
+    def test_key_depends_on_shape_not_concrete_ids(self):
+        topo = MachineTopology(2, 4, 2)
+        noise = NoiseModel(sigma=0.01)
+        left = Placement(topo, (0, 1))
+        right = Placement(topo, (4, 5))  # mirrored shape
+        spec = self._spec()
+        assert measurement_key("M", spec, left, noise) == measurement_key(
+            "M", spec, right, noise
+        )
+
+    def test_key_distinguishes_noise(self):
+        topo = MachineTopology(2, 4, 2)
+        p = Placement(topo, (0,))
+        spec = self._spec()
+        a = measurement_key("M", spec, p, NoiseModel(sigma=0.01, seed=0))
+        b = measurement_key("M", spec, p, NoiseModel(sigma=0.01, seed=1))
+        assert a != b
+
+    def test_editing_the_spec_invalidates_the_key(self):
+        """A changed catalog entry must not reuse stale measurements."""
+        topo = MachineTopology(2, 4, 2)
+        p = Placement(topo, (0,))
+        noise = NoiseModel(sigma=0.01)
+        a = measurement_key("M", self._spec(), p, noise)
+        b = measurement_key("M", self._spec(work_growth=0.03), p, noise)
+        assert a != b
+
+
+class TestCacheFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = MeasurementCache(path)
+        cache.put("k1", 1.5)
+        cache.put("k2", 2.5)
+        reloaded = MeasurementCache(path)
+        assert reloaded.get("k1") == 1.5
+        assert reloaded.get("k2") == 2.5
+        assert len(reloaded) == 2
+
+    def test_idempotent_put(self, tmp_path):
+        cache = MeasurementCache(tmp_path / "c.jsonl")
+        cache.put("k", 1.0)
+        cache.put("k", 9.0)  # ignored: measurements are immutable
+        assert cache.get("k") == 1.0
+
+    def test_missing_key(self, tmp_path):
+        cache = MeasurementCache(tmp_path / "c.jsonl")
+        assert cache.get("nope") is None
+        assert "nope" not in cache
+
+    def test_corrupt_file_rejected_with_location(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text('{"key": "a", "elapsed_s": 1.0}\nnot json\n')
+        with pytest.raises(ReproError, match=":2"):
+            MeasurementCache(path)
+
+    def test_non_positive_time_rejected(self, tmp_path):
+        cache = MeasurementCache(tmp_path / "c.jsonl")
+        with pytest.raises(ReproError):
+            cache.put("k", 0.0)
+
+
+class TestContextIntegration:
+    def test_second_context_reuses_measurements(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        first = ExperimentContext(scale=TINY, cache_path=str(path))
+        runs_a = first.measured("TESTBOX", "EP")
+        assert path.exists()
+        cache = MeasurementCache(path)
+        assert len(cache) == len(runs_a)
+
+        second = ExperimentContext(scale=TINY, cache_path=str(path))
+        runs_b = second.measured("TESTBOX", "EP")
+        assert [t for _, t in runs_a] == [t for _, t in runs_b]
+
+    def test_uncached_context_still_works(self):
+        context = ExperimentContext(scale=TINY)
+        assert context.measured("TESTBOX", "EP")

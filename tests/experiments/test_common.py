@@ -1,0 +1,112 @@
+"""Tests for the experiment infrastructure."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.common import (
+    DEFAULT,
+    QUICK,
+    ExperimentContext,
+    ExperimentReport,
+    Scale,
+)
+from repro.sim.noise import NoiseModel
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(scale=QUICK, noise=NoiseModel(sigma=0.01))
+
+
+class TestScale:
+    def test_quick_is_a_subset(self):
+        assert len(QUICK.workloads()) < len(DEFAULT.workloads())
+        assert QUICK.max_placements < DEFAULT.max_placements
+
+    def test_default_covers_all_22(self):
+        assert len(DEFAULT.workloads()) == 22
+
+    def test_custom_scale(self):
+        scale = Scale("tiny", 5, ("MD",))
+        assert scale.workloads() == ["MD"]
+
+
+class TestCaching:
+    def test_machine_description_cached(self, context):
+        assert context.machine_description("TESTBOX") is context.machine_description(
+            "TESTBOX"
+        )
+
+    def test_workload_description_cached(self, context):
+        a = context.description("TESTBOX", "MD")
+        b = context.description("TESTBOX", "MD")
+        assert a is b
+
+    def test_measured_runs_cached(self, context):
+        a = context.measured("TESTBOX", "MD")
+        b = context.measured("TESTBOX", "MD")
+        assert a is b
+
+
+class TestPlacements:
+    def test_includes_full_machine_anchor(self, context):
+        placements = context.placements("TESTBOX")
+        assert max(p.n_threads for p in placements) == 16
+
+    def test_filters_respected(self, context):
+        placements = context.placements("TESTBOX", max_sockets=1)
+        assert all(len(p.active_sockets()) == 1 for p in placements)
+
+    def test_max_cores_filter(self, context):
+        placements = context.placements("TESTBOX", max_cores=3)
+        assert all(len(p.threads_per_core()) <= 3 for p in placements)
+
+    def test_no_duplicate_shapes(self, context):
+        placements = context.placements("TESTBOX")
+        keys = [p.canonical_key() for p in placements]
+        assert len(keys) == len(set(keys))
+
+
+class TestEvaluation:
+    def test_evaluation_produces_series(self, context):
+        evaluation = context.evaluation("TESTBOX", "MD")
+        assert len(evaluation.outcomes) == len(context.placements("TESTBOX"))
+        assert evaluation.errors().median_error >= 0
+
+    def test_portability_evaluation_reuses_measurements(self, context):
+        native = context.evaluation("TESTBOX", "MD")
+        ported = context.evaluation("TESTBOX", "MD", description_machine="X3-2")
+        measured_native = [o.measured_time_s for o in native.outcomes]
+        measured_ported = [o.measured_time_s for o in ported.outcomes]
+        assert measured_native == measured_ported
+        predicted_native = [o.predicted_time_s for o in native.outcomes]
+        predicted_ported = [o.predicted_time_s for o in ported.outcomes]
+        assert predicted_native != predicted_ported
+
+
+class TestReport:
+    def test_render_contains_sections(self):
+        report = ExperimentReport(
+            experiment_id="x", title="T", paper_claim="C", body="B",
+            headline={"metric": 1.0},
+        )
+        text = report.render()
+        for token in ("== x: T ==", "paper: C", "B", "metric = 1.000"):
+            assert token in text
+
+
+class TestRegistry:
+    def test_unknown_experiment_rejected(self):
+        from repro.experiments.run_all import run_experiments
+
+        with pytest.raises(ReproError, match="unknown experiment"):
+            run_experiments(["fig99"])
+
+    def test_registry_covers_every_artifact(self):
+        from repro.experiments.run_all import REGISTRY
+
+        assert set(REGISTRY) == {
+            "fig1", "fig10", "fig11", "fig12", "fig13", "fig14",
+            "sweep", "headline", "ablation", "scaling", "coschedule",
+            "baselines",
+        }

@@ -1,0 +1,38 @@
+"""Integration tests for the experiment runner CLI."""
+
+import pytest
+
+from repro.experiments.run_all import main
+
+
+class TestMain:
+    def test_single_experiment_with_outputs(self, tmp_path, capsys):
+        out = tmp_path / "results.txt"
+        html = tmp_path / "report.html"
+        code = main(
+            ["fig14", "--scale", "quick", "--out", str(out), "--html", str(html)]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "fig14" in stdout and "took" in stdout
+
+        text = out.read_text()
+        assert "Turbo Boost" in text
+        page = html.read_text()
+        assert page.startswith("<!DOCTYPE html>")
+        assert "fig14" in page
+
+    def test_measurement_cache_written(self, tmp_path, capsys):
+        cache = tmp_path / "cache.jsonl"
+        assert main(["fig14", "--scale", "quick", "--cache", str(cache)]) == 0
+        capsys.readouterr()
+        # fig14 itself uses stressors (not cached), so the file may be
+        # absent; an experiment with timed runs must populate it.
+        assert main(["fig1", "--scale", "quick", "--cache", str(cache)]) == 0
+        capsys.readouterr()
+        assert cache.exists()
+        assert cache.read_text().strip()
+
+    def test_unknown_id_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--scale", "nope"])

@@ -1,0 +1,113 @@
+"""Tests for workload-spec fitting (the measurement-import bridge)."""
+
+import pytest
+
+from repro.core.sweep import spread_placement
+from repro.errors import ReproError
+from repro.fit import Observation, fit_workload_spec
+from repro.sim.engine import Job, SimOptions, simulate
+from repro.sim.noise import NO_NOISE, NoiseModel
+from repro.workloads.spec import WorkloadSpec
+
+QUIET = SimOptions(noise=NO_NOISE)
+
+
+def observe(machine, spec, counts, noise=None):
+    """Generate observations by timing the truth through the simulator."""
+    out = []
+    options = SimOptions(noise=noise) if noise else QUIET
+    for n in counts:
+        placement = spread_placement(machine.topology, n)
+        t = simulate(machine, [Job(spec, placement.hw_thread_ids)], options)
+        out.append(Observation(n, t.job_results[0].elapsed_s))
+    return out
+
+
+@pytest.fixture(scope="module")
+def truth():
+    return WorkloadSpec(
+        name="truth", work_ginstr=80.0, cpi=0.7, l1_bpi=6.0, l2_bpi=2.0,
+        l3_bpi=1.0, dram_bpi=3.0, working_set_mib=8.0,
+        parallel_fraction=0.97, load_balance=0.4, comm_fraction=0.004,
+    )
+
+
+class TestRoundTrip:
+    @pytest.fixture(scope="class")
+    def fit(self, request, truth):
+        testbox = request.getfixturevalue("testbox")
+        observations = observe(testbox, truth, [1, 2, 4, 6, 8, 12, 16])
+        return fit_workload_spec(testbox, observations, name="recovered")
+
+    def test_fit_reproduces_the_curve(self, fit):
+        assert fit.rms_relative_error < 0.05
+
+    def test_anchor_is_exact(self, fit):
+        assert fit.fitted_times[0] == pytest.approx(
+            fit.observations[0].elapsed_s, rel=1e-6
+        )
+
+    def test_key_parameters_in_the_ballpark(self, fit, truth):
+        assert fit.spec.parallel_fraction == pytest.approx(
+            truth.parallel_fraction, abs=0.05
+        )
+        assert fit.spec.dram_bpi == pytest.approx(truth.dram_bpi, abs=1.5)
+
+    def test_generalises_to_unseen_counts(self, fit, truth, testbox):
+        # Interpolation between observed counts; the parameters are not
+        # perfectly identifiable from timings alone, so allow 15%.
+        for n in (3, 10, 14):
+            placement = spread_placement(testbox.topology, n)
+            predicted = simulate(
+                testbox, [Job(fit.spec, placement.hw_thread_ids)], QUIET
+            ).job_results[0].elapsed_s
+            actual = simulate(
+                testbox, [Job(truth, placement.hw_thread_ids)], QUIET
+            ).job_results[0].elapsed_s
+            assert predicted == pytest.approx(actual, rel=0.15)
+
+    def test_table_renders(self, fit):
+        text = fit.table()
+        assert "observed" in text and "%" in text
+
+
+class TestNoisyObservations:
+    def test_fit_survives_measurement_noise(self, testbox, truth):
+        observations = observe(
+            testbox, truth, [1, 2, 4, 8, 16], noise=NoiseModel(sigma=0.02)
+        )
+        fit = fit_workload_spec(testbox, observations)
+        assert fit.rms_relative_error < 0.10
+
+
+class TestValidation:
+    def test_needs_three_observations(self, testbox):
+        with pytest.raises(ReproError, match="three"):
+            fit_workload_spec(testbox, [Observation(1, 1.0), Observation(2, 0.6)])
+
+    def test_needs_single_thread_anchor(self, testbox):
+        with pytest.raises(ReproError, match="anchor"):
+            fit_workload_spec(
+                testbox,
+                [Observation(2, 1.0), Observation(4, 0.6), Observation(8, 0.4)],
+            )
+
+    def test_rejects_duplicate_counts(self, testbox):
+        with pytest.raises(ReproError, match="duplicate"):
+            fit_workload_spec(
+                testbox,
+                [Observation(1, 1.0), Observation(2, 0.6), Observation(2, 0.61)],
+            )
+
+    def test_rejects_oversized_counts(self, testbox):
+        with pytest.raises(ReproError, match="exceeds"):
+            fit_workload_spec(
+                testbox,
+                [Observation(1, 1.0), Observation(2, 0.6), Observation(99, 0.4)],
+            )
+
+    def test_observation_validation(self):
+        with pytest.raises(ReproError):
+            Observation(0, 1.0)
+        with pytest.raises(ReproError):
+            Observation(1, 0.0)

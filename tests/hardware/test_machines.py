@@ -1,0 +1,94 @@
+"""Tests for the machine catalog: the paper's four Xeon systems."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.hardware import machines
+
+
+class TestCatalog:
+    def test_contains_all_paper_machines(self):
+        for name in ("X5-2", "X4-2", "X3-2", "X2-4"):
+            assert machines.get(name).name == name
+
+    def test_lookup_is_case_insensitive(self):
+        assert machines.get("x5-2").name == "X5-2"
+
+    def test_unknown_machine_raises_with_known_list(self):
+        with pytest.raises(TopologyError, match="known machines"):
+            machines.get("X9-9")
+
+    def test_names_sorted(self):
+        names = machines.names()
+        assert names == sorted(names)
+
+
+class TestPaperShapes:
+    """Section 6.1/6.2: published core/thread counts."""
+
+    @pytest.mark.parametrize(
+        "name,sockets,cores,threads_total",
+        [
+            ("X5-2", 2, 18, 72),
+            ("X4-2", 2, 8, 32),
+            ("X3-2", 2, 8, 32),
+            ("X2-4", 4, 10, 80),
+        ],
+    )
+    def test_shapes(self, name, sockets, cores, threads_total):
+        topo = machines.get(name).topology
+        assert topo.n_sockets == sockets
+        assert topo.cores_per_socket == cores
+        assert topo.n_hw_threads == threads_total
+
+    def test_x5_2_turbo_range_matches_spec_update(self):
+        """Section 6.3: nominal 2.3 GHz, turbo 2.8-3.6 GHz."""
+        turbo = machines.get("X5-2").turbo
+        assert turbo.nominal_ghz == 2.3
+        assert turbo.all_core_turbo_ghz == 2.8
+        assert turbo.max_turbo_ghz == 3.6
+
+    def test_westmere_lacks_adaptive_caches(self):
+        """Section 6.2: X2-4 predates adaptive caches."""
+        assert machines.get("X2-4").adaptive_caches is False
+        for newer in ("X5-2", "X4-2", "X3-2"):
+            assert machines.get(newer).adaptive_caches is True
+
+
+class TestFig3ToyMachine:
+    def test_matches_paper_figure_3(self):
+        fig3 = machines.get("FIG3")
+        # core rate 10, DRAM 100 per socket, interconnect 50
+        assert fig3.core_issue_ginstr(1.0, 1) == 10.0
+        assert fig3.dram_gbs_per_node == 100.0
+        assert fig3.interconnect_gbs == 50.0
+        assert fig3.caches == ()
+
+    def test_shared_core_keeps_rate_10(self):
+        """The toy machine has no SMT gain: two threads still share 10."""
+        fig3 = machines.get("FIG3")
+        assert fig3.core_issue_ginstr(1.0, 2) == 10.0
+        assert fig3.smt_per_thread_slowdown == 0.0
+
+
+class TestPlausibleProportions:
+    """Capacities must have realistic orderings for contention to work."""
+
+    @pytest.mark.parametrize("name", ["X5-2", "X4-2", "X3-2", "X2-4", "TESTBOX"])
+    def test_memory_hierarchy_ordering(self, name):
+        m = machines.get(name)
+        freq = m.turbo.all_core_turbo_ghz
+        l1 = m.cache("L1").link_gbs(freq)
+        l2 = m.cache("L2").link_gbs(freq)
+        l3 = m.cache("L3").link_gbs(freq)
+        assert l1 > l2 > l3
+        assert m.dram_gbs_per_node < m.cache("L3").aggregate_gbs
+        assert m.interconnect_gbs < m.dram_gbs_per_node
+
+    @pytest.mark.parametrize("name", ["X5-2", "X4-2", "X3-2", "X2-4"])
+    def test_llc_aggregate_below_sum_of_links(self, name):
+        """Section 3.1's point: per-core peak * cores > aggregate."""
+        m = machines.get(name)
+        l3 = m.cache("L3")
+        links_total = l3.link_gbs(m.turbo.all_core_turbo_ghz) * m.topology.cores_per_socket
+        assert l3.aggregate_gbs < links_total

@@ -1,0 +1,109 @@
+"""Tests for MachineSpec and CacheLevelSpec."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.hardware.spec import CacheLevelSpec, MachineSpec
+from repro.hardware.topology import MachineTopology
+from repro.hardware.turbo import TurboModel
+from repro.units import MIB
+
+
+def make_spec(**overrides):
+    base = dict(
+        name="unit",
+        topology=MachineTopology(2, 2, 2),
+        turbo=TurboModel.fixed(2.0),
+        ipc_single=4.0,
+        smt_throughput_factor=1.25,
+        caches=(
+            CacheLevelSpec("L1", 32 * 1024, 32.0),
+            CacheLevelSpec("L3", 10 * MIB, 8.0, private=False, aggregate_gbs=60.0),
+        ),
+        dram_gbs_per_node=30.0,
+        interconnect_gbs=18.0,
+    )
+    base.update(overrides)
+    return MachineSpec(**base)
+
+
+class TestCacheLevelSpec:
+    def test_link_scales_with_frequency(self):
+        level = CacheLevelSpec("L1", 32 * 1024, 32.0)
+        assert level.link_gbs(2.0) == 64.0
+        assert level.link_gbs(3.0) == 96.0
+
+    def test_shared_level_requires_aggregate(self):
+        with pytest.raises(TopologyError):
+            CacheLevelSpec("L3", 10 * MIB, 8.0, private=False)
+
+    @pytest.mark.parametrize("field,value", [("capacity_bytes", 0), ("link_bytes_per_cycle", -1)])
+    def test_rejects_non_positive(self, field, value):
+        kwargs = dict(name="L1", capacity_bytes=1024, link_bytes_per_cycle=8.0)
+        kwargs[field] = value
+        with pytest.raises(TopologyError):
+            CacheLevelSpec(**kwargs)
+
+
+class TestMachineSpec:
+    def test_llc_is_last_level(self):
+        spec = make_spec()
+        assert spec.llc.name == "L3"
+
+    def test_cacheless_machine_has_no_llc(self):
+        spec = make_spec(caches=())
+        assert spec.llc is None
+
+    def test_cache_lookup(self):
+        spec = make_spec()
+        assert spec.cache("L1").link_bytes_per_cycle == 32.0
+        with pytest.raises(TopologyError):
+            spec.cache("L9")
+
+    def test_core_issue_single_vs_smt(self):
+        spec = make_spec()
+        single = spec.core_issue_ginstr(2.0, 1)
+        dual = spec.core_issue_ginstr(2.0, 2)
+        assert single == pytest.approx(8.0)  # 4 IPC * 2 GHz
+        assert dual == pytest.approx(10.0)  # +25%
+
+    def test_core_issue_requires_resident_thread(self):
+        with pytest.raises(TopologyError):
+            make_spec().core_issue_ginstr(2.0, 0)
+
+    def test_rejects_smt_factor_below_one(self):
+        with pytest.raises(TopologyError):
+            make_spec(smt_throughput_factor=0.9)
+
+    def test_rejects_duplicate_cache_names(self):
+        with pytest.raises(TopologyError):
+            make_spec(
+                caches=(
+                    CacheLevelSpec("L1", 1024, 8.0),
+                    CacheLevelSpec("L1", 2048, 8.0),
+                )
+            )
+
+    def test_multi_socket_needs_interconnect(self):
+        with pytest.raises(TopologyError):
+            make_spec(interconnect_gbs=0.0)
+
+    def test_single_socket_allows_no_interconnect(self):
+        spec = make_spec(topology=MachineTopology(1, 2, 2), interconnect_gbs=0.0)
+        assert spec.interconnect_gbs == 0.0
+
+    def test_with_topology_preserves_parameters(self):
+        spec = make_spec()
+        bigger = spec.with_topology(MachineTopology(2, 8, 2), "unit-big")
+        assert bigger.name == "unit-big"
+        assert bigger.ipc_single == spec.ipc_single
+        assert bigger.topology.n_cores == 16
+        assert bigger.smt_per_thread_slowdown == spec.smt_per_thread_slowdown
+
+    def test_frequency_uses_turbo_model(self):
+        spec = make_spec(
+            turbo=TurboModel(nominal_ghz=2.0, max_turbo_ghz=3.0, all_core_turbo_ghz=2.4)
+        )
+        assert spec.frequency_ghz(1) == 3.0
+        assert spec.frequency_ghz(2) == pytest.approx(2.4)
+        assert spec.frequency_ghz(2, turbo_enabled=False) == 2.0

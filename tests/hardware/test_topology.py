@@ -1,0 +1,101 @@
+"""Tests for the machine topology model."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.hardware.topology import MachineTopology
+
+
+class TestConstruction:
+    def test_shape(self):
+        topo = MachineTopology(2, 4, 2)
+        assert topo.n_sockets == 2
+        assert topo.n_cores == 8
+        assert topo.n_hw_threads == 16
+        assert topo.shape() == (2, 4, 2)
+
+    def test_single_socket_single_thread(self):
+        topo = MachineTopology(1, 1, 1)
+        assert topo.n_hw_threads == 1
+        assert topo.hw_thread(0).core_id == 0
+        assert topo.hw_thread(0).socket_id == 0
+
+    @pytest.mark.parametrize("bad", [(0, 4, 2), (2, 0, 2), (2, 4, 0)])
+    def test_rejects_degenerate_shapes(self, bad):
+        with pytest.raises(TopologyError):
+            MachineTopology(*bad)
+
+
+class TestNumbering:
+    """Hardware threads are numbered core-major, Linux style."""
+
+    def test_smt_siblings_are_core_apart(self):
+        topo = MachineTopology(2, 4, 2)
+        core = topo.core(3)
+        assert core.hw_thread_ids == (3, 11)  # 3 and 3 + n_cores
+
+    def test_socket_membership(self):
+        topo = MachineTopology(2, 4, 2)
+        assert topo.socket(0).core_ids == (0, 1, 2, 3)
+        assert topo.socket(1).core_ids == (4, 5, 6, 7)
+
+    def test_second_context_belongs_to_same_core(self):
+        topo = MachineTopology(2, 18, 2)
+        for core in topo.cores:
+            sockets = {topo.hw_thread(t).core_id for t in core.hw_thread_ids}
+            assert sockets == {core.core_id}
+
+    def test_every_hw_thread_enumerated_once(self):
+        topo = MachineTopology(4, 10, 2)
+        ids = [t.thread_id for t in topo.hw_threads]
+        assert ids == list(range(80))
+
+
+class TestLookups:
+    def test_core_of_thread(self):
+        topo = MachineTopology(2, 4, 2)
+        assert topo.core_of_thread(9).core_id == 1
+
+    def test_socket_of_thread(self):
+        topo = MachineTopology(2, 4, 2)
+        assert topo.socket_of_thread(5) == 1
+        assert topo.socket_of_thread(13) == 1  # SMT sibling of core 5
+
+    @pytest.mark.parametrize("method", ["socket", "core", "hw_thread"])
+    def test_out_of_range_lookup_raises(self, method):
+        topo = MachineTopology(2, 4, 2)
+        with pytest.raises(TopologyError):
+            getattr(topo, method)(999)
+
+
+class TestInterconnect:
+    def test_two_socket_single_link(self):
+        topo = MachineTopology(2, 4, 2)
+        assert list(topo.interconnect_links()) == [(0, 1)]
+
+    def test_four_sockets_fully_connected(self):
+        topo = MachineTopology(4, 10, 2)
+        links = list(topo.interconnect_links())
+        assert len(links) == 6  # C(4,2)
+        assert all(a < b for a, b in links)
+
+    def test_link_between_is_canonical(self):
+        assert MachineTopology.link_between(3, 1) == (1, 3)
+        assert MachineTopology.link_between(1, 3) == (1, 3)
+
+    def test_no_self_link(self):
+        with pytest.raises(TopologyError):
+            MachineTopology.link_between(2, 2)
+
+
+class TestPlacementHelpers:
+    def test_active_sockets(self):
+        topo = MachineTopology(2, 4, 2)
+        assert topo.active_sockets([0, 1]) == (0,)
+        assert topo.active_sockets([0, 5]) == (0, 1)
+        assert topo.active_sockets([13]) == (1,)
+
+    def test_threads_per_core_map(self):
+        topo = MachineTopology(2, 4, 2)
+        counts = topo.threads_per_core_map([0, 8, 5])  # 0 and 8 share core 0
+        assert counts == {0: 2, 5: 1}

@@ -1,0 +1,67 @@
+"""Tests for the Turbo Boost frequency model (paper Figure 14)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.hardware.turbo import TurboModel
+
+
+@pytest.fixture
+def haswell():
+    """The X5-2's published range: 2.3 nominal, 2.8-3.6 turbo."""
+    return TurboModel(nominal_ghz=2.3, max_turbo_ghz=3.6, all_core_turbo_ghz=2.8)
+
+
+class TestFrequencyCurve:
+    def test_single_core_gets_max_turbo(self, haswell):
+        assert haswell.frequency_ghz(1, 18) == 3.6
+
+    def test_all_cores_get_all_core_turbo(self, haswell):
+        assert haswell.frequency_ghz(18, 18) == pytest.approx(2.8)
+
+    def test_curve_is_monotonically_non_increasing(self, haswell):
+        freqs = [haswell.frequency_ghz(n, 18) for n in range(1, 19)]
+        assert all(a >= b for a, b in zip(freqs, freqs[1:]))
+
+    def test_idle_socket_reports_wakeup_frequency(self, haswell):
+        assert haswell.frequency_ghz(0, 18) == 3.6
+
+    def test_halfway_interpolation(self, haswell):
+        # active=9.5 not valid; check the exact midpoint of the range
+        mid = haswell.frequency_ghz(10, 19)
+        assert mid == pytest.approx(3.6 - 0.5 * (3.6 - 2.8))
+
+
+class TestDisabled:
+    """Disabling turbo runs at nominal — *slower* than all-core turbo,
+    which is why the paper leaves power management on (Section 6.3)."""
+
+    def test_disabled_is_nominal_everywhere(self, haswell):
+        for n in (1, 9, 18):
+            assert haswell.frequency_ghz(n, 18, enabled=False) == 2.3
+
+    def test_disabled_is_below_all_core_turbo(self, haswell):
+        assert haswell.frequency_ghz(18, 18, enabled=False) < haswell.frequency_ghz(
+            18, 18, enabled=True
+        )
+
+
+class TestValidation:
+    def test_rejects_inverted_range(self):
+        with pytest.raises(TopologyError):
+            TurboModel(nominal_ghz=3.0, max_turbo_ghz=2.0, all_core_turbo_ghz=2.5)
+
+    def test_rejects_out_of_range_active_count(self, haswell):
+        with pytest.raises(TopologyError):
+            haswell.frequency_ghz(19, 18)
+        with pytest.raises(TopologyError):
+            haswell.frequency_ghz(-1, 18)
+
+    def test_fixed_model_has_no_range(self):
+        fixed = TurboModel.fixed(1.0)
+        assert fixed.frequency_ghz(1, 4) == 1.0
+        assert fixed.frequency_ghz(4, 4) == 1.0
+        assert fixed.frequency_ghz(4, 4, enabled=False) == 1.0
+
+    def test_single_core_socket(self, haswell):
+        assert haswell.frequency_ghz(1, 1) == 3.6

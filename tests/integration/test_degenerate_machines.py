@@ -1,0 +1,113 @@
+"""The full pipeline on degenerate machines.
+
+Pandia's profiling steps have hardware preconditions: Run 3 needs two
+sockets, Runs 4-6 need SMT contexts.  The generator must skip what the
+machine cannot express and still produce usable descriptions.
+"""
+
+import pytest
+
+from repro.core.machine_desc import generate_machine_description
+from repro.core.placement import enumerate_canonical
+from repro.core.predictor import PandiaPredictor
+from repro.core.workload_desc import WorkloadDescriptionGenerator
+from repro.hardware import machines
+from repro.hardware.topology import MachineTopology
+from repro.sim.noise import NO_NOISE
+from repro.workloads.spec import WorkloadSpec
+
+
+def make_machine(n_sockets, cores, threads, name):
+    base = machines.get("TESTBOX")
+    return base.with_topology(
+        MachineTopology(n_sockets, cores, threads), name
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return WorkloadSpec(
+        name="degenerate-unit", work_ginstr=60.0, cpi=0.5, l1_bpi=6.0,
+        l2_bpi=2.0, l3_bpi=1.0, dram_bpi=1.5, working_set_mib=8.0,
+        parallel_fraction=0.97, load_balance=0.4, burst_duty=0.85,
+        comm_fraction=0.004,
+    )
+
+
+class TestSingleSocket:
+    @pytest.fixture(scope="class")
+    def machine(self):
+        return make_machine(1, 8, 2, "UNISOCKET")
+
+    def test_machine_description_has_no_interconnect(self, machine):
+        md = generate_machine_description(machine, noise=NO_NOISE)
+        assert md.interconnect_bw == 0.0
+        assert md.dram_bw_per_node > 0
+
+    def test_profiling_skips_run3(self, machine, workload):
+        md = generate_machine_description(machine, noise=NO_NOISE)
+        wd = WorkloadDescriptionGenerator(machine, md, noise=NO_NOISE).generate(workload)
+        labels = [r.label for r in wd.runs]
+        assert "run3" not in labels
+        assert wd.inter_socket_overhead == 0.0
+        assert wd.parallel_fraction == pytest.approx(0.97, abs=0.03)
+
+    def test_predictions_work(self, machine, workload):
+        md = generate_machine_description(machine, noise=NO_NOISE)
+        wd = WorkloadDescriptionGenerator(machine, md, noise=NO_NOISE).generate(workload)
+        predictor = PandiaPredictor(md)
+        for placement in enumerate_canonical(machine.topology, max_threads=8):
+            prediction = predictor.predict(wd, placement)
+            assert prediction.speedup > 0
+            assert not any(k[0] == "link" for k in prediction.resource_loads)
+
+
+class TestNoSmt:
+    @pytest.fixture(scope="class")
+    def machine(self):
+        return make_machine(2, 4, 1, "NOSMT")
+
+    def test_profiling_skips_smt_runs(self, machine, workload):
+        md = generate_machine_description(machine, noise=NO_NOISE)
+        wd = WorkloadDescriptionGenerator(machine, md, noise=NO_NOISE).generate(workload)
+        labels = [r.label for r in wd.runs]
+        assert "run4" not in labels and "run6" not in labels
+        assert wd.burstiness == 0.0
+        assert wd.load_balance == 0.5  # unidentifiable -> neutral default
+
+    def test_smt_rate_equals_core_rate(self, machine):
+        md = generate_machine_description(machine, noise=NO_NOISE)
+        assert md.core_rate_smt == md.core_rate
+
+    def test_canonical_placements_have_no_dual_cores(self, machine):
+        for placement in enumerate_canonical(machine.topology):
+            assert all(c == 1 for c in placement.threads_per_core().values())
+
+    def test_end_to_end_prediction_accuracy(self, machine, workload):
+        from repro.sim.run import run_workload
+
+        md = generate_machine_description(machine, noise=NO_NOISE)
+        wd = WorkloadDescriptionGenerator(machine, md, noise=NO_NOISE).generate(workload)
+        predictor = PandiaPredictor(md)
+        placement = enumerate_canonical(machine.topology, max_threads=6)[-1]
+        predicted = predictor.predict(wd, placement).predicted_time_s
+        measured = run_workload(
+            machine, workload, placement.hw_thread_ids, noise=NO_NOISE
+        ).elapsed_s
+        assert predicted == pytest.approx(measured, rel=0.35)
+
+
+class TestTinyMachine:
+    def test_single_core_machine_runs_the_pipeline(self, workload):
+        machine = make_machine(1, 1, 2, "UNICORE")
+        md = generate_machine_description(machine, noise=NO_NOISE)
+        wd = WorkloadDescriptionGenerator(machine, md, noise=NO_NOISE).generate(workload)
+        # A single-core socket cannot express Run 2's contention-free
+        # placement: the model stops at step 1 with neutral defaults.
+        assert wd.t1 > 0
+        assert [r.label for r in wd.runs] == ["run1"]
+        assert wd.parallel_fraction == 1.0
+        predictor = PandiaPredictor(md)
+        placements = enumerate_canonical(machine.topology)
+        for placement in placements:
+            assert predictor.predict(wd, placement).speedup > 0

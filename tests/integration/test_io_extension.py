@@ -1,0 +1,110 @@
+"""The Section-8 I/O extension, end to end.
+
+"We aim to relax our assumption that workloads do not perform
+significant I/O — it may be that off-machine communication links can be
+accommodated directly in our machine models in terms of available
+bandwidth or I/O operation rates."  TESTBOX models a ~50 GbE NIC; an
+I/O-heavy workload must be measured, described and predicted against
+it like any other bandwidth resource.
+"""
+
+import pytest
+
+from repro.core.machine_desc import generate_machine_description
+from repro.core.placement import Placement
+from repro.core.predictor import PandiaPredictor
+from repro.core.workload_desc import WorkloadDescriptionGenerator
+from repro.errors import SimulationError
+from repro.hardware import machines
+from repro.sim.engine import Job, SimOptions, simulate
+from repro.sim.noise import NO_NOISE
+from repro.sim.run import run_workload
+from repro.workloads.spec import WorkloadSpec
+
+QUIET = SimOptions(noise=NO_NOISE)
+
+
+@pytest.fixture(scope="module")
+def io_workload():
+    return WorkloadSpec(
+        name="io-server", work_ginstr=60.0, cpi=0.6, l1_bpi=5.0,
+        dram_bpi=0.8, io_bpi=1.5, working_set_mib=4.0,
+        parallel_fraction=0.99, load_balance=0.8,
+    )
+
+
+class TestSubstrate:
+    def test_nic_saturates_with_enough_threads(self, testbox, io_workload):
+        tids = tuple(c.hw_thread_ids[0] for c in testbox.topology.cores)
+        sim = simulate(testbox, [Job(io_workload, tids)], QUIET)
+        assert sim.resource_loads[("nic", 0)] == pytest.approx(
+            testbox.nic_gbs, rel=0.01
+        )
+
+    def test_nic_counters_report_traffic(self, testbox, io_workload):
+        run = run_workload(testbox, io_workload, (0,), noise=NO_NOISE)
+        assert run.counters.nic_gb == pytest.approx(60.0 * 1.5)
+        assert run.counters.nic_bandwidth > 0
+
+    def test_io_on_niclless_machine_rejected(self, x5, io_workload):
+        with pytest.raises(SimulationError, match="no off-machine link"):
+            simulate(x5, [Job(io_workload, (0,))], QUIET)
+
+    def test_io_free_workloads_never_touch_the_nic(self, testbox):
+        plain = WorkloadSpec(name="plain", work_ginstr=10.0, cpi=0.5)
+        sim = simulate(testbox, [Job(plain, (0,))], QUIET)
+        assert ("nic", 0) not in sim.resource_loads
+
+
+class TestMachineDescription:
+    def test_nic_bandwidth_measured(self, testbox):
+        md = generate_machine_description(testbox, noise=NO_NOISE)
+        assert md.nic_bw == pytest.approx(testbox.nic_gbs, rel=0.02)
+        assert "NIC" in md.summary()
+
+    def test_nicless_machine_reports_zero(self, x5):
+        md = generate_machine_description(x5, noise=NO_NOISE)
+        assert md.nic_bw == 0.0
+
+
+class TestPandiaOnIoWorkloads:
+    @pytest.fixture(scope="class")
+    def setup(self, request, io_workload):
+        testbox = request.getfixturevalue("testbox")
+        md = generate_machine_description(testbox, noise=NO_NOISE)
+        wd = WorkloadDescriptionGenerator(testbox, md, noise=NO_NOISE).generate(io_workload)
+        return testbox, md, wd
+
+    def test_demand_vector_records_io(self, setup, io_workload):
+        _, _, wd = setup
+        expected = wd.demands.inst_rate * io_workload.io_bpi
+        assert wd.demands.io_bw == pytest.approx(expected, rel=0.02)
+
+    def test_prediction_sees_the_nic_bottleneck(self, setup):
+        testbox, md, wd = setup
+        predictor = PandiaPredictor(md)
+        tids = tuple(c.hw_thread_ids[0] for c in testbox.topology.cores)
+        prediction = predictor.predict(wd, Placement(testbox.topology, tids))
+        assert prediction.bottleneck() == ("nic", 0)
+
+    def test_prediction_tracks_measurement(self, setup, io_workload):
+        testbox, md, wd = setup
+        predictor = PandiaPredictor(md)
+        tids = tuple(c.hw_thread_ids[0] for c in testbox.topology.cores)
+        predicted = predictor.predict(
+            wd, Placement(testbox.topology, tids)
+        ).predicted_time_s
+        measured = run_workload(testbox, io_workload, tids, noise=NO_NOISE).elapsed_s
+        assert predicted == pytest.approx(measured, rel=0.35)
+
+    def test_io_workloads_should_not_take_the_whole_machine(self, setup):
+        """The decision Pandia enables: the NIC gates at ~4 threads, so
+        right-sizing confines the server to a fraction of the box."""
+        from repro.core.optimizer import rightsize
+        from repro.core.placement import enumerate_canonical
+
+        testbox, md, wd = setup
+        predictor = PandiaPredictor(md)
+        placements = enumerate_canonical(testbox.topology)
+        small, _ = rightsize(predictor, wd, placements, tolerance=0.05)
+        assert small.n_threads <= testbox.topology.n_hw_threads // 2

@@ -1,0 +1,116 @@
+"""End-to-end integration tests: the full Pandia pipeline.
+
+These exercise the complete flow the paper describes — stressors →
+machine description → six profiling runs → predictions → evaluation —
+and assert the qualitative claims that make Pandia *useful*, on the
+fast TESTBOX machine.
+"""
+
+import pytest
+
+from repro.analysis.evaluation import evaluate_workload
+from repro.core.optimizer import best_placement
+from repro.core.placement import enumerate_canonical
+from repro.core.sweep import spread_placement
+from repro.sim.noise import NoiseModel
+from repro.sim.run import run_workload
+from repro.workloads.spec import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def placements(request):
+    testbox = request.getfixturevalue("testbox")
+    return enumerate_canonical(testbox.topology)
+
+
+def _evaluate(testbox, gen, predictor, placements, spec):
+    description = gen.generate(spec)
+    return evaluate_workload(
+        testbox, spec, description, predictor, placements,
+        noise=NoiseModel(sigma=0.01),
+    )
+
+
+class TestEndToEndAccuracy:
+    def test_balanced_workload_predicts_well(
+        self, testbox, testbox_gen, testbox_predictor, placements
+    ):
+        spec = WorkloadSpec(
+            name="e2e-balanced", work_ginstr=100.0, cpi=0.5, l1_bpi=6.0,
+            l2_bpi=2.0, l3_bpi=1.0, dram_bpi=1.0, working_set_mib=8.0,
+            parallel_fraction=0.99, load_balance=0.6, burst_duty=0.9,
+            comm_fraction=0.003,
+        )
+        evaluation = _evaluate(testbox, testbox_gen, testbox_predictor, placements, spec)
+        assert evaluation.errors().median_error < 12.0
+        assert evaluation.placement_regret_percent() < 8.0
+
+    def test_memory_bound_workload_peak_detected(
+        self, testbox, testbox_gen, testbox_predictor, placements
+    ):
+        """A DRAM-saturating workload peaks well below the full machine,
+        and Pandia's chosen placement must be nearly as good."""
+        spec = WorkloadSpec(
+            name="e2e-membound", work_ginstr=60.0, cpi=0.9, l1_bpi=8.0,
+            dram_bpi=6.0, working_set_mib=64.0, parallel_fraction=0.995,
+            load_balance=0.3,
+        )
+        evaluation = _evaluate(testbox, testbox_gen, testbox_predictor, placements, spec)
+        assert evaluation.peak_measured_threads() < testbox.topology.n_hw_threads
+        assert evaluation.placement_regret_percent() < 10.0
+
+    def test_compute_bound_workload_wants_whole_machine(
+        self, testbox, testbox_gen, testbox_predictor, placements
+    ):
+        spec = WorkloadSpec(
+            name="e2e-compute", work_ginstr=200.0, cpi=0.3, l1_bpi=3.0,
+            working_set_mib=0.5, parallel_fraction=0.999, load_balance=0.9,
+        )
+        description = testbox_gen.generate(spec)
+        placement, _ = best_placement(testbox_predictor, description, placements)
+        # Compute-bound with SMT gain: every context helps.
+        assert placement.n_threads >= testbox.topology.n_cores
+
+
+class TestPredictionAgainstTimedRun:
+    """Spot check absolute predictions against fresh timed runs."""
+
+    @pytest.mark.parametrize("n_threads", [2, 4, 8])
+    def test_spread_placements(
+        self, testbox, testbox_gen, testbox_predictor, n_threads
+    ):
+        spec = WorkloadSpec(
+            name="e2e-spot", work_ginstr=80.0, cpi=0.6, l1_bpi=6.0,
+            dram_bpi=1.5, working_set_mib=16.0, parallel_fraction=0.98,
+            load_balance=0.5, comm_fraction=0.004,
+        )
+        description = testbox_gen.generate(spec)
+        placement = spread_placement(testbox.topology, n_threads)
+        predicted = testbox_predictor.predict(description, placement).predicted_time_s
+        measured = run_workload(
+            testbox, spec, placement.hw_thread_ids, run_tag="e2e-spot"
+        ).elapsed_s
+        assert predicted == pytest.approx(measured, rel=0.35)
+
+
+class TestCrossMachinePortability:
+    def test_testbox_description_useful_on_x3(self, testbox, testbox_gen, x3, x3_md):
+        """A description from the small machine still ranks X3-2
+        placements sensibly (Figure 11c/d at integration-test scale)."""
+        from repro.core.predictor import PandiaPredictor
+
+        spec = WorkloadSpec(
+            name="e2e-port", work_ginstr=80.0, cpi=0.5, l1_bpi=6.0,
+            dram_bpi=2.0, working_set_mib=16.0, parallel_fraction=0.99,
+            load_balance=0.5, comm_fraction=0.004,
+        )
+        ported = testbox_gen.generate(spec)
+        predictor = PandiaPredictor(x3_md)
+        few = spread_placement(x3.topology, 2)
+        many = spread_placement(x3.topology, 16)
+        t_few = predictor.predict(ported, few).predicted_time_s
+        t_many = predictor.predict(ported, many).predicted_time_s
+        m_few = run_workload(x3, spec, few.hw_thread_ids, run_tag="port").elapsed_s
+        m_many = run_workload(x3, spec, many.hw_thread_ids, run_tag="port").elapsed_s
+        # The ordering (more threads is better here) must survive porting.
+        assert (t_many < t_few) == (m_many < m_few)

@@ -1,0 +1,95 @@
+"""Tests for JSON serialisation of descriptions."""
+
+import json
+
+import pytest
+
+from repro.core.description import DemandVector, RunRecord, WorkloadDescription
+from repro.errors import ModelError
+from repro.io.serialization import (
+    description_from_json,
+    description_to_json,
+    machine_description_from_json,
+    machine_description_to_json,
+)
+
+
+@pytest.fixture
+def workload_description():
+    return WorkloadDescription(
+        name="roundtrip",
+        machine_name="TESTBOX",
+        t1=12.5,
+        demands=DemandVector(
+            inst_rate=4.5, cache_bw={"L1": 30.0, "L3": 5.0}, dram_bw=7.0
+        ),
+        parallel_fraction=0.97,
+        inter_socket_overhead=0.012,
+        load_balance=0.4,
+        burstiness=0.22,
+        runs=(
+            RunRecord("run1", 1, 12.5, 1.0, 1.0, 1.0),
+            RunRecord("run2", 4, 3.5, 0.28, 1.0, 0.28),
+        ),
+    )
+
+
+class TestMachineDescriptionRoundTrip:
+    def test_round_trip_is_identical(self, testbox_md):
+        text = machine_description_to_json(testbox_md)
+        loaded = machine_description_from_json(text)
+        assert loaded == testbox_md
+
+    def test_output_is_stable(self, testbox_md):
+        assert machine_description_to_json(testbox_md) == machine_description_to_json(
+            testbox_md
+        )
+
+    def test_rejects_wrong_kind(self, workload_description):
+        text = description_to_json(workload_description)
+        with pytest.raises(ModelError, match="machine_description"):
+            machine_description_from_json(text)
+
+    def test_rejects_future_version(self, testbox_md):
+        payload = json.loads(machine_description_to_json(testbox_md))
+        payload["format_version"] = 999
+        with pytest.raises(ModelError, match="format version"):
+            machine_description_from_json(json.dumps(payload))
+
+    def test_rejects_missing_field(self, testbox_md):
+        payload = json.loads(machine_description_to_json(testbox_md))
+        del payload["core_rate"]
+        with pytest.raises(ModelError, match="missing field"):
+            machine_description_from_json(json.dumps(payload))
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ModelError, match="invalid JSON"):
+            machine_description_from_json("not json {")
+
+
+class TestWorkloadDescriptionRoundTrip:
+    def test_round_trip_is_identical(self, workload_description):
+        loaded = description_from_json(description_to_json(workload_description))
+        assert loaded == workload_description
+
+    def test_run_records_survive(self, workload_description):
+        loaded = description_from_json(description_to_json(workload_description))
+        assert len(loaded.runs) == 2
+        assert loaded.profiling_cost_s == workload_description.profiling_cost_s
+
+    def test_validation_applies_on_load(self, workload_description):
+        payload = json.loads(description_to_json(workload_description))
+        payload["parallel_fraction"] = 1.7
+        with pytest.raises(ModelError):
+            description_from_json(json.dumps(payload))
+
+    def test_loaded_description_predicts(self, testbox_md, workload_description):
+        """A round-tripped description is directly usable."""
+        from repro.core.placement import Placement
+        from repro.core.predictor import PandiaPredictor
+
+        loaded = description_from_json(description_to_json(workload_description))
+        pred = PandiaPredictor(testbox_md).predict(
+            loaded, Placement(testbox_md.topology, (0, 1))
+        )
+        assert pred.speedup > 0

@@ -1,0 +1,99 @@
+"""Tests for the on-disk description store."""
+
+import pytest
+
+from repro.core.description import DemandVector, WorkloadDescription
+from repro.errors import ModelError
+from repro.io.store import DescriptionStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return DescriptionStore(tmp_path)
+
+
+def make_workload(name="stored", machine="TESTBOX"):
+    return WorkloadDescription(
+        name=name,
+        machine_name=machine,
+        t1=10.0,
+        demands=DemandVector(inst_rate=4.0, dram_bw=2.0),
+        parallel_fraction=0.95,
+    )
+
+
+class TestMachineStore:
+    def test_save_and_load(self, store, testbox_md):
+        path = store.save_machine(testbox_md)
+        assert path.exists()
+        assert store.load_machine("TESTBOX") == testbox_md
+
+    def test_load_missing_raises(self, store):
+        with pytest.raises(ModelError, match="no stored machine"):
+            store.load_machine("GHOST")
+
+    def test_get_or_measure_measures_once(self, store, testbox_md):
+        calls = []
+
+        def measure():
+            calls.append(1)
+            return testbox_md
+
+        first = store.get_or_measure("TESTBOX", measure)
+        second = store.get_or_measure("TESTBOX", measure)
+        assert first == second == testbox_md
+        assert len(calls) == 1
+
+    def test_get_or_measure_rejects_wrong_machine(self, store, testbox_md):
+        with pytest.raises(ModelError, match="expected"):
+            store.get_or_measure("OTHER", lambda: testbox_md)
+
+    def test_stored_machines_listing(self, store, testbox_md):
+        assert store.stored_machines() == []
+        store.save_machine(testbox_md)
+        assert store.stored_machines() == ["TESTBOX"]
+
+
+class TestWorkloadStore:
+    def test_save_and_load(self, store):
+        wd = make_workload()
+        store.save_workload(wd)
+        assert store.load_workload("TESTBOX", "stored") == wd
+
+    def test_descriptions_keyed_by_machine(self, store):
+        a = make_workload(machine="TESTBOX")
+        b = make_workload(machine="X3-2")
+        store.save_workload(a)
+        store.save_workload(b)
+        assert store.load_workload("TESTBOX", "stored").machine_name == "TESTBOX"
+        assert store.load_workload("X3-2", "stored").machine_name == "X3-2"
+
+    def test_get_or_profile_profiles_once(self, store):
+        calls = []
+
+        def profile():
+            calls.append(1)
+            return make_workload()
+
+        store.get_or_profile("TESTBOX", "stored", profile)
+        store.get_or_profile("TESTBOX", "stored", profile)
+        assert len(calls) == 1
+
+    def test_get_or_profile_rejects_mismatch(self, store):
+        with pytest.raises(ModelError, match="expected"):
+            store.get_or_profile("TESTBOX", "other-name", make_workload)
+
+    def test_stored_workloads_listing(self, store):
+        assert store.stored_workloads("TESTBOX") == []
+        store.save_workload(make_workload(name="a"))
+        store.save_workload(make_workload(name="b"))
+        assert store.stored_workloads("TESTBOX") == ["a", "b"]
+
+    def test_weird_names_are_sanitised(self, store):
+        wd = make_workload(name="Sort-Join")
+        path = store.save_workload(wd)
+        assert path.name == "Sort-Join.json"
+        odd = make_workload(name="a/b c")
+        odd_path = store.save_workload(odd)
+        assert "/" not in odd_path.name
+        assert store.load_workload("TESTBOX", "a/b c").name == "a/b c"

@@ -1,0 +1,90 @@
+"""Tests for the pinned-run and stressor command builders."""
+
+import pytest
+
+from repro.errors import ProfilingError
+from repro.perf.command import pinned_run_command, stressor_command
+
+
+class TestPinnedRun:
+    def test_basic_shape(self):
+        cmd = pinned_run_command(["./bench", "--size", "B"], [0, 2, 1])
+        argv = list(cmd.argv)
+        assert argv[:3] == ["perf", "stat", "-x,"]
+        assert "-e" in argv
+        dash = argv.index("--")
+        assert argv[dash + 1 : dash + 4] == ["taskset", "-c", "0,1,2"]
+        assert argv[-3:] == ["./bench", "--size", "B"]
+
+    def test_events_match_requested_set(self):
+        cmd = pinned_run_command(["./a"], [0], event_set="core")
+        joined = ",".join(cmd.events)
+        assert "instructions" in joined
+        assert "LLC" not in joined
+
+    def test_interleave_policy(self):
+        cmd = pinned_run_command(["./a"], [0], interleave_nodes=[1, 0])
+        assert "numactl" in cmd.argv
+        assert "--interleave=0,1" in cmd.argv
+
+    def test_bind_policy(self):
+        cmd = pinned_run_command(["./a"], [0], bind_nodes=[1])
+        assert "--membind=1" in cmd.argv
+
+    def test_conflicting_policies_rejected(self):
+        with pytest.raises(ProfilingError, match="conflict"):
+            pinned_run_command(["./a"], [0], interleave_nodes=[0], bind_nodes=[1])
+
+    def test_repeat_flag(self):
+        cmd = pinned_run_command(["./a"], [0], repeat=3)
+        argv = list(cmd.argv)
+        assert argv[argv.index("-r") + 1] == "3"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workload_argv": [], "hw_thread_ids": [0]},
+            {"workload_argv": ["./a"], "hw_thread_ids": []},
+            {"workload_argv": ["./a"], "hw_thread_ids": [0, 0]},
+            {"workload_argv": ["./a"], "hw_thread_ids": [0], "event_set": "nope"},
+            {"workload_argv": ["./a"], "hw_thread_ids": [0], "repeat": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ProfilingError):
+            pinned_run_command(**kwargs)
+
+    def test_str_is_shell_like(self):
+        cmd = pinned_run_command(["./a"], [0])
+        assert str(cmd).startswith("perf stat -x,")
+
+
+class TestStressor:
+    def test_cpu_stressor_counts_instructions(self):
+        cmd = stressor_command("cpu", [0, 1])
+        assert "stress-ng" in cmd.argv
+        assert "--cpu" in cmd.argv
+        assert "instructions" in ",".join(cmd.events)
+
+    def test_dram_stressor_binds_memory(self):
+        cmd = stressor_command("dram", [0], bind_nodes=[0])
+        assert "--stream" in cmd.argv
+        assert "--membind=0" in cmd.argv
+
+    def test_cache_level_selected(self):
+        cmd = stressor_command("l2", [0])
+        argv = list(cmd.argv)
+        assert argv[argv.index("--cache-level") + 1] == "2"
+
+    def test_thread_count_propagates(self):
+        cmd = stressor_command("cpu", [0, 1, 2, 3])
+        argv = list(cmd.argv)
+        assert argv[argv.index("--cpu") + 1] == "4"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProfilingError, match="unknown stressor"):
+            stressor_command("gpu", [0])
+
+    def test_duration_validated(self):
+        with pytest.raises(ProfilingError):
+            stressor_command("cpu", [0], duration_s=0.0)

@@ -1,0 +1,67 @@
+"""Tests for event-to-counter conversion."""
+
+import pytest
+
+from repro.errors import ProfilingError
+from repro.perf.events import EVENT_SETS, counters_from_events
+from repro.perf.parse import PerfEvent
+
+
+def make_events(**values):
+    events = {
+        "duration_time": PerfEvent("duration_time", 2e9),  # 2 seconds
+        "instructions": PerfEvent("instructions", 10e9),
+    }
+    for name, value in values.items():
+        key = name.replace("_", "-")
+        events[key] = PerfEvent(key, value)
+    return events
+
+
+class TestConversion:
+    def test_instruction_rate(self):
+        counters = counters_from_events(make_events())
+        assert counters.elapsed_s == 2.0
+        assert counters.instruction_rate == pytest.approx(5.0)  # Ginstr/s
+
+    def test_cache_traffic_is_accesses_times_line(self):
+        counters = counters_from_events(
+            make_events(**{"L1_dcache_loads": 1e9, "L1_dcache_stores": 0.5e9})
+        )
+        # 1.5e9 accesses x 64B = 96 GB over 2s = 48 GB/s
+        assert counters.cache_bandwidth("L1") == pytest.approx(48.0)
+
+    def test_llc_misses_become_dram_traffic(self):
+        counters = counters_from_events(
+            make_events(**{"LLC_load_misses": 1e9, "LLC_store_misses": 1e9})
+        )
+        assert counters.dram_bandwidth_total == pytest.approx(2e9 * 64 / 1e9 / 2)
+
+    def test_unsupported_events_leave_level_at_zero(self):
+        events = make_events()
+        events["LLC-loads"] = PerfEvent("LLC-loads", None)
+        counters = counters_from_events(events)
+        assert counters.cache_bandwidth("L3") == 0.0
+
+    def test_missing_duration_rejected(self):
+        events = make_events()
+        del events["duration_time"]
+        with pytest.raises(ProfilingError):
+            counters_from_events(events)
+
+    def test_zero_duration_rejected(self):
+        events = make_events()
+        events["duration_time"] = PerfEvent("duration_time", 0.0)
+        with pytest.raises(ProfilingError, match="duration"):
+            counters_from_events(events)
+
+
+class TestEventSets:
+    def test_every_set_includes_duration(self):
+        for name, events in EVENT_SETS.items():
+            assert "duration_time" in events, name
+
+    def test_workload_set_covers_every_level(self):
+        joined = ",".join(EVENT_SETS["workload"])
+        for token in ("instructions", "L1-dcache", "LLC-loads", "LLC-load-misses"):
+            assert token in joined

@@ -1,0 +1,78 @@
+"""Tests for the perf stat output parser (canned real-world shapes)."""
+
+import pytest
+
+from repro.errors import ProfilingError
+from repro.perf.parse import parse_perf_stat, require_events
+
+#: Typical `perf stat -x, -e ...` stderr from an Intel server.
+CANNED = """\
+2000000000,ns,duration_time,2000000000,100.00,,
+15234567890,,instructions,1999876543,100.00,1.52,insn per cycle
+5123456789,,L1-dcache-loads,1999876543,100.00,,
+812345678,,L1-dcache-stores,1999812345,99.80,,
+91234567,,L1-dcache-load-misses,1500123456,75.01,,
+12345678,,LLC-loads,1500123456,75.01,,
+2345678,,LLC-stores,1499987654,74.99,,
+1234567,,LLC-load-misses,1499987654,74.99,,
+<not supported>,,LLC-store-misses,0,100.00,,
+"""
+
+HUMAN_FOOTER = """\
+1000000,,instructions,100,100.00,,
+
+       2.001234567 seconds time elapsed
+"""
+
+
+class TestParse:
+    def test_parses_all_events(self):
+        events = parse_perf_stat(CANNED)
+        assert events["instructions"].value == 15234567890
+        assert events["L1-dcache-loads"].value == 5123456789
+        assert events["duration_time"].value == 2e9
+
+    def test_not_supported_is_none(self):
+        events = parse_perf_stat(CANNED)
+        assert events["LLC-store-misses"].value is None
+        assert not events["LLC-store-misses"].supported
+
+    def test_multiplexing_fraction(self):
+        events = parse_perf_stat(CANNED)
+        assert events["LLC-loads"].enabled_fraction == pytest.approx(0.7501)
+        assert events["instructions"].enabled_fraction == pytest.approx(1.0)
+
+    def test_human_elapsed_footer(self):
+        events = parse_perf_stat(HUMAN_FOOTER)
+        assert events["duration_time"].value == pytest.approx(2.001234567e9)
+
+    def test_blank_and_comment_lines_tolerated(self):
+        events = parse_perf_stat("# started\n\n123,,instructions,1,100.00,,\n")
+        assert events["instructions"].value == 123
+
+    def test_empty_output_rejected(self):
+        with pytest.raises(ProfilingError, match="no events"):
+            parse_perf_stat("")
+
+    def test_garbage_value_rejected(self):
+        with pytest.raises(ProfilingError, match="unparseable"):
+            parse_perf_stat("abc,,instructions,1,100.00,,")
+
+    def test_missing_event_name_rejected(self):
+        with pytest.raises(ProfilingError, match="without event name"):
+            parse_perf_stat("123,,,1,100.00,,")
+
+
+class TestRequireEvents:
+    def test_extracts_values(self):
+        events = parse_perf_stat(CANNED)
+        got = require_events(events, ["instructions", "LLC-loads"])
+        assert got == {
+            "instructions": 15234567890,
+            "LLC-loads": 12345678,
+        }
+
+    def test_missing_event_reported(self):
+        events = parse_perf_stat(CANNED)
+        with pytest.raises(ProfilingError, match="LLC-store-misses"):
+            require_events(events, ["LLC-store-misses"])

@@ -1,0 +1,48 @@
+"""Fuzz the perf stat parser: arbitrary text never crashes it.
+
+The parser ingests stderr from an external tool; whatever arrives, it
+must either produce events or raise :class:`ProfilingError` — never an
+unrelated exception.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ProfilingError
+from repro.perf.parse import parse_perf_stat
+
+printable_lines = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\x00"),
+    max_size=200,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(text=printable_lines)
+def test_arbitrary_text_is_handled(text):
+    try:
+        events = parse_perf_stat(text)
+    except ProfilingError:
+        return
+    assert events  # if it parsed, it found at least one event
+    for event in events.values():
+        assert event.name
+        assert event.value is None or isinstance(event.value, float)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    value=st.floats(min_value=0, max_value=1e15, allow_nan=False),
+    name=st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="-_"),
+        min_size=1,
+        max_size=30,
+    ),
+    pct=st.floats(min_value=0, max_value=100, allow_nan=False),
+)
+def test_wellformed_lines_always_parse(value, name, pct):
+    line = f"{value},,{name},123,{pct:.2f},,"
+    events = parse_perf_stat(line)
+    assert name in events
+    assert events[name].value == value
+    written = float(f"{pct:.2f}")  # what actually went on the wire
+    assert abs(events[name].enabled_fraction - written / 100.0) < 1e-9

@@ -1,0 +1,140 @@
+"""Property-based tests for the co-scheduling predictor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coscheduling import CoSchedulePredictor, CoScheduledWorkload
+from repro.core.description import DemandVector, WorkloadDescription
+from repro.core.machine_desc import MachineDescription
+from repro.core.placement import Placement
+from repro.core.predictor import PandiaPredictor
+from repro.hardware.topology import MachineTopology
+
+TOPO = MachineTopology(2, 2, 2)
+MD = MachineDescription(
+    machine_name="prop",
+    topology=TOPO,
+    core_rate=10.0,
+    core_rate_smt=12.0,
+    cache_link_bw={"L1": 40.0},
+    dram_bw_per_node=100.0,
+    interconnect_bw=50.0,
+)
+
+workloads = st.builds(
+    lambda inst, dram, p, os_, l, b: WorkloadDescription(
+        name="w",
+        machine_name="prop",
+        t1=100.0,
+        demands=DemandVector(inst_rate=inst, cache_bw={"L1": inst * 4}, dram_bw=dram),
+        parallel_fraction=p,
+        inter_socket_overhead=os_,
+        load_balance=l,
+        burstiness=b,
+    ),
+    inst=st.floats(0.5, 9.0),
+    dram=st.floats(0.0, 90.0),
+    p=st.floats(0.5, 1.0),
+    os_=st.floats(0.0, 0.1),
+    l=st.floats(0.0, 1.0),
+    b=st.floats(0.0, 1.0),
+)
+
+#: Disjoint placement pairs on the 8-context machine.
+PLACEMENT_PAIRS = [
+    ((0, 1), (2, 3)),
+    ((0, 4), (2, 6)),
+    ((0,), (2, 3, 6)),
+    ((0, 1, 2), (3,)),
+]
+
+
+@settings(max_examples=60, deadline=None)
+@given(wd=workloads, idx=st.integers(0, len(PLACEMENT_PAIRS) - 1))
+def test_single_job_equals_solo_predictor(wd, idx):
+    tids, _ = PLACEMENT_PAIRS[idx]
+    placement = Placement(TOPO, tids)
+    solo = PandiaPredictor(MD).predict(wd, placement)
+    joint = CoSchedulePredictor(MD).predict([CoScheduledWorkload(wd, placement)])
+    assert joint.outcomes[0].speedup == pytest.approx(solo.speedup, rel=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=workloads, b=workloads, idx=st.integers(0, len(PLACEMENT_PAIRS) - 1))
+def test_neighbours_never_speed_you_up(a, b, idx):
+    tids_a, tids_b = PLACEMENT_PAIRS[idx]
+    a = WorkloadDescription(
+        name="a", machine_name="prop", t1=a.t1, demands=a.demands,
+        parallel_fraction=a.parallel_fraction,
+        inter_socket_overhead=a.inter_socket_overhead,
+        load_balance=a.load_balance, burstiness=a.burstiness,
+    )
+    b = WorkloadDescription(
+        name="b", machine_name="prop", t1=b.t1, demands=b.demands,
+        parallel_fraction=b.parallel_fraction,
+        inter_socket_overhead=b.inter_socket_overhead,
+        load_balance=b.load_balance, burstiness=b.burstiness,
+    )
+    predictor = CoSchedulePredictor(MD)
+    alone = predictor.predict(
+        [CoScheduledWorkload(a, Placement(TOPO, tids_a))]
+    ).outcome_for("a")
+    together = predictor.predict(
+        [
+            CoScheduledWorkload(a, Placement(TOPO, tids_a)),
+            CoScheduledWorkload(b, Placement(TOPO, tids_b)),
+        ]
+    ).outcome_for("a")
+    assert together.predicted_time_s >= alone.predicted_time_s * (1 - 1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=workloads, b=workloads, idx=st.integers(0, len(PLACEMENT_PAIRS) - 1))
+def test_joint_prediction_order_independent(a, b, idx):
+    tids_a, tids_b = PLACEMENT_PAIRS[idx]
+    a = WorkloadDescription(
+        name="a", machine_name="prop", t1=a.t1, demands=a.demands,
+        parallel_fraction=a.parallel_fraction,
+        inter_socket_overhead=a.inter_socket_overhead,
+        load_balance=a.load_balance, burstiness=a.burstiness,
+    )
+    b = WorkloadDescription(
+        name="b", machine_name="prop", t1=b.t1, demands=b.demands,
+        parallel_fraction=b.parallel_fraction,
+        inter_socket_overhead=b.inter_socket_overhead,
+        load_balance=b.load_balance, burstiness=b.burstiness,
+    )
+    predictor = CoSchedulePredictor(MD)
+    forward = predictor.predict(
+        [
+            CoScheduledWorkload(a, Placement(TOPO, tids_a)),
+            CoScheduledWorkload(b, Placement(TOPO, tids_b)),
+        ]
+    )
+    reverse = predictor.predict(
+        [
+            CoScheduledWorkload(b, Placement(TOPO, tids_b)),
+            CoScheduledWorkload(a, Placement(TOPO, tids_a)),
+        ]
+    )
+    assert forward.outcome_for("a").speedup == pytest.approx(
+        reverse.outcome_for("a").speedup, rel=1e-9
+    )
+    assert forward.outcome_for("b").speedup == pytest.approx(
+        reverse.outcome_for("b").speedup, rel=1e-9
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(wd=workloads, idx=st.integers(0, len(PLACEMENT_PAIRS) - 1))
+def test_slowdowns_bounded_and_loads_finite(wd, idx):
+    tids_a, tids_b = PLACEMENT_PAIRS[idx]
+    joint = CoSchedulePredictor(MD).predict(
+        [CoScheduledWorkload(wd, Placement(TOPO, tids_a + tids_b))]
+    )
+    outcome = joint.outcomes[0]
+    assert all(s >= 1.0 - 1e-9 for s in outcome.slowdowns)
+    assert outcome.speedup <= outcome.amdahl + 1e-9
+    for key, load in joint.resource_loads.items():
+        assert load >= 0
+        assert key in joint.resource_capacities

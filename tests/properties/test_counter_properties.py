@@ -1,0 +1,70 @@
+"""Property tests: counters account exactly for the work performed."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import machines
+from repro.sim.engine import Job, SimOptions, simulate
+from repro.sim.noise import NO_NOISE
+from repro.workloads.synthetic import random_spec
+
+QUIET = SimOptions(noise=NO_NOISE)
+TESTBOX = machines.get("TESTBOX")
+
+seeds = st.integers(min_value=0, max_value=4000)
+counts = st.integers(min_value=1, max_value=6)
+
+
+def _placement(n):
+    order = [0, 4, 1, 5, 2, 6]
+    return tuple(order[:n])
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds, n=counts)
+def test_private_cache_traffic_is_work_times_bpi(seed, n):
+    spec = random_spec(seed)
+    result = simulate(TESTBOX, [Job(spec, _placement(n))], QUIET).job_results[0]
+    work = result.counters.instructions_g
+    assert result.counters.cache_gb.get("L1", 0.0) == pytest.approx(
+        work * spec.l1_bpi, rel=1e-6
+    )
+    assert result.counters.cache_gb.get("L2", 0.0) == pytest.approx(
+        work * spec.l2_bpi, rel=1e-6
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds, n=counts)
+def test_dram_traffic_never_below_the_specs_own(seed, n):
+    """LLC spill can only add DRAM traffic, never remove it."""
+    spec = random_spec(seed)
+    result = simulate(TESTBOX, [Job(spec, _placement(n))], QUIET).job_results[0]
+    work = result.counters.instructions_g
+    total_dram = sum(result.counters.dram_gb_per_node.values())
+    assert total_dram >= work * spec.dram_bpi * (1 - 1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds, n=counts)
+def test_link_traffic_bounded_by_remote_dram_share(seed, n):
+    """Interconnect bytes are exactly the remote slice of DRAM bytes."""
+    spec = random_spec(seed)
+    result = simulate(TESTBOX, [Job(spec, _placement(n))], QUIET).job_results[0]
+    link = sum(result.counters.link_gb.values())
+    dram = sum(result.counters.dram_gb_per_node.values())
+    assert link <= dram * (1 + 1e-9)
+    if n == 1:  # one thread, one active socket: nothing crosses
+        assert link == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_noise_only_scales_elapsed_not_totals(seed):
+    spec = random_spec(seed)
+    quiet = simulate(TESTBOX, [Job(spec, _placement(2))], QUIET).job_results[0]
+    noisy = simulate(TESTBOX, [Job(spec, _placement(2))], SimOptions()).job_results[0]
+    assert noisy.counters.instructions_g == pytest.approx(
+        quiet.counters.instructions_g
+    )
+    assert noisy.elapsed_s != quiet.elapsed_s

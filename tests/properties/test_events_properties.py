@@ -1,0 +1,86 @@
+"""Property-based tests for the event-driven co-run simulation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import machines
+from repro.sim.engine import Job, SimOptions, simulate
+from repro.sim.events import ScheduledJob, simulate_timeline
+from repro.sim.noise import NO_NOISE
+from repro.workloads.synthetic import random_spec
+
+QUIET = SimOptions(noise=NO_NOISE)
+TESTBOX = machines.get("TESTBOX")
+
+seeds = st.integers(min_value=0, max_value=5000)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds)
+def test_lone_job_always_matches_steady_engine(seed):
+    spec = random_spec(seed)
+    timeline = simulate_timeline(TESTBOX, [ScheduledJob(spec, (0, 1))], QUIET)
+    steady = simulate(TESTBOX, [Job(spec, (0, 1))], QUIET).job_results[0]
+    assert timeline.result_for(spec.name).elapsed_s == pytest.approx(
+        steady.elapsed_s, rel=1e-9
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed_a=seeds, seed_b=seeds, arrival=st.floats(0.0, 50.0))
+def test_jobs_always_finish_after_they_arrive(seed_a, seed_b, arrival):
+    a = random_spec(seed_a, name="job-a")
+    b = random_spec(seed_b, name="job-b")
+    timeline = simulate_timeline(
+        TESTBOX,
+        [
+            ScheduledJob(a, (0, 1)),
+            ScheduledJob(b, (2, 3), arrival_s=arrival),
+        ],
+        QUIET,
+    )
+    for name in ("job-a", "job-b"):
+        result = timeline.result_for(name)
+        assert result.end_s > result.arrival_s
+        assert result.segments  # at least one execution segment
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed_a=seeds, seed_b=seeds)
+def test_churn_never_slower_than_steady_corun(seed_a, seed_b):
+    """Removing a finished neighbour can only help the survivor, so the
+    churn-aware end time is at most the steady co-run's (plus epsilon)."""
+    a = random_spec(seed_a, name="job-a")
+    b = random_spec(seed_b, name="job-b")
+    timeline = simulate_timeline(
+        TESTBOX,
+        [ScheduledJob(a, (0, 1)), ScheduledJob(b, (2, 3))],
+        QUIET,
+    )
+    steady = simulate(TESTBOX, [Job(a, (0, 1)), Job(b, (2, 3))], QUIET)
+    steady_times = {jr.job.spec.name: jr.elapsed_s for jr in steady.job_results}
+    for name in ("job-a", "job-b"):
+        assert (
+            timeline.result_for(name).elapsed_s
+            <= steady_times[name] * (1 + 1e-6)
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds, gap=st.floats(0.1, 10.0))
+def test_serial_reuse_is_sum_of_solo_times(seed, gap):
+    """Back-to-back jobs on the same contexts don't interact."""
+    a = random_spec(seed, name="job-a")
+    b = random_spec(seed + 1, name="job-b")
+    t_a = simulate(TESTBOX, [Job(a, (0, 1))], QUIET).job_results[0].elapsed_s
+    t_b = simulate(TESTBOX, [Job(b, (0, 1))], QUIET).job_results[0].elapsed_s
+    timeline = simulate_timeline(
+        TESTBOX,
+        [
+            ScheduledJob(a, (0, 1)),
+            ScheduledJob(b, (0, 1), arrival_s=t_a + gap),
+        ],
+        QUIET,
+    )
+    assert timeline.result_for("job-b").elapsed_s == pytest.approx(t_b, rel=1e-6)
+    assert timeline.makespan_s == pytest.approx(t_a + gap + t_b, rel=1e-6)

@@ -1,0 +1,47 @@
+"""Property-based tests for placement canonicalisation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.placement import Placement, from_shapes
+from repro.hardware.topology import MachineTopology
+
+TOPO = MachineTopology(2, 4, 2)
+
+shapes = st.tuples(
+    st.tuples(st.integers(0, 4), st.integers(0, 4)).filter(lambda s: sum(s) <= 4),
+    st.tuples(st.integers(0, 4), st.integers(0, 4)).filter(lambda s: sum(s) <= 4),
+).filter(lambda pair: sum(pair[0]) + sum(pair[1]) > 0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(pair=shapes)
+def test_from_shapes_round_trips(pair):
+    placement = from_shapes(TOPO, pair)
+    assert placement.socket_shapes() == pair
+    assert placement.n_threads == sum(o + 2 * t for o, t in pair)
+
+
+@settings(max_examples=100, deadline=None)
+@given(pair=shapes)
+def test_canonical_key_is_socket_order_invariant(pair):
+    forward = from_shapes(TOPO, pair)
+    mirrored = from_shapes(TOPO, (pair[1], pair[0]))
+    assert forward.canonical_key() == mirrored.canonical_key()
+
+
+@settings(max_examples=100, deadline=None)
+@given(pair=shapes)
+def test_sort_key_leads_with_thread_count(pair):
+    placement = from_shapes(TOPO, pair)
+    assert placement.sort_key()[0] == placement.n_threads
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    tids=st.lists(st.integers(0, 15), min_size=1, max_size=16, unique=True)
+)
+def test_threads_per_core_accounts_for_everything(tids):
+    placement = Placement(TOPO, tuple(tids))
+    counts = placement.threads_per_core()
+    assert sum(counts.values()) == placement.n_threads
+    assert all(1 <= c <= 2 for c in counts.values())

@@ -1,0 +1,122 @@
+"""Property-based tests for the Pandia predictor.
+
+Invariants over randomly drawn workload descriptions and placements:
+
+* slowdowns are >= 1 and bounded by the first iteration's maximum;
+* the predicted speedup never exceeds Amdahl's bound;
+* predictions are deterministic;
+* utilisations equal f_initial / slowdown;
+* scaling every capacity and demand together leaves results unchanged
+  (the paper's unit-independence claim, Section 3).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.description import DemandVector, WorkloadDescription
+from repro.core.machine_desc import MachineDescription
+from repro.core.placement import Placement, enumerate_canonical
+from repro.core.predictor import PandiaPredictor
+from repro.hardware.topology import MachineTopology
+
+TOPO = MachineTopology(2, 2, 2)
+ALL_PLACEMENTS = enumerate_canonical(TOPO)
+
+
+def make_md(scale=1.0):
+    return MachineDescription(
+        machine_name="prop",
+        topology=TOPO,
+        core_rate=10.0 * scale,
+        core_rate_smt=12.0 * scale,
+        cache_link_bw={"L1": 40.0 * scale},
+        dram_bw_per_node=100.0 * scale,
+        interconnect_bw=50.0 * scale,
+    )
+
+
+workloads = st.builds(
+    lambda inst, l1, dram, p, os_, l, b: WorkloadDescription(
+        name="prop",
+        machine_name="prop",
+        t1=100.0,
+        demands=DemandVector(inst_rate=inst, cache_bw={"L1": l1}, dram_bw=dram),
+        parallel_fraction=p,
+        inter_socket_overhead=os_,
+        load_balance=l,
+        burstiness=b,
+    ),
+    inst=st.floats(0.5, 10.0),
+    l1=st.floats(0.0, 50.0),
+    dram=st.floats(0.0, 120.0),
+    p=st.floats(0.5, 1.0),
+    os_=st.floats(0.0, 0.2),
+    l=st.floats(0.0, 1.0),
+    b=st.floats(0.0, 1.0),
+)
+
+placement_indices = st.integers(min_value=0, max_value=len(ALL_PLACEMENTS) - 1)
+
+
+@settings(max_examples=80, deadline=None)
+@given(wd=workloads, idx=placement_indices)
+def test_slowdowns_at_least_one_and_speedup_below_amdahl(wd, idx):
+    pred = PandiaPredictor(make_md()).predict(wd, ALL_PLACEMENTS[idx])
+    assert all(s >= 1.0 - 1e-9 for s in pred.slowdowns)
+    assert pred.speedup <= pred.amdahl + 1e-9
+    assert pred.speedup > 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(wd=workloads, idx=placement_indices)
+def test_prediction_deterministic(wd, idx):
+    predictor = PandiaPredictor(make_md())
+    a = predictor.predict(wd, ALL_PLACEMENTS[idx])
+    b = predictor.predict(wd, ALL_PLACEMENTS[idx])
+    assert a.speedup == b.speedup
+    assert a.slowdowns == b.slowdowns
+
+
+@settings(max_examples=60, deadline=None)
+@given(wd=workloads, idx=placement_indices)
+def test_utilisation_consistent_with_slowdown(wd, idx):
+    pred = PandiaPredictor(make_md()).predict(wd, ALL_PLACEMENTS[idx])
+    f_initial = pred.amdahl / pred.n_threads
+    for f, s in zip(pred.utilisations, pred.slowdowns):
+        assert f == pytest.approx(f_initial / s, rel=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(wd=workloads, idx=placement_indices, scale=st.floats(0.1, 10.0))
+def test_unit_independence(wd, idx, scale):
+    """Section 3: 'so long as consistent units are used ... the exact
+    scale is not significant' — scaling machine and workload rates
+    together must leave slowdowns unchanged."""
+    base = PandiaPredictor(make_md()).predict(wd, ALL_PLACEMENTS[idx])
+    scaled_wd = WorkloadDescription(
+        name="prop",
+        machine_name="prop",
+        t1=wd.t1,
+        demands=DemandVector(
+            inst_rate=wd.demands.inst_rate * scale,
+            cache_bw={k: v * scale for k, v in wd.demands.cache_bw.items()},
+            dram_bw=wd.demands.dram_bw * scale,
+        ),
+        parallel_fraction=wd.parallel_fraction,
+        inter_socket_overhead=wd.inter_socket_overhead,
+        load_balance=wd.load_balance,
+        burstiness=wd.burstiness,
+    )
+    scaled = PandiaPredictor(make_md(scale)).predict(scaled_wd, ALL_PLACEMENTS[idx])
+    assert scaled.speedup == pytest.approx(base.speedup, rel=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(wd=workloads)
+def test_single_thread_has_no_parallel_penalties(wd):
+    pred = PandiaPredictor(make_md()).predict(wd, Placement(TOPO, (0,)))
+    assert pred.amdahl == 1.0
+    # One thread can still be slowed by its own oversubscription of a
+    # resource, but never by communication or balancing.
+    assert pred.slowdowns[0] >= 1.0
+    assert pred.speedup == pytest.approx(1.0 / pred.slowdowns[0], rel=1e-9)

@@ -1,0 +1,56 @@
+"""Property-based round-trip tests for description serialisation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.description import DemandVector, WorkloadDescription
+from repro.io.serialization import description_from_json, description_to_json
+
+cache_levels = st.dictionaries(
+    st.sampled_from(["L1", "L2", "L3"]),
+    st.floats(min_value=0.0, max_value=500.0),
+    max_size=3,
+)
+
+descriptions = st.builds(
+    lambda inst, cache, dram, lam, io, t1, p, os_, l, b: WorkloadDescription(
+        name="prop",
+        machine_name="anywhere",
+        t1=t1,
+        demands=DemandVector(
+            inst_rate=inst,
+            cache_bw=cache,
+            dram_bw=dram,
+            numa_local_fraction=lam,
+            io_bw=io,
+        ),
+        parallel_fraction=p,
+        inter_socket_overhead=os_,
+        load_balance=l,
+        burstiness=b,
+    ),
+    inst=st.floats(min_value=0.01, max_value=100.0),
+    cache=cache_levels,
+    dram=st.floats(min_value=0.0, max_value=200.0),
+    lam=st.floats(min_value=0.0, max_value=1.0),
+    io=st.floats(min_value=0.0, max_value=50.0),
+    t1=st.floats(min_value=0.001, max_value=1e6),
+    p=st.floats(min_value=0.0, max_value=1.0),
+    os_=st.floats(min_value=0.0, max_value=10.0),
+    l=st.floats(min_value=0.0, max_value=1.0),
+    b=st.floats(min_value=0.0, max_value=10.0),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(wd=descriptions)
+def test_round_trip_preserves_everything(wd):
+    loaded = description_from_json(description_to_json(wd))
+    assert loaded == wd
+
+
+@settings(max_examples=60, deadline=None)
+@given(wd=descriptions)
+def test_serialisation_is_stable(wd):
+    once = description_to_json(wd)
+    twice = description_to_json(description_from_json(once))
+    assert once == twice

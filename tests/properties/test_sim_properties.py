@@ -1,0 +1,112 @@
+"""Property-based tests for the ground-truth simulator.
+
+Invariants that must hold for *any* plausible workload, checked with
+hypothesis over the synthetic workload space:
+
+* determinism: identical inputs give identical outputs;
+* no resource runs above its capacity at convergence;
+* per-thread rates never exceed the standalone limit;
+* adding contention never speeds a workload up;
+* counters are consistent with the work performed.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import machines
+from repro.sim.demand import DemandModel, JobSpecOnMachine
+from repro.sim.engine import Job, SimOptions, simulate
+from repro.sim.noise import NO_NOISE
+from repro.workloads.synthetic import random_spec
+
+QUIET = SimOptions(noise=NO_NOISE)
+TESTBOX = machines.get("TESTBOX")
+
+seeds = st.integers(min_value=0, max_value=10_000)
+thread_counts = st.integers(min_value=1, max_value=8)
+
+
+def _placement(n):
+    """n threads spread over the TESTBOX in a fixed interleaved order."""
+    order = [0, 4, 1, 5, 8, 12, 2, 6]
+    return tuple(order[:n])
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, n=thread_counts)
+def test_simulation_is_deterministic(seed, n):
+    spec = random_spec(seed)
+    a = simulate(TESTBOX, [Job(spec, _placement(n))], QUIET)
+    b = simulate(TESTBOX, [Job(spec, _placement(n))], QUIET)
+    assert a.job_results[0].elapsed_s == b.job_results[0].elapsed_s
+    assert a.job_results[0].thread_rates == b.job_results[0].thread_rates
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, n=thread_counts)
+def test_no_resource_exceeds_capacity(seed, n):
+    spec = random_spec(seed)
+    sim = simulate(TESTBOX, [Job(spec, _placement(n))], QUIET)
+    for key, load in sim.resource_loads.items():
+        assert load <= sim.resource_capacities[key] * (1 + 1e-4), key
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, n=thread_counts)
+def test_rates_positive_and_bounded(seed, n):
+    spec = random_spec(seed)
+    model = DemandModel(TESTBOX, [JobSpecOnMachine(spec, _placement(n))])
+    sim = simulate(TESTBOX, [Job(spec, _placement(n))], QUIET)
+    rates = sim.job_results[0].thread_rates
+    assert all(r > 0 for r in rates)
+    for info, rate in zip(model.threads, rates):
+        assert rate <= info.limit * (1 + 1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_single_thread_time_matches_work_over_rate(seed):
+    spec = random_spec(seed)
+    result = simulate(TESTBOX, [Job(spec, (0,))], QUIET).job_results[0]
+    rate = result.thread_rates[0]
+    assert result.elapsed_s == pytest.approx(spec.work_ginstr / rate, rel=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds, n=st.integers(min_value=2, max_value=8))
+def test_instructions_counter_matches_total_work(seed, n):
+    spec = random_spec(seed)
+    result = simulate(TESTBOX, [Job(spec, _placement(n))], QUIET).job_results[0]
+    assert result.counters.instructions_g == pytest.approx(
+        spec.total_work_ginstr(n), rel=1e-6
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_coscheduled_stressor_never_helps(seed):
+    from repro.sim.stressors import cpu_stressor
+
+    spec = random_spec(seed)
+    alone = simulate(TESTBOX, [Job(spec, (0, 1))], QUIET).job_results[0].elapsed_s
+    stressed = simulate(
+        TESTBOX,
+        [Job(spec, (0, 1)), Job(cpu_stressor(), (8, 9))],
+        QUIET,
+    ).job_results[0].elapsed_s
+    # Slack an order above the solver's 1e-6 fixed-point tolerance.
+    assert stressed >= alone * (1 - 1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_two_spread_threads_never_slower_than_one_plus_comm(seed):
+    """Adding a second thread on an idle far core cannot slow the
+    workload beyond its communication stretch and turbo drop."""
+    spec = random_spec(seed).with_(parallel_fraction=0.999, comm_fraction=0.0)
+    t1 = simulate(TESTBOX, [Job(spec, (0,))], QUIET).job_results[0].elapsed_s
+    t2 = simulate(TESTBOX, [Job(spec, (0, 4))], QUIET).job_results[0].elapsed_s
+    # Worst case: no scaling benefit at all, plus the turbo drop from a
+    # second active core (bounded by max/all-core turbo ratio).
+    turbo_slack = TESTBOX.turbo.max_turbo_ghz / TESTBOX.turbo.all_core_turbo_ghz
+    assert t2 <= t1 * turbo_slack * (1 + 1e-6)

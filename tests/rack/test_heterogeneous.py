@@ -1,0 +1,95 @@
+"""Rack scheduling across *different* machine models.
+
+The rack abstraction does not assume identical nodes; these tests pin
+the behaviour on a mixed rack (a big X5-2 next to a small TESTBOX-class
+node): wide parallel workloads go to the big machine, and the
+schedule's predictions still track joint co-run simulations per node.
+"""
+
+import pytest
+
+from repro.core.description import DemandVector, WorkloadDescription
+from repro.core.machine_desc import generate_machine_description
+from repro.hardware import machines
+from repro.rack import Rack, RackMachine, RackScheduler, validate_schedule
+from repro.sim.noise import NO_NOISE, NoiseModel
+from repro.workloads.spec import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def mixed_rack():
+    big = machines.get("X3-2")  # 32 hardware threads
+    small = machines.get("TESTBOX")  # 16 hardware threads
+    return Rack(
+        machines=(
+            RackMachine("big", big, generate_machine_description(big, noise=NO_NOISE)),
+            RackMachine(
+                "small", small, generate_machine_description(small, noise=NO_NOISE)
+            ),
+        )
+    )
+
+
+def make_description(name, machine_name, inst=4.0, dram=2.0, p=0.98, t1=20.0):
+    return WorkloadDescription(
+        name=name,
+        machine_name=machine_name,
+        t1=t1,
+        demands=DemandVector(inst_rate=inst, cache_bw={"L1": 20.0}, dram_bw=dram),
+        parallel_fraction=p,
+        load_balance=0.8,
+    )
+
+
+class TestMixedRack:
+    def test_rack_accepts_different_shapes(self, mixed_rack):
+        assert mixed_rack.total_hw_threads == 48
+
+    def test_wide_workload_lands_on_the_big_machine(self, mixed_rack):
+        """A highly parallel workload alone on the rack should take the
+        machine with more contexts."""
+        scheduler = RackScheduler(mixed_rack)
+        wide = make_description("wide", "X3-2", p=0.999)
+        schedule = scheduler.schedule([wide])
+        assert schedule.assignment_for("wide").machine_name == "big"
+
+    def test_batch_fills_both_machines(self, mixed_rack):
+        scheduler = RackScheduler(mixed_rack)
+        batch = [make_description(f"w{i}", "X3-2") for i in range(4)]
+        schedule = scheduler.schedule(batch)
+        used = {a.machine_name for a in schedule.assignments}
+        assert used == {"big", "small"}
+
+    def test_placements_respect_each_machines_topology(self, mixed_rack):
+        scheduler = RackScheduler(mixed_rack)
+        batch = [make_description(f"w{i}", "X3-2") for i in range(3)]
+        schedule = scheduler.schedule(batch)
+        for a in schedule.assignments:
+            machine = mixed_rack.machine(a.machine_name)
+            assert a.placement.topology.shape() == machine.spec.topology.shape()
+            assert max(a.placement.hw_thread_ids) < machine.n_hw_threads
+
+    def test_validation_runs_per_machine_spec(self, mixed_rack):
+        """End to end on the mixed rack with real profiled specs."""
+        specs = {
+            "het-a": WorkloadSpec(
+                name="het-a", work_ginstr=60.0, cpi=0.5, l1_bpi=6.0,
+                dram_bpi=1.5, working_set_mib=8.0, parallel_fraction=0.98,
+            ),
+            "het-b": WorkloadSpec(
+                name="het-b", work_ginstr=80.0, cpi=0.4, l1_bpi=4.0,
+                working_set_mib=1.0, parallel_fraction=0.99,
+            ),
+        }
+        from repro.core.workload_desc import WorkloadDescriptionGenerator
+
+        descriptions = []
+        for spec in specs.values():
+            big = mixed_rack.machine("big")
+            generator = WorkloadDescriptionGenerator(
+                big.spec, big.description, noise=NO_NOISE
+            )
+            descriptions.append(generator.generate(spec))
+        schedule = RackScheduler(mixed_rack).schedule(descriptions)
+        validation = validate_schedule(schedule, specs, noise=NoiseModel(sigma=0.01))
+        assert validation.makespan_error_percent < 50.0

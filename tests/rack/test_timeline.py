@@ -1,0 +1,194 @@
+"""Tests for the event-driven timeline scheduler."""
+
+import pytest
+
+from repro.core.description import DemandVector, WorkloadDescription
+from repro.errors import ReproError
+from repro.rack.model import Rack, RackMachine
+from repro.rack.timeline import Timeline, TimelineScheduler, WorkloadRequest
+
+
+@pytest.fixture(scope="module")
+def rack(request):
+    testbox = request.getfixturevalue("testbox")
+    testbox_md = request.getfixturevalue("testbox_md")
+    return Rack(
+        machines=(
+            RackMachine("node-0", testbox, testbox_md),
+            RackMachine("node-1", testbox, testbox_md),
+        )
+    )
+
+
+def make_description(name, inst=4.0, dram=2.0, p=0.98, t1=20.0):
+    return WorkloadDescription(
+        name=name,
+        machine_name="TESTBOX",
+        t1=t1,
+        demands=DemandVector(inst_rate=inst, cache_bw={"L1": 20.0}, dram_bw=dram),
+        parallel_fraction=p,
+        load_balance=0.8,
+    )
+
+
+class TestBasicExecution:
+    def test_single_request_runs_immediately(self, rack):
+        scheduler = TimelineScheduler(rack)
+        timeline = scheduler.run([WorkloadRequest(make_description("solo"))])
+        entry = timeline.entry_for("solo")
+        assert entry.start_s == 0.0
+        assert entry.queueing_delay_s == 0.0
+        assert entry.duration_s > 0
+        assert timeline.makespan_s == entry.end_s
+
+    def test_all_requests_complete(self, rack):
+        scheduler = TimelineScheduler(rack)
+        requests = [WorkloadRequest(make_description(f"w{i}")) for i in range(5)]
+        timeline = scheduler.run(requests)
+        assert {e.workload_name for e in timeline.entries} == {
+            f"w{i}" for i in range(5)
+        }
+
+    def test_arrival_times_respected(self, rack):
+        scheduler = TimelineScheduler(rack)
+        timeline = scheduler.run(
+            [
+                WorkloadRequest(make_description("early"), arrival_s=0.0),
+                WorkloadRequest(make_description("late"), arrival_s=100.0),
+            ]
+        )
+        assert timeline.entry_for("late").start_s >= 100.0
+        assert timeline.entry_for("early").start_s == 0.0
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ReproError):
+            WorkloadRequest(make_description("x"), arrival_s=-1.0)
+
+    def test_duplicate_names_rejected(self, rack):
+        scheduler = TimelineScheduler(rack)
+        with pytest.raises(ReproError, match="duplicate"):
+            scheduler.run(
+                [
+                    WorkloadRequest(make_description("w")),
+                    WorkloadRequest(make_description("w")),
+                ]
+            )
+
+    def test_empty_rejected(self, rack):
+        with pytest.raises(ReproError):
+            TimelineScheduler(rack).run([])
+
+
+class TestQueueing:
+    def test_oversubscribed_rack_queues_requests(self, rack):
+        """With min_threads = a whole machine, only two can run at once;
+        the rest wait for completions."""
+        scheduler = TimelineScheduler(rack, min_threads=16)
+        requests = [WorkloadRequest(make_description(f"w{i}")) for i in range(4)]
+        timeline = scheduler.run(requests)
+        starts = sorted(e.start_s for e in timeline.entries)
+        assert starts[0] == 0.0 and starts[1] == 0.0
+        assert starts[2] > 0.0 and starts[3] > 0.0
+        # The third request starts exactly when the first machine frees.
+        first_end = min(e.end_s for e in timeline.entries if e.start_s == 0.0)
+        assert starts[2] == pytest.approx(first_end)
+
+    def test_queueing_delay_accounting(self, rack):
+        scheduler = TimelineScheduler(rack, min_threads=16)
+        requests = [WorkloadRequest(make_description(f"w{i}")) for i in range(3)]
+        timeline = scheduler.run(requests)
+        delays = [e.queueing_delay_s for e in timeline.entries]
+        assert sum(1 for d in delays if d > 0) == 1
+        assert timeline.mean_queueing_delay_s == pytest.approx(sum(delays) / 3)
+
+    def test_impossible_request_raises(self, rack):
+        scheduler = TimelineScheduler(rack, min_threads=17)  # > any machine
+        with pytest.raises(ReproError, match="can never start"):
+            scheduler.run([WorkloadRequest(make_description("huge"))])
+
+
+class TestPlacementQuality:
+    def test_parallel_workload_gets_many_threads_on_idle_rack(self, rack):
+        scheduler = TimelineScheduler(rack)
+        timeline = scheduler.run(
+            [WorkloadRequest(make_description("wide", p=0.999))]
+        )
+        assert timeline.entry_for("wide").placement.n_threads >= 8
+
+    def test_serial_workload_gets_one_thread(self, rack):
+        scheduler = TimelineScheduler(rack)
+        timeline = scheduler.run(
+            [WorkloadRequest(make_description("narrow", p=0.0))]
+        )
+        assert timeline.entry_for("narrow").placement.n_threads == 1
+
+    def test_concurrent_memory_hogs_separate(self, rack):
+        scheduler = TimelineScheduler(rack)
+        timeline = scheduler.run(
+            [
+                WorkloadRequest(make_description("hog-a", inst=2.0, dram=25.0)),
+                WorkloadRequest(make_description("hog-b", inst=2.0, dram=25.0)),
+            ]
+        )
+        a = timeline.entry_for("hog-a")
+        b = timeline.entry_for("hog-b")
+        overlap = a.start_s < b.end_s and b.start_s < a.end_s
+        if overlap:
+            assert a.machine_name != b.machine_name
+
+
+class TestTimelineValidation:
+    def test_predictions_track_churn_aware_execution(self, rack, request):
+        """Profile real specs, run the timeline scheduler, replay the
+        timeline through the churn-aware simulator, compare makespans."""
+        from repro.rack.validate import validate_timeline
+        from repro.sim.noise import NoiseModel
+        from repro.workloads.spec import WorkloadSpec
+
+        testbox_gen = request.getfixturevalue("testbox_gen")
+        specs = {
+            "tl-mem": WorkloadSpec(
+                name="tl-mem", work_ginstr=60.0, cpi=0.9, l1_bpi=8.0,
+                dram_bpi=4.0, working_set_mib=32.0, parallel_fraction=0.99,
+            ),
+            "tl-cpu": WorkloadSpec(
+                name="tl-cpu", work_ginstr=120.0, cpi=0.3, l1_bpi=3.0,
+                working_set_mib=0.5, parallel_fraction=0.99,
+            ),
+            "tl-mid": WorkloadSpec(
+                name="tl-mid", work_ginstr=80.0, cpi=0.5, l1_bpi=6.0,
+                dram_bpi=2.0, working_set_mib=8.0, parallel_fraction=0.98,
+            ),
+        }
+        requests = [
+            WorkloadRequest(testbox_gen.generate(spec)) for spec in specs.values()
+        ]
+        scheduler = TimelineScheduler(rack)
+        timeline = scheduler.run(requests)
+        validation = validate_timeline(
+            timeline, rack, specs, noise=NoiseModel(sigma=0.01)
+        )
+        assert validation.makespan_error_percent < 40.0
+        assert set(validation.measured_ends) == set(specs)
+
+    def test_missing_spec_rejected(self, rack):
+        from repro.errors import ReproError
+        from repro.rack.validate import validate_timeline
+
+        timeline = TimelineScheduler(rack).run(
+            [WorkloadRequest(make_description("ghost"))]
+        )
+        with pytest.raises(ReproError, match="no ground-truth spec"):
+            validate_timeline(timeline, rack, specs={})
+
+
+class TestGantt:
+    def test_gantt_renders_all_rows(self, rack):
+        scheduler = TimelineScheduler(rack)
+        timeline = scheduler.run(
+            [WorkloadRequest(make_description(f"w{i}")) for i in range(3)]
+        )
+        chart = timeline.gantt()
+        for i in range(3):
+            assert f"w{i}" in chart
+        assert "#" in chart

@@ -1,0 +1,54 @@
+"""Tests for the simulated performance-counter readouts."""
+
+import pytest
+
+from repro.sim.counters import CounterSet
+
+
+@pytest.fixture
+def counters():
+    return CounterSet(
+        elapsed_s=2.0,
+        instructions_g=10.0,
+        cache_gb={"L1": 40.0, "L3": 8.0},
+        dram_gb_per_node={0: 6.0, 1: 2.0},
+        link_gb={(0, 1): 2.0},
+    )
+
+
+class TestRates:
+    def test_instruction_rate(self, counters):
+        assert counters.instruction_rate == pytest.approx(5.0)
+
+    def test_cache_bandwidth(self, counters):
+        assert counters.cache_bandwidth("L1") == pytest.approx(20.0)
+        assert counters.cache_bandwidth("L2") == 0.0  # untouched level
+
+    def test_dram_bandwidth_per_node_and_total(self, counters):
+        assert counters.dram_bandwidth(0) == pytest.approx(3.0)
+        assert counters.dram_bandwidth(1) == pytest.approx(1.0)
+        assert counters.dram_bandwidth_total == pytest.approx(4.0)
+
+    def test_link_bandwidth_accepts_either_order(self, counters):
+        assert counters.link_bandwidth((0, 1)) == pytest.approx(1.0)
+        assert counters.link_bandwidth((1, 0)) == pytest.approx(1.0)
+
+    def test_link_bandwidth_total(self, counters):
+        assert counters.link_bandwidth_total == pytest.approx(1.0)
+
+
+class TestEdgeCases:
+    def test_zero_elapsed_gives_zero_rates(self):
+        empty = CounterSet()
+        assert empty.instruction_rate == 0.0
+        assert empty.dram_bandwidth_total == 0.0
+
+    def test_scaled(self, counters):
+        double = counters.scaled(2.0)
+        assert double.elapsed_s == 4.0
+        assert double.instructions_g == 20.0
+        assert double.cache_gb["L1"] == 80.0
+        assert double.dram_gb_per_node[1] == 4.0
+        assert double.link_gb[(0, 1)] == 4.0
+        # rates are invariant under uniform scaling
+        assert double.instruction_rate == counters.instruction_rate

@@ -1,0 +1,145 @@
+"""Tests for the simulator's demand model."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.hardware import machines
+from repro.sim.demand import (
+    DemandModel,
+    JobSpecOnMachine,
+    llc_spill_fraction,
+    memory_shares,
+    shared_core_efficiency,
+)
+from repro.workloads.spec import MemoryPolicy, WorkloadSpec
+
+
+def make_spec(**overrides):
+    base = dict(name="w", work_ginstr=10.0, cpi=0.5, dram_bpi=2.0, working_set_mib=1.0)
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+class TestSpillCurve:
+    def test_no_spill_when_fitting(self):
+        assert llc_spill_fraction(10.0, 20.0, adaptive=True) == 0.0
+        assert llc_spill_fraction(20.0, 20.0, adaptive=True) == 0.0
+
+    def test_adaptive_spill_is_gradual(self):
+        just_over = llc_spill_fraction(22.0, 20.0, adaptive=True)
+        double = llc_spill_fraction(40.0, 20.0, adaptive=True)
+        assert 0 < just_over < 0.15
+        assert just_over < double < 1.0
+        assert double == pytest.approx(0.5)  # half the working set misses
+
+    def test_non_adaptive_is_a_cliff(self):
+        adaptive = llc_spill_fraction(28.0, 20.0, adaptive=True)
+        cliff = llc_spill_fraction(28.0, 20.0, adaptive=False)
+        assert cliff > 2 * adaptive
+
+    def test_spill_bounded_by_one(self):
+        assert llc_spill_fraction(1e9, 1.0, adaptive=True) <= 1.0
+        assert llc_spill_fraction(1e9, 1.0, adaptive=False) == 1.0
+
+    def test_monotone_in_working_set(self):
+        values = [llc_spill_fraction(ws, 20.0, adaptive=True) for ws in (10, 25, 40, 80)]
+        assert values == sorted(values)
+
+
+class TestSharedCoreEfficiency:
+    def test_single_thread_no_penalty(self):
+        assert shared_core_efficiency([0.5]) == 1.0
+
+    def test_steady_threads_no_penalty(self):
+        assert shared_core_efficiency([1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_bursty_threads_interfere(self):
+        assert shared_core_efficiency([0.5, 0.5]) < 1.0
+
+    def test_more_bursty_is_worse(self):
+        assert shared_core_efficiency([0.3, 0.3]) < shared_core_efficiency([0.8, 0.8])
+
+
+class TestMemoryShares:
+    def test_interleave_over_active_sockets(self, testbox):
+        topo = testbox.topology
+        spec = make_spec()
+        # threads on both sockets -> half the traffic to each node
+        shares = memory_shares(spec, topo, [0, 4], thread_socket=0)
+        assert shares == {0: 0.5, 1: 0.5}
+
+    def test_interleave_single_socket(self, testbox):
+        spec = make_spec()
+        shares = memory_shares(spec, testbox.topology, [0, 1], thread_socket=0)
+        assert shares == {0: 1.0}
+
+    def test_bind_policy(self, testbox):
+        spec = make_spec(memory_policy=MemoryPolicy.bind(1))
+        shares = memory_shares(spec, testbox.topology, [0], thread_socket=0)
+        assert shares == {1: 1.0}
+
+    def test_local_policy(self, testbox):
+        spec = make_spec(memory_policy=MemoryPolicy.local())
+        shares = memory_shares(spec, testbox.topology, [0, 4], thread_socket=1)
+        assert shares == {1: 1.0}
+
+
+class TestDemandModelValidation:
+    def test_rejects_double_booked_context(self, testbox):
+        jobs = [
+            JobSpecOnMachine(make_spec(), (0, 1)),
+            JobSpecOnMachine(make_spec(name="x"), (1, 2)),
+        ]
+        with pytest.raises(PlacementError, match="claimed by both"):
+            DemandModel(testbox, jobs)
+
+    def test_rejects_unknown_context(self, testbox):
+        with pytest.raises(PlacementError):
+            DemandModel(testbox, [JobSpecOnMachine(make_spec(), (999,))])
+
+    def test_rejects_empty_placement(self, testbox):
+        with pytest.raises(PlacementError):
+            DemandModel(testbox, [JobSpecOnMachine(make_spec(), ())])
+
+
+class TestDemandModelStructure:
+    def test_one_row_per_active_thread(self, testbox):
+        spec = make_spec(active_threads=1)
+        model = DemandModel(testbox, [JobSpecOnMachine(spec, (0, 1, 2))])
+        assert model.n_threads == 1  # idle threads impose no demand
+
+    def test_remote_traffic_loads_the_link(self, testbox):
+        spec = make_spec()
+        model = DemandModel(testbox, [JobSpecOnMachine(spec, (0, 4))])
+        keys = set(model.resource_keys())
+        assert ("link", (0, 1)) in keys
+        assert ("dram", 0) in keys and ("dram", 1) in keys
+
+    def test_single_socket_job_has_no_link_demand(self, testbox):
+        spec = make_spec()
+        model = DemandModel(testbox, [JobSpecOnMachine(spec, (0, 1))])
+        assert not any(k[0] == "link" for k in model.resource_keys())
+
+    def test_smt_sharing_reduces_limits(self, testbox):
+        spec = make_spec()
+        solo = DemandModel(testbox, [JobSpecOnMachine(spec, (0,))])
+        shared = DemandModel(testbox, [JobSpecOnMachine(spec, (0, 8))])  # same core
+        assert shared.limits[0] < solo.limits[0]
+
+    def test_turbo_raises_limits_at_low_occupancy(self, testbox):
+        spec = make_spec(cpi=0.2)  # core-bound so limits track frequency
+        one = DemandModel(testbox, [JobSpecOnMachine(spec, (0,))])
+        full_tids = tuple(c.hw_thread_ids[0] for c in testbox.topology.cores)
+        full = DemandModel(testbox, [JobSpecOnMachine(spec, full_tids)])
+        assert one.limits[0] > full.limits[0]
+
+    def test_comm_stretch_counts_remote_peers(self, testbox):
+        spec = make_spec(comm_fraction=0.01)
+        model = DemandModel(testbox, [JobSpecOnMachine(spec, (0, 1, 4))])
+        by_tid = {t.hw_thread_id: t for t in model.threads}
+        assert by_tid[0].comm_stretch == pytest.approx(1.01)  # one remote peer
+        assert by_tid[4].comm_stretch == pytest.approx(1.02)  # two remote peers
+
+    def test_capacities_positive(self, testbox):
+        model = DemandModel(testbox, [JobSpecOnMachine(make_spec(), (0, 1, 4))])
+        assert (model.capacities > 0).all()

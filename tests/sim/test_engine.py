@@ -1,0 +1,183 @@
+"""Tests for the ground-truth execution engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardware import machines
+from repro.sim.engine import Job, SimOptions, simulate
+from repro.sim.noise import NO_NOISE
+from repro.workloads.spec import WorkloadSpec
+
+QUIET = SimOptions(noise=NO_NOISE)
+
+
+def make_spec(**overrides):
+    base = dict(name="w", work_ginstr=100.0, cpi=0.5, working_set_mib=1.0)
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+def run_one(machine, spec, tids, options=QUIET):
+    return simulate(machine, [Job(spec, tids)], options).job_results[0]
+
+
+class TestSingleThread:
+    def test_compute_bound_time(self, fig3):
+        # FIG3 core runs 10 instr/s; 100 G instructions of cpi 0.1 work.
+        spec = make_spec(cpi=0.1)
+        result = run_one(fig3, spec, (0,))
+        assert result.elapsed_s == pytest.approx(10.0)
+        assert result.thread_rates == (pytest.approx(10.0),)
+
+    def test_memory_bound_time(self, fig3):
+        # Demand 20 B/instr against a 100-unit DRAM link: rate 5.
+        spec = make_spec(cpi=0.1, dram_bpi=20.0)
+        result = run_one(fig3, spec, (0,))
+        assert result.thread_rates == (pytest.approx(5.0),)
+
+    def test_counters_match_work(self, fig3):
+        spec = make_spec(cpi=0.1, dram_bpi=20.0)
+        result = run_one(fig3, spec, (0,))
+        assert result.counters.instructions_g == pytest.approx(100.0)
+        assert sum(result.counters.dram_gb_per_node.values()) == pytest.approx(2000.0)
+
+
+class TestScaling:
+    def test_perfect_scaling_without_contention(self, fig3):
+        spec = make_spec(cpi=0.1, parallel_fraction=1.0)
+        t1 = run_one(fig3, spec, (0,)).elapsed_s
+        t2 = run_one(fig3, spec, (0, 2)).elapsed_s  # cores on different sockets
+        assert t2 == pytest.approx(t1 / 2, rel=1e-6)
+
+    def test_amdahl_limits_scaling(self, fig3):
+        spec = make_spec(cpi=0.1, parallel_fraction=0.5)
+        t1 = run_one(fig3, spec, (0,)).elapsed_s
+        t2 = run_one(fig3, spec, (0, 2)).elapsed_s
+        assert t2 == pytest.approx(t1 * 0.75, rel=1e-6)
+
+    def test_contended_resource_gates_throughput(self, fig3):
+        # Two threads on one socket both demanding 80% of local DRAM.
+        spec = make_spec(cpi=0.1, dram_bpi=8.0, parallel_fraction=1.0)
+        t1 = run_one(fig3, spec, (0,)).elapsed_s
+        t2 = run_one(fig3, spec, (0, 1)).elapsed_s
+        # DRAM allows 100/8 = 12.5 Ginstr/s total vs 20 demanded.
+        assert t2 > t1 * 0.5 * 1.5
+        sim = simulate(fig3, [Job(spec, (0, 1))], QUIET)
+        assert sim.resource_loads[("dram", 0)] == pytest.approx(100.0, rel=0.01)
+
+    def test_work_growth_slows_scaling(self, fig3):
+        """equake's violated assumption: total work grows with n."""
+        fixed = make_spec(cpi=0.1, parallel_fraction=1.0)
+        growing = make_spec(cpi=0.1, parallel_fraction=1.0, work_growth=0.5)
+        t2_fixed = run_one(fig3, fixed, (0, 2)).elapsed_s
+        t2_growing = run_one(fig3, growing, (0, 2)).elapsed_s
+        assert t2_growing == pytest.approx(t2_fixed * 1.5, rel=1e-6)
+
+
+class TestLoadBalancing:
+    """A fast and a slow thread (SMT-shared vs alone) under both policies."""
+
+    def _times(self, testbox, load_balance):
+        spec = make_spec(
+            cpi=0.25, parallel_fraction=1.0, load_balance=load_balance,
+            work_ginstr=50.0,
+        )
+        # threads 0,8 share core 0; thread 1 runs alone on core 1
+        return run_one(testbox, spec, (0, 8, 1)).elapsed_s
+
+    def test_balanced_beats_lockstep(self, testbox):
+        assert self._times(testbox, 1.0) < self._times(testbox, 0.0)
+
+    def test_interpolation_is_monotone(self, testbox):
+        times = [self._times(testbox, l) for l in (0.0, 0.5, 1.0)]
+        assert times[0] > times[1] > times[2]
+
+
+class TestIdleThreads:
+    def test_idle_threads_add_no_work_but_hold_turbo(self, testbox):
+        """Idle threads busy-wait: no demand, but their cores stay awake,
+        so the active thread runs at a lower turbo frequency."""
+        spec = make_spec(active_threads=1, parallel_fraction=0.0, cpi=0.3)
+        t1 = run_one(testbox, spec, (0,)).elapsed_s
+        t4 = run_one(testbox, spec, (0, 1, 2, 3)).elapsed_s
+        freq_1 = testbox.frequency_ghz(1)
+        freq_4 = testbox.frequency_ghz(4)
+        assert t4 == pytest.approx(t1 * freq_1 / freq_4, rel=1e-6)
+        # Work performed is identical either way.
+        r1 = run_one(testbox, spec, (0,))
+        r4 = run_one(testbox, spec, (0, 1, 2, 3))
+        assert r4.counters.instructions_g == pytest.approx(r1.counters.instructions_g)
+
+    def test_idle_threads_report_zero_rate(self, testbox):
+        spec = make_spec(active_threads=1, parallel_fraction=0.0)
+        result = run_one(testbox, spec, (0, 1, 2))
+        assert result.thread_rates[0] > 0
+        assert result.thread_rates[1] == 0.0
+        assert result.thread_rates[2] == 0.0
+
+    def test_idle_spread_still_interleaves_memory(self, testbox):
+        """Figure 13a: idle threads' init spreads data across sockets."""
+        spec = make_spec(active_threads=1, parallel_fraction=0.0, dram_bpi=4.0)
+        local = run_one(testbox, spec, (0, 1))
+        spread = run_one(testbox, spec, (0, 4))
+        assert set(spread.counters.dram_gb_per_node) == {0, 1}
+        assert set(local.counters.dram_gb_per_node) == {0}
+
+
+class TestCommunication:
+    def test_cross_socket_peers_slow_threads(self, fig3):
+        spec = make_spec(cpi=0.1, parallel_fraction=1.0, comm_fraction=0.05)
+        same = run_one(fig3, spec, (0, 1)).elapsed_s
+        split = run_one(fig3, spec, (0, 2)).elapsed_s
+        assert split == pytest.approx(same * 1.05, rel=1e-3)
+
+
+class TestBackgroundJobs:
+    def test_background_job_reports_window_rates(self, fig3):
+        from repro.sim.stressors import cpu_stressor
+
+        sim = simulate(fig3, [Job(cpu_stressor(), (0,))], QUIET)
+        jr = sim.job_results[0]
+        assert jr.elapsed_s == QUIET.measurement_window_s
+        assert jr.counters.instruction_rate == pytest.approx(8.0)  # cpi 0.125 -> 8 of 10
+
+    def test_foreground_property_raises_on_background_only(self, fig3):
+        from repro.sim.stressors import cpu_stressor
+
+        sim = simulate(fig3, [Job(cpu_stressor(), (0,))], QUIET)
+        with pytest.raises(SimulationError):
+            _ = sim.foreground
+
+    def test_stressor_slows_coscheduled_foreground(self, testbox):
+        from repro.sim.stressors import cpu_stressor
+
+        spec = make_spec(cpi=0.25)
+        alone = run_one(testbox, spec, (0,)).elapsed_s
+        sim = simulate(
+            testbox,
+            [Job(spec, (0,)), Job(cpu_stressor(), (8,))],  # SMT sibling
+            QUIET,
+        )
+        assert sim.foreground.elapsed_s > alone * 1.05
+
+
+class TestValidation:
+    def test_no_jobs_rejected(self, fig3):
+        with pytest.raises(SimulationError):
+            simulate(fig3, [], QUIET)
+
+    def test_noise_perturbs_elapsed_only_slightly(self, fig3):
+        spec = make_spec(cpi=0.1)
+        quiet = run_one(fig3, spec, (0,)).elapsed_s
+        noisy = run_one(fig3, spec, (0,), SimOptions()).elapsed_s
+        assert quiet != noisy
+        assert abs(noisy / quiet - 1.0) < 0.02
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self, testbox):
+        spec = make_spec(dram_bpi=3.0, parallel_fraction=0.95)
+        a = run_one(testbox, spec, (0, 1, 4))
+        b = run_one(testbox, spec, (0, 1, 4))
+        assert a.elapsed_s == b.elapsed_s
+        assert a.thread_rates == b.thread_rates

@@ -1,0 +1,159 @@
+"""Tests for the event-driven (churn-aware) co-run simulation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Job, SimOptions, simulate
+from repro.sim.events import ScheduledJob, simulate_timeline
+from repro.sim.noise import NO_NOISE
+from repro.workloads.spec import WorkloadSpec
+
+QUIET = SimOptions(noise=NO_NOISE)
+
+
+def make_spec(name="ev", work=60.0, dram=5.0, **overrides):
+    base = dict(
+        name=name, work_ginstr=work, cpi=0.5, l1_bpi=6.0, dram_bpi=dram,
+        working_set_mib=4.0, parallel_fraction=0.99,
+    )
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+class TestSoloEquivalence:
+    def test_lone_job_matches_steady_engine(self, testbox):
+        spec = make_spec()
+        timeline = simulate_timeline(
+            testbox, [ScheduledJob(spec, (0, 1))], QUIET
+        )
+        steady = simulate(testbox, [Job(spec, (0, 1))], QUIET).job_results[0]
+        assert timeline.result_for("ev").elapsed_s == pytest.approx(
+            steady.elapsed_s, rel=1e-9
+        )
+
+    def test_disjoint_concurrent_jobs_match_steady_corun(self, testbox):
+        """Two equal jobs arriving together finish together — identical
+        to the steady co-run (no churn happens)."""
+        a = make_spec("a")
+        b = make_spec("b")
+        timeline = simulate_timeline(
+            testbox,
+            [ScheduledJob(a, (0, 1)), ScheduledJob(b, (2, 3))],
+            QUIET,
+        )
+        steady = simulate(
+            testbox, [Job(a, (0, 1)), Job(b, (2, 3))], QUIET
+        )
+        assert timeline.result_for("a").elapsed_s == pytest.approx(
+            steady.job_results[0].elapsed_s, rel=1e-6
+        )
+
+
+class TestChurn:
+    def test_survivor_speeds_up_after_neighbour_leaves(self, testbox):
+        """A long memory-bound job shares DRAM with a short one; after
+        the short one finishes, the long one must run faster than the
+        steady co-run model predicts."""
+        long_job = make_spec("long", work=120.0, dram=8.0)
+        short_job = make_spec("short", work=20.0, dram=8.0)
+        timeline = simulate_timeline(
+            testbox,
+            [ScheduledJob(long_job, (0, 1)), ScheduledJob(short_job, (2, 3))],
+            QUIET,
+        )
+        steady = simulate(
+            testbox,
+            [Job(long_job, (0, 1)), Job(short_job, (2, 3))],
+            QUIET,
+        )
+        churn_time = timeline.result_for("long").elapsed_s
+        steady_time = steady.job_results[0].elapsed_s
+        solo_time = simulate(testbox, [Job(long_job, (0, 1))], QUIET).job_results[0].elapsed_s
+        assert churn_time < steady_time
+        assert churn_time > solo_time * 0.999
+
+    def test_segments_recorded_per_environment(self, testbox):
+        long_job = make_spec("long", work=120.0, dram=8.0)
+        short_job = make_spec("short", work=20.0, dram=8.0)
+        timeline = simulate_timeline(
+            testbox,
+            [ScheduledJob(long_job, (0, 1)), ScheduledJob(short_job, (2, 3))],
+            QUIET,
+        )
+        segments = timeline.result_for("long").segments
+        assert len(segments) == 2  # contended, then alone
+        contended, alone = segments
+        assert contended[2] > alone[2]  # hypothetical time drops
+
+    def test_late_arrival_slows_the_incumbent(self, testbox):
+        incumbent = make_spec("incumbent", work=120.0, dram=8.0)
+        late = make_spec("late", work=120.0, dram=8.0)
+        alone = simulate_timeline(
+            testbox, [ScheduledJob(incumbent, (0, 1))], QUIET
+        ).result_for("incumbent").elapsed_s
+        contended = simulate_timeline(
+            testbox,
+            [
+                ScheduledJob(incumbent, (0, 1)),
+                ScheduledJob(late, (2, 3), arrival_s=alone / 2),
+            ],
+            QUIET,
+        ).result_for("incumbent").elapsed_s
+        assert contended > alone
+
+    def test_sequential_reuse_of_same_contexts_is_legal(self, testbox):
+        first = make_spec("first", work=20.0)
+        t_first = simulate_timeline(
+            testbox, [ScheduledJob(first, (0, 1))], QUIET
+        ).makespan_s
+        second = make_spec("second", work=20.0)
+        timeline = simulate_timeline(
+            testbox,
+            [
+                ScheduledJob(first, (0, 1)),
+                ScheduledJob(second, (0, 1), arrival_s=t_first + 1.0),
+            ],
+            QUIET,
+        )
+        assert timeline.result_for("second").end_s > t_first
+
+    def test_temporal_overlap_on_shared_contexts_rejected(self, testbox):
+        a = make_spec("a", work=100.0)
+        b = make_spec("b", work=100.0)
+        with pytest.raises(SimulationError, match="overlap"):
+            simulate_timeline(
+                testbox,
+                [ScheduledJob(a, (0, 1)), ScheduledJob(b, (1, 2))],
+                QUIET,
+            )
+
+
+class TestValidation:
+    def test_empty_rejected(self, testbox):
+        with pytest.raises(SimulationError):
+            simulate_timeline(testbox, [], QUIET)
+
+    def test_duplicate_names_rejected(self, testbox):
+        with pytest.raises(SimulationError, match="duplicate"):
+            simulate_timeline(
+                testbox,
+                [ScheduledJob(make_spec("x"), (0,)), ScheduledJob(make_spec("x"), (1,))],
+                QUIET,
+            )
+
+    def test_background_specs_rejected(self, testbox):
+        from repro.sim.stressors import cpu_stressor
+
+        with pytest.raises(SimulationError, match="foreground"):
+            ScheduledJob(cpu_stressor(), (0,))
+
+    def test_makespan(self, testbox):
+        timeline = simulate_timeline(
+            testbox,
+            [
+                ScheduledJob(make_spec("a", work=20.0), (0, 1)),
+                ScheduledJob(make_spec("b", work=40.0), (2, 3)),
+            ],
+            QUIET,
+        )
+        assert timeline.makespan_s == timeline.result_for("b").end_s

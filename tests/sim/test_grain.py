@@ -1,0 +1,82 @@
+"""Discontinuous scaling from coarse parallel grains (Section 6.4)."""
+
+import pytest
+
+from repro.hardware import machines
+from repro.sim.engine import Job, SimOptions, simulate
+from repro.sim.noise import NO_NOISE
+from repro.workloads import catalog
+from repro.workloads.spec import WorkloadSpec
+
+QUIET = SimOptions(noise=NO_NOISE)
+
+
+class TestGrainWaste:
+    def test_divisible_counts_waste_nothing(self):
+        spec = WorkloadSpec(name="g", work_ginstr=1.0, cpi=0.5, parallel_grain=64)
+        for k in (1, 2, 4, 8, 16, 32, 64):
+            assert spec.grain_waste(k) == pytest.approx(1.0)
+
+    def test_indivisible_counts_waste_slots(self):
+        spec = WorkloadSpec(name="g", work_ginstr=1.0, cpi=0.5, parallel_grain=64)
+        # 33..63 threads all need 2 barrier rounds of a 64-chunk loop.
+        assert spec.grain_waste(33) == pytest.approx(2 * 33 / 64)
+        assert spec.grain_waste(63) == pytest.approx(2 * 63 / 64)
+
+    def test_no_grain_means_no_waste(self):
+        spec = WorkloadSpec(name="g", work_ginstr=1.0, cpi=0.5)
+        assert spec.grain_waste(7) == 1.0
+
+    def test_grain_validated(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            WorkloadSpec(name="g", work_ginstr=1.0, cpi=0.5, parallel_grain=0)
+
+
+class TestStaircaseScaling:
+    """The paper: 'By the time 32 threads are reached there will be no
+    further performance increase until 64 threads are available.'"""
+
+    @pytest.fixture(scope="class")
+    def bt_small(self):
+        return catalog.get("BT-small")
+
+    def _time(self, machine, spec, n):
+        order = [c.hw_thread_ids[0] for c in machine.topology.cores]
+        order += [c.hw_thread_ids[1] for c in machine.topology.cores]
+        return simulate(machine, [Job(spec, tuple(order[:n]))], QUIET).job_results[0].elapsed_s
+
+    def test_no_gain_between_grain_steps(self, bt_small):
+        x5 = machines.get("X5-2")
+        t32 = self._time(x5, bt_small, 32)
+        t48 = self._time(x5, bt_small, 48)
+        t64 = self._time(x5, bt_small, 64)
+        # 33-63 threads buy nothing over 32 (modulo second-order effects
+        # like frequency/SMT shifts); 64 threads finally help.
+        assert t48 >= t32 * 0.95
+        assert t64 < t32 * 0.85
+
+    def test_pandia_cannot_model_the_staircase(self, bt_small):
+        """The reproduction of the *limitation*: predictions are smooth,
+        so the staircase shows up as error between grain steps."""
+        from repro.core.machine_desc import describe
+        from repro.core.sweep import spread_placement
+        from repro.core.workload_desc import WorkloadDescriptionGenerator
+        from repro.sim.noise import NoiseModel
+
+        x5 = machines.get("X5-2")
+        md = describe(x5, noise=NoiseModel(sigma=0.01, seed=7))
+        generator = WorkloadDescriptionGenerator(x5, md, noise=NoiseModel(sigma=0.01, seed=7))
+        wd = generator.generate(bt_small)
+        from repro.core.predictor import PandiaPredictor
+
+        predictor = PandiaPredictor(md)
+        t48_pred = predictor.predict(wd, spread_placement(x5.topology, 48)).predicted_time_s
+        t32_pred = predictor.predict(wd, spread_placement(x5.topology, 32)).predicted_time_s
+        # Pandia predicts a smooth gain from 32 -> 48 threads...
+        assert t48_pred < t32_pred * 0.9
+        # ...but the measured staircase grants (nearly) none.
+        t48_meas = self._time(x5, bt_small, 48)
+        t32_meas = self._time(x5, bt_small, 32)
+        assert t48_meas > t32_meas * 0.95

@@ -1,0 +1,57 @@
+"""Tests for the deterministic measurement-noise model."""
+
+import pytest
+
+from repro.sim.noise import NO_NOISE, NoiseModel
+
+
+class TestDeterminism:
+    def test_same_identity_same_factor(self):
+        model = NoiseModel(sigma=0.02)
+        assert model.factor("X5-2", "MD", (0, 1)) == model.factor("X5-2", "MD", (0, 1))
+
+    def test_different_identities_differ(self):
+        model = NoiseModel(sigma=0.02)
+        factors = {model.factor("X5-2", "MD", i) for i in range(50)}
+        assert len(factors) > 40  # distinct draws, not a constant
+
+    def test_seed_gives_independent_stream(self):
+        a = NoiseModel(sigma=0.02, seed=0)
+        b = NoiseModel(sigma=0.02, seed=1)
+        assert a.factor("run") != b.factor("run")
+
+    def test_reseeded_copy(self):
+        model = NoiseModel(sigma=0.02, seed=0)
+        other = model.reseeded(7)
+        assert other.seed == 7
+        assert other.sigma == model.sigma
+
+
+class TestBounds:
+    def test_factor_within_sigma(self):
+        model = NoiseModel(sigma=0.03)
+        for i in range(200):
+            assert 0.97 <= model.factor("id", i) <= 1.03
+
+    def test_factors_fill_the_range(self):
+        model = NoiseModel(sigma=0.03)
+        factors = [model.factor("id", i) for i in range(500)]
+        assert min(factors) < 0.985
+        assert max(factors) > 1.015
+
+    def test_roughly_centered(self):
+        model = NoiseModel(sigma=0.03)
+        factors = [model.factor("id", i) for i in range(500)]
+        assert abs(sum(factors) / len(factors) - 1.0) < 0.005
+
+
+class TestSilent:
+    def test_zero_sigma_is_exact(self):
+        assert NO_NOISE.factor("anything", 123) == 1.0
+
+    def test_silent_copy(self):
+        assert NoiseModel(sigma=0.05).silent().factor("x") == 1.0
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(sigma=-0.1)

@@ -1,0 +1,92 @@
+"""Tests for the simulated OS interface (topology + pinning helpers)."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.sim.os_iface import SimulatedOS
+
+
+@pytest.fixture
+def osi(testbox):
+    return SimulatedOS(testbox)
+
+
+class TestTopology:
+    def test_exposes_structure_only(self, osi, testbox):
+        assert osi.topology is testbox.topology
+
+
+class TestOneThreadPerCore:
+    def test_stays_on_first_socket(self, osi):
+        tids = osi.one_thread_per_core(4, sockets=[0])
+        cores = {osi.topology.hw_thread(t).core_id for t in tids}
+        sockets = {osi.topology.hw_thread(t).socket_id for t in tids}
+        assert len(cores) == 4
+        assert sockets == {0}
+
+    def test_spans_sockets_in_order(self, osi):
+        tids = osi.one_thread_per_core(6)
+        sockets = [osi.topology.hw_thread(t).socket_id for t in tids]
+        assert sockets == [0, 0, 0, 0, 1, 1]
+
+    def test_rejects_overflow(self, osi):
+        with pytest.raises(PlacementError):
+            osi.one_thread_per_core(5, sockets=[0])
+
+
+class TestPackedSmt:
+    def test_fills_cores_completely(self, osi):
+        tids = osi.packed_smt(4, sockets=[0])
+        counts = osi.topology.threads_per_core_map(tids)
+        assert counts == {0: 2, 1: 2}
+
+    def test_rejects_overflow(self, osi):
+        with pytest.raises(PlacementError):
+            osi.packed_smt(9, sockets=[0])
+
+
+class TestSplitAcrossSockets:
+    def test_even_split(self, osi):
+        tids = osi.split_across_sockets(4)
+        sockets = [osi.topology.hw_thread(t).socket_id for t in tids]
+        assert sockets.count(0) == 2 and sockets.count(1) == 2
+
+    def test_rejects_odd_count(self, osi):
+        with pytest.raises(PlacementError):
+            osi.split_across_sockets(3)
+
+    def test_rejects_single_socket_machine(self, fig3):
+        from repro.hardware.spec import MachineSpec
+        from repro.hardware.topology import MachineTopology
+
+        single = fig3.with_topology(MachineTopology(1, 2, 2), "single")
+        with pytest.raises(PlacementError):
+            SimulatedOS(single).split_across_sockets(2)
+
+
+class TestSmtSiblings:
+    def test_siblings_share_cores(self, osi):
+        tids = osi.one_thread_per_core(3, sockets=[0])
+        siblings = osi.smt_siblings(tids)
+        for t, s in zip(tids, siblings):
+            assert osi.topology.hw_thread(t).core_id == osi.topology.hw_thread(s).core_id
+            assert t != s
+
+    def test_no_free_sibling_raises(self, osi):
+        packed = osi.packed_smt(2, sockets=[0])  # both contexts of core 0
+        with pytest.raises(PlacementError):
+            osi.smt_siblings(packed)
+
+
+class TestIdleCoreContexts:
+    def test_fillers_avoid_busy_cores(self, osi):
+        busy = osi.one_thread_per_core(3, sockets=[0])
+        idle = osi.idle_core_contexts(busy)
+        busy_cores = {osi.topology.hw_thread(t).core_id for t in busy}
+        idle_cores = {osi.topology.hw_thread(t).core_id for t in idle}
+        assert not busy_cores & idle_cores
+        assert len(idle_cores) == osi.topology.n_cores - 3
+
+    def test_full_machine_has_no_idle_cores(self, osi):
+        busy = [c.hw_thread_ids[0] for c in osi.topology.cores]
+        assert osi.idle_core_contexts(busy) == ()

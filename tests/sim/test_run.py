@@ -1,0 +1,90 @@
+"""Tests for the timed-run facade (the simulated perf wrapper)."""
+
+import pytest
+
+from repro.sim.engine import Job
+from repro.sim.noise import NO_NOISE
+from repro.sim.run import measure_stressors, run_workload
+from repro.sim.stressors import cpu_stressor, dram_stressor
+from repro.workloads.spec import WorkloadSpec
+
+
+def make_spec(**overrides):
+    base = dict(name="w", work_ginstr=50.0, cpi=0.5, working_set_mib=1.0)
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+class TestRunWorkload:
+    def test_reports_timing_and_counters(self, testbox):
+        run = run_workload(testbox, make_spec(), (0,), noise=NO_NOISE)
+        assert run.elapsed_s > 0
+        assert run.counters.instructions_g == pytest.approx(50.0)
+        assert run.n_threads == 1
+        assert run.machine_name == "TESTBOX"
+
+    def test_fill_idle_cores_pins_frequency(self, testbox):
+        """With fillers, a 1-thread run sees all-core turbo, not max turbo."""
+        free = run_workload(testbox, make_spec(cpi=0.2), (0,), noise=NO_NOISE)
+        filled = run_workload(
+            testbox, make_spec(cpi=0.2), (0,), fill_idle_cores=True, noise=NO_NOISE
+        )
+        assert filled.elapsed_s > free.elapsed_s
+        ratio = filled.elapsed_s / free.elapsed_s
+        expected = testbox.turbo.max_turbo_ghz / testbox.turbo.all_core_turbo_ghz
+        assert ratio == pytest.approx(expected, rel=0.01)
+
+    def test_stressor_jobs_co_run(self, testbox):
+        plain = run_workload(testbox, make_spec(cpi=0.25), (0,), noise=NO_NOISE)
+        stressed = run_workload(
+            testbox,
+            make_spec(cpi=0.25),
+            (0,),
+            stressor_jobs=[Job(cpu_stressor(), (8,))],
+            noise=NO_NOISE,
+        )
+        assert stressed.elapsed_s > plain.elapsed_s
+
+    def test_turbo_disable_slows_runs(self, testbox):
+        """Figure 14: disabling turbo runs at nominal, below all-core turbo."""
+        on = run_workload(testbox, make_spec(cpi=0.2), (0,), fill_idle_cores=True,
+                          noise=NO_NOISE)
+        off = run_workload(testbox, make_spec(cpi=0.2), (0,), fill_idle_cores=True,
+                           turbo_enabled=False, noise=NO_NOISE)
+        assert off.elapsed_s > on.elapsed_s
+
+    def test_distinct_run_tags_draw_distinct_noise(self, testbox):
+        a = run_workload(testbox, make_spec(), (0,), run_tag="a")
+        b = run_workload(testbox, make_spec(), (0,), run_tag="b")
+        assert a.elapsed_s != b.elapsed_s
+
+
+class TestMeasureStressors:
+    def test_window_counters(self, testbox):
+        sim = measure_stressors(
+            testbox,
+            [Job(cpu_stressor(), (0,))],
+            noise=NO_NOISE,
+            window_s=2.0,
+        )
+        jr = sim.job_results[0]
+        assert jr.elapsed_s == 2.0
+        assert jr.counters.instruction_rate > 0
+
+    def test_fill_idle_cores_default_on(self, testbox):
+        """Measurement runs at all-core turbo by default."""
+        sim = measure_stressors(testbox, [Job(cpu_stressor(), (0,))], noise=NO_NOISE)
+        rate = sim.job_results[0].counters.instruction_rate
+        expected = testbox.ipc_single * testbox.turbo.all_core_turbo_ghz
+        assert rate == pytest.approx(expected, rel=0.01)
+
+    def test_dram_stressor_counters_report_node_traffic(self, testbox):
+        tids = tuple(c.hw_thread_ids[0] for c in testbox.topology.cores_of_socket(0))
+        sim = measure_stressors(
+            testbox, [Job(dram_stressor(nodes=(0,)), tids)], noise=NO_NOISE
+        )
+        counters = sim.job_results[0].counters
+        assert counters.dram_bandwidth(0) == pytest.approx(
+            testbox.dram_gbs_per_node, rel=0.02
+        )
+        assert counters.dram_bandwidth(1) == 0.0

@@ -1,0 +1,73 @@
+"""Tests for the stress applications (paper Section 3)."""
+
+import pytest
+
+from repro.hardware import machines
+from repro.sim.engine import Job, SimOptions, simulate
+from repro.sim.noise import NO_NOISE
+from repro.sim import stressors
+
+QUIET = SimOptions(noise=NO_NOISE)
+
+
+class TestSpecs:
+    def test_all_stressors_are_background(self):
+        for spec in (
+            stressors.cpu_stressor(),
+            stressors.background_filler(),
+            stressors.cache_stressor("L1"),
+            stressors.dram_stressor(),
+            stressors.remote_dram_stressor(0),
+        ):
+            assert spec.background
+
+    def test_cache_stressor_targets_one_level(self):
+        spec = stressors.cache_stressor("L2")
+        assert spec.l2_bpi > 0
+        assert spec.l1_bpi == 0 and spec.l3_bpi == 0 and spec.dram_bpi == 0
+
+    def test_cache_stressor_rejects_unknown_level(self):
+        with pytest.raises(ValueError):
+            stressors.cache_stressor("L7")
+
+    def test_remote_dram_stressor_binds_node(self):
+        spec = stressors.remote_dram_stressor(1)
+        assert spec.memory_policy.kind == "bind"
+        assert spec.memory_policy.nodes == (1,)
+
+    def test_filler_touches_no_memory(self):
+        filler = stressors.background_filler()
+        assert filler.dram_bpi == 0
+        assert all(v == 0 for k, v in filler.bpi_vector().items())
+
+
+class TestSaturation:
+    """Each stressor must actually saturate its target resource."""
+
+    def test_cpu_stressor_saturates_core(self, testbox):
+        sim = simulate(testbox, [Job(stressors.cpu_stressor(), (0,))], QUIET)
+        load = sim.resource_loads[("core", 0)]
+        cap = sim.resource_capacities[("core", 0)]
+        assert load == pytest.approx(cap, rel=0.01)
+
+    @pytest.mark.parametrize("level", ["L1", "L2", "L3"])
+    def test_cache_stressor_saturates_link(self, testbox, level):
+        sim = simulate(testbox, [Job(stressors.cache_stressor(level), (0,))], QUIET)
+        key = ("cache_link", (level, 0))
+        assert sim.resource_loads[key] == pytest.approx(
+            sim.resource_capacities[key], rel=0.01
+        )
+
+    def test_dram_stressor_on_all_cores_saturates_node(self, testbox):
+        tids = tuple(c.hw_thread_ids[0] for c in testbox.topology.cores_of_socket(0))
+        sim = simulate(testbox, [Job(stressors.dram_stressor(nodes=(0,)), tids)], QUIET)
+        assert sim.resource_loads[("dram", 0)] == pytest.approx(
+            testbox.dram_gbs_per_node, rel=0.01
+        )
+
+    def test_remote_stressor_saturates_interconnect(self, testbox):
+        tids = tuple(c.hw_thread_ids[0] for c in testbox.topology.cores_of_socket(1))
+        sim = simulate(testbox, [Job(stressors.remote_dram_stressor(0), tids)], QUIET)
+        assert sim.resource_loads[("link", (0, 1))] == pytest.approx(
+            testbox.interconnect_gbs, rel=0.01
+        )

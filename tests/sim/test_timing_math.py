@@ -1,0 +1,98 @@
+"""Hand-computed checks of the engine's job-timing composition.
+
+These pin the exact formulas of ``_job_timing`` (documented in
+docs/substrate.md) on the cache-less FIG3 machine where per-thread
+rates are trivially predictable.
+"""
+
+import pytest
+
+from repro.sim.engine import Job, SimOptions, simulate
+from repro.sim.noise import NO_NOISE
+from repro.workloads.spec import WorkloadSpec
+
+QUIET = SimOptions(noise=NO_NOISE)
+
+# FIG3 cores run 10 instr/s; cpi 0.1 demands exactly 10.
+RATE = 10.0
+
+
+def make_spec(**overrides):
+    base = dict(name="math", work_ginstr=100.0, cpi=0.1, working_set_mib=0.1)
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+def run(fig3, spec, tids):
+    return simulate(fig3, [Job(spec, tids)], QUIET).job_results[0]
+
+
+class TestSequentialComposition:
+    def test_pure_sequential(self, fig3):
+        spec = make_spec(parallel_fraction=0.0)
+        # W_seq = 100 split over 2 threads at rate 10 each:
+        # T = (50/10) + (50/10) = 10 — scattered critical sections.
+        result = run(fig3, spec, (0, 2))
+        assert result.elapsed_s == pytest.approx(100.0 / RATE)
+
+    def test_amdahl_blend(self, fig3):
+        spec = make_spec(parallel_fraction=0.6)
+        # T_seq = 40/10; T_par = 60/(2*10); total = 4 + 3 = 7.
+        result = run(fig3, spec, (0, 2))
+        assert result.elapsed_s == pytest.approx(7.0)
+
+
+class TestLoadBalanceComposition:
+    """Threads at different speeds: one alone (rate 10), two sharing a
+    core (rate 5 each) on the toy machine's shared-capacity cores."""
+
+    def _rates(self, fig3):
+        spec = make_spec(parallel_fraction=1.0, load_balance=1.0)
+        result = run(fig3, spec, (0, 4, 2))  # 0,4 share core 0; 2 alone
+        return result
+
+    def test_rates_split_as_expected(self, fig3):
+        result = self._rates(fig3)
+        assert sorted(result.thread_rates) == pytest.approx([5.0, 5.0, 10.0])
+
+    def test_balanced_time_is_aggregate(self, fig3):
+        spec = make_spec(parallel_fraction=1.0, load_balance=1.0)
+        result = run(fig3, spec, (0, 4, 2))
+        # Aggregate throughput 20: T = 100/20 = 5.
+        assert result.elapsed_s == pytest.approx(5.0)
+
+    def test_lockstep_time_is_gated_by_the_slowest(self, fig3):
+        spec = make_spec(parallel_fraction=1.0, load_balance=0.0)
+        result = run(fig3, spec, (0, 4, 2))
+        # Each thread does 100/3 at the slowest rate 5: T = 6.67.
+        assert result.elapsed_s == pytest.approx(100.0 / 3 / 5.0)
+
+    def test_half_balanced_interpolates_linearly(self, fig3):
+        spec = make_spec(parallel_fraction=1.0, load_balance=0.5)
+        result = run(fig3, spec, (0, 4, 2))
+        lock = 100.0 / 3 / 5.0
+        bal = 5.0
+        assert result.elapsed_s == pytest.approx(0.5 * lock + 0.5 * bal)
+
+
+class TestWorkAccounting:
+    def test_balanced_work_follows_rates(self, fig3):
+        spec = make_spec(parallel_fraction=1.0, load_balance=1.0)
+        result = run(fig3, spec, (0, 4, 2))
+        # Counters: total work is exactly the spec's.
+        assert result.counters.instructions_g == pytest.approx(100.0)
+
+    def test_utilisation_feedback_converges(self, fig3):
+        spec = make_spec(parallel_fraction=0.8, load_balance=0.0)
+        sim = simulate(fig3, [Job(spec, (0, 4, 2))], QUIET)
+        assert sim.outer_iterations < 40  # converged, not exhausted
+
+
+class TestDramContention:
+    def test_two_threads_share_a_saturated_node_evenly(self, fig3):
+        # 20 B/instr at rate 10 wants 200 GB/s of a 100-capacity node.
+        spec = make_spec(dram_bpi=20.0, parallel_fraction=1.0)
+        result = run(fig3, spec, (0, 1))  # same socket -> same node
+        rates = sorted(result.thread_rates)
+        assert rates[0] == pytest.approx(rates[1], rel=1e-6)
+        assert sum(rates) * 20.0 == pytest.approx(100.0, rel=1e-3)

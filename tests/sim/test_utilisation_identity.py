@@ -1,0 +1,62 @@
+"""The utilisation identity connecting substrate and model.
+
+For an uncontended run, the engine's converged thread utilisation is
+exactly ``amdahl_speedup / n`` — the same quantity Pandia uses as
+``f_initial`` (Section 5, Figure 7a).  This is not a coincidence: both
+derive from work/time accounting under scattered sequential sections,
+and the identity is what makes Pandia's utilisation-scaled demands a
+faithful model of the substrate's average demands.
+"""
+
+import pytest
+
+from repro.core.amdahl import amdahl_speedup
+from repro.sim.demand import DemandModel, JobSpecOnMachine
+from repro.sim.engine import Job, SimOptions, simulate
+from repro.sim.noise import NO_NOISE
+from repro.workloads.spec import WorkloadSpec
+
+QUIET = SimOptions(noise=NO_NOISE)
+
+
+def uncontended_spec(p):
+    return WorkloadSpec(
+        name=f"ident-{p}", work_ginstr=50.0, cpi=0.5, l1_bpi=2.0,
+        working_set_mib=0.5, parallel_fraction=p, load_balance=1.0,
+    )
+
+
+def converged_utilisation(machine, spec, tids):
+    """Re-derive the engine's converged utilisation from its outputs."""
+    result = simulate(machine, [Job(spec, tids)], QUIET)
+    jr = result.job_results[0]
+    # busy_i = work_i / rate_i; with symmetric threads work splits evenly.
+    n = len(tids)
+    work_each = jr.counters.instructions_g / n
+    rate = jr.thread_rates[0]
+    return (work_each / rate) / jr.elapsed_s
+
+
+@pytest.mark.parametrize("p", [0.5, 0.8, 0.95, 0.99, 1.0])
+@pytest.mark.parametrize("n", [2, 4])
+def test_utilisation_equals_amdahl_over_n(testbox, p, n):
+    spec = uncontended_spec(p)
+    tids = tuple(testbox.topology.core(c).hw_thread_ids[0] for c in range(n))
+    utilisation = converged_utilisation(testbox, spec, tids)
+    expected = amdahl_speedup(p, n) / n
+    assert utilisation == pytest.approx(expected, rel=1e-3)
+
+
+def test_identity_feeds_demand_scaling(testbox):
+    """The average resource demand the engine reports equals the naive
+    demand scaled by that utilisation — Pandia's Section 5.1 rule."""
+    spec = uncontended_spec(0.8)
+    tids = (0, 1, 2, 3)
+    result = simulate(testbox, [Job(spec, tids)], QUIET)
+    jr = result.job_results[0]
+    # Average L1 bandwidth over the run:
+    avg_bw = jr.counters.cache_bandwidth("L1")
+    # Naive demand: every thread at its instantaneous rate, scaled by f.
+    f = amdahl_speedup(0.8, 4) / 4
+    naive = sum(jr.thread_rates) * spec.l1_bpi
+    assert avg_bw == pytest.approx(naive * f, rel=1e-3)

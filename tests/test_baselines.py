@@ -1,0 +1,105 @@
+"""Tests for the Section-7 baseline deciders."""
+
+import pytest
+
+from repro.baselines import (
+    RegressionModel,
+    fit_regression_baseline,
+    os_packed_choice,
+    os_spread_choice,
+    regression_choice,
+)
+from repro.errors import ReproError
+from repro.sim.noise import NO_NOISE
+from repro.workloads.spec import WorkloadSpec
+
+
+class TestOsHeuristics:
+    def test_default_uses_every_hw_thread(self, testbox):
+        topo = testbox.topology
+        assert os_packed_choice(topo).n_threads == topo.n_hw_threads
+        assert os_spread_choice(topo).n_threads == topo.n_hw_threads
+
+    def test_packed_fills_cores(self, testbox):
+        placement = os_packed_choice(testbox.topology, 4)
+        assert placement.threads_per_core() == {0: 2, 1: 2}
+
+    def test_spread_crosses_sockets(self, testbox):
+        placement = os_spread_choice(testbox.topology, 4)
+        assert placement.active_sockets() == (0, 1)
+
+    def test_range_validated(self, testbox):
+        with pytest.raises(ReproError):
+            os_packed_choice(testbox.topology, 0)
+        with pytest.raises(ReproError):
+            os_spread_choice(testbox.topology, 99)
+
+
+class TestRegressionModel:
+    def test_amdahl_curve_recovered(self):
+        model = RegressionModel(
+            t1=10.0, parallel_fraction=0.9, kappa=0.0,
+            training_counts=(1, 2, 4), training_cost_s=17.0,
+        )
+        assert model.predicted_time(1) == pytest.approx(10.0)
+        assert model.predicted_time(10) == pytest.approx(10.0 * (0.1 + 0.09))
+
+    def test_contention_term_creates_a_peak(self):
+        model = RegressionModel(
+            t1=10.0, parallel_fraction=0.99, kappa=0.01,
+            training_counts=(1, 2, 4), training_cost_s=0.1,
+        )
+        best = model.best_thread_count(64)
+        assert 2 < best < 64  # the kappa term turns the curve back up
+
+    def test_validation(self):
+        model = RegressionModel(1.0, 0.9, 0.0, (1, 2, 3), 1.0)
+        with pytest.raises(ReproError):
+            model.predicted_time(0)
+        with pytest.raises(ReproError):
+            model.best_thread_count(0)
+
+
+class TestFitRegression:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return WorkloadSpec(
+            name="regress-unit", work_ginstr=80.0, cpi=0.5, l1_bpi=6.0,
+            dram_bpi=1.0, working_set_mib=8.0, parallel_fraction=0.96,
+            load_balance=0.8,
+        )
+
+    def test_recovers_parallel_fraction(self, testbox, spec):
+        model = fit_regression_baseline(
+            testbox, spec, training_counts=(1, 2, 3, 4), noise=NO_NOISE
+        )
+        assert model.parallel_fraction == pytest.approx(0.96, abs=0.05)
+        assert model.training_cost_s > 0
+
+    def test_choice_returns_spread_placement(self, testbox, spec):
+        placement, model = regression_choice(testbox, spec, noise=NO_NOISE)
+        assert 1 <= placement.n_threads <= testbox.topology.n_hw_threads
+        assert model.training_counts == (1, 2, 3, 4)
+
+    def test_needs_enough_counts(self, testbox, spec):
+        with pytest.raises(ReproError, match="three"):
+            fit_regression_baseline(testbox, spec, training_counts=(1, 2))
+        with pytest.raises(ReproError, match="single-thread"):
+            fit_regression_baseline(testbox, spec, training_counts=(2, 3, 4))
+
+    def test_blind_to_placement_effects(self, testbox):
+        """The baseline's defining weakness: it cannot tell placements
+        of the same thread count apart."""
+        io_hostile = WorkloadSpec(
+            name="blind-unit", work_ginstr=60.0, cpi=0.5, l1_bpi=6.0,
+            dram_bpi=4.0, working_set_mib=60.0, parallel_fraction=0.99,
+            numa_local_fraction=0.2,
+        )
+        placement, model = regression_choice(testbox, io_hostile, noise=NO_NOISE)
+        # It always answers with the spread policy at its chosen count —
+        # no mechanism to prefer packing even when packing would win.
+        from repro.core.sweep import spread_placement
+
+        assert placement.hw_thread_ids == spread_placement(
+            testbox.topology, placement.n_threads
+        ).hw_thread_ids

@@ -1,0 +1,140 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListing:
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        for name in ("X5-2", "X4-2", "X3-2", "X2-4"):
+            assert name in out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "MD" in out and "equake" in out
+
+
+class TestDescribe:
+    def test_describe_machine(self, capsys):
+        assert main(["describe-machine", "TESTBOX"]) == 0
+        out = capsys.readouterr().out
+        assert "core rate" in out and "DRAM" in out
+
+    def test_describe_workload(self, capsys):
+        assert main(["describe-workload", "TESTBOX", "EP"]) == 0
+        out = capsys.readouterr().out
+        assert "parallel fraction" in out
+        assert "profiling cost" in out
+
+    def test_unknown_machine_is_an_error(self, capsys):
+        assert main(["describe-machine", "X99"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestPredict:
+    def test_predict_spread(self, capsys):
+        assert main(["predict", "TESTBOX", "EP", "--threads", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted speedup" in out
+
+    def test_predict_packed(self, capsys):
+        assert main(["predict", "TESTBOX", "EP", "--threads", "4", "--packed"]) == 0
+        assert "predicted" in capsys.readouterr().out
+
+    def test_too_many_threads_is_an_error(self, capsys):
+        assert main(["predict", "TESTBOX", "EP", "--threads", "99"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOptimize:
+    def test_optimize(self, capsys):
+        assert main(["optimize", "TESTBOX", "Swim", "--max-placements", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "best predicted" in out
+        assert "right-sized" in out
+
+
+class TestCoschedule:
+    def test_coschedule_two_workloads(self, capsys):
+        assert main(["coschedule", "TESTBOX", "EP", "Swim"]) == 0
+        out = capsys.readouterr().out
+        assert "EP" in out and "Swim" in out
+        assert "bottleneck" in out
+
+    def test_too_many_workloads_for_sockets(self, capsys):
+        assert main(["coschedule", "TESTBOX", "EP", "Swim", "MD"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRack:
+    def test_rack_scheduling(self, capsys):
+        assert main(["rack", "TESTBOX", "EP", "Swim", "--nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "node-0" in out and "makespan" in out
+
+    def test_rack_with_validation(self, capsys):
+        assert main(
+            ["rack", "TESTBOX", "EP", "MD", "--nodes", "2", "--validate"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "measured makespan" in out
+
+
+class TestExplain:
+    def test_explain_mentions_bottleneck(self, capsys):
+        assert main(["explain", "TESTBOX", "Swim", "--threads", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Amdahl ceiling" in out
+        assert "most utilised resources" in out
+
+
+class TestFit:
+    def test_fit_from_timings(self, capsys):
+        code = main(["fit", "TESTBOX", "1:10.0", "2:5.3", "4:2.9", "8:1.8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rms relative error" in out
+        assert "fitted:" in out
+
+    def test_malformed_observation(self, capsys):
+        assert main(["fit", "TESTBOX", "banana"]) == 1
+        assert "THREADS:SECONDS" in capsys.readouterr().err
+
+
+class TestTimeline:
+    def test_timeline_gantt(self, capsys):
+        code = main(
+            ["timeline", "TESTBOX", "EP", "MD", "--nodes", "2", "--stagger", "1.0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "#" in out  # gantt bars
+        assert "makespan" in out
+        assert "queueing delay" in out
+
+
+class TestEvaluate:
+    def test_evaluate_summary(self, capsys, tmp_path):
+        svg = tmp_path / "scatter.svg"
+        code = main(
+            ["evaluate", "TESTBOX", "MD", "--max-placements", "30",
+             "--svg", str(svg)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rank correlation" in out
+        assert "placement regret" in out
+        assert svg.exists() and svg.read_text().startswith("<svg")
+
+
+class TestNoiseFlag:
+    def test_noise_flag_changes_measurements(self, capsys):
+        main(["--noise", "0.0", "describe-machine", "TESTBOX"])
+        quiet = capsys.readouterr().out
+        main(["--noise", "0.03", "describe-machine", "TESTBOX"])
+        noisy = capsys.readouterr().out
+        assert quiet != noisy

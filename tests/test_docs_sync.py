@@ -1,0 +1,61 @@
+"""Meta-tests keeping documentation and code in sync."""
+
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class TestExperimentIdsDocumented:
+    def test_every_experiment_appears_in_readme(self):
+        from repro.experiments.run_all import REGISTRY
+
+        readme = (REPO / "README.md").read_text()
+        for experiment_id in REGISTRY:
+            assert f"`{experiment_id}`" in readme, (
+                f"experiment {experiment_id!r} missing from README.md"
+            )
+
+    def test_reproduce_doc_lists_scales(self):
+        text = (REPO / "docs" / "reproduce.md").read_text()
+        for scale in ("quick", "default", "full"):
+            assert scale in text
+
+
+class TestCliDocumented:
+    def test_readme_lists_cli_commands(self):
+        from repro.cli import build_parser
+
+        readme = (REPO / "README.md").read_text()
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions if a.__class__.__name__ == "_SubParsersAction"
+        )
+        core_commands = {"describe-machine", "predict", "optimize", "experiment"}
+        for command in core_commands:
+            assert command in subparsers.choices
+            assert command in readme, f"CLI command {command!r} missing from README"
+
+
+class TestWorkloadsDocumented:
+    def test_every_workload_appears_in_workloads_doc(self):
+        from repro.workloads import catalog
+
+        text = (REPO / "docs" / "workloads.md").read_text()
+        for name in catalog.all_names():
+            assert name in text, f"workload {name!r} missing from docs/workloads.md"
+
+
+class TestDesignInventory:
+    def test_design_lists_every_figure(self):
+        design = (REPO / "DESIGN.md").read_text()
+        for artifact in ("Figure 1", "Figure 10", "Figure 11", "Figure 12",
+                         "Figure 13", "Figure 14"):
+            assert artifact in design
+
+    def test_experiments_md_covers_every_artifact(self):
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        for token in ("Figure 1", "Figure 10", "Figure 11", "Figure 12",
+                      "Figure 13", "Figure 14", "sweep", "Worked example"):
+            assert token in text

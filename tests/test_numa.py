@@ -1,0 +1,69 @@
+"""Tests for the shared NUMA traffic-distribution arithmetic."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.numa import dram_shares, local_fraction_from_remote, remote_fraction
+
+
+class TestDramShares:
+    def test_fully_interleaved(self):
+        shares = dram_shares(0.0, own_socket=0, active_sockets=[0, 1])
+        assert shares == {0: 0.5, 1: 0.5}
+
+    def test_fully_local(self):
+        shares = dram_shares(1.0, own_socket=1, active_sockets=[0, 1])
+        assert shares[1] == pytest.approx(1.0)
+        assert shares[0] == pytest.approx(0.0)
+
+    def test_mixed(self):
+        shares = dram_shares(0.6, own_socket=0, active_sockets=[0, 1])
+        assert shares[0] == pytest.approx(0.8)  # 0.6 + 0.4/2
+        assert shares[1] == pytest.approx(0.2)
+
+    def test_four_sockets(self):
+        shares = dram_shares(0.5, own_socket=2, active_sockets=[0, 1, 2, 3])
+        assert shares[2] == pytest.approx(0.5 + 0.125)
+        for node in (0, 1, 3):
+            assert shares[node] == pytest.approx(0.125)
+
+    def test_shares_sum_to_one(self):
+        for lam in (0.0, 0.3, 0.7, 1.0):
+            shares = dram_shares(lam, 0, [0, 1, 2])
+            assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_single_socket_is_all_local(self):
+        assert dram_shares(0.3, 0, [0]) == {0: pytest.approx(1.0)}
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            dram_shares(1.5, 0, [0, 1])
+        with pytest.raises(ReproError):
+            dram_shares(0.5, 3, [0, 1])  # own socket not active
+
+
+class TestRemoteFraction:
+    def test_round_trip(self):
+        for lam in (0.0, 0.25, 0.8, 1.0):
+            for sockets in (2, 3, 4):
+                rho = remote_fraction(lam, sockets)
+                assert local_fraction_from_remote(rho, sockets) == pytest.approx(lam)
+
+    def test_two_socket_split(self):
+        assert remote_fraction(0.0, 2) == pytest.approx(0.5)
+        assert remote_fraction(1.0, 2) == pytest.approx(0.0)
+
+    def test_consistent_with_shares(self):
+        lam, sockets = 0.4, [0, 1, 2]
+        shares = dram_shares(lam, 0, sockets)
+        remote = sum(v for node, v in shares.items() if node != 0)
+        assert remote == pytest.approx(remote_fraction(lam, 3))
+
+    def test_inversion_clamped(self):
+        # Noise can push the measured remote fraction past the ideal.
+        assert local_fraction_from_remote(0.7, 2) == 0.0
+        assert local_fraction_from_remote(-0.05, 2) == 1.0
+
+    def test_single_socket_unobservable(self):
+        with pytest.raises(ReproError):
+            local_fraction_from_remote(0.1, 1)

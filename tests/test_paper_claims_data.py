@@ -1,0 +1,121 @@
+"""Tests for the structured paper-claims data and comparison logic."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.paper import CLAIMS, PaperClaim, claims_for, compare_headlines, comparison_table
+
+
+class TestClaimsData:
+    def test_unique_keys_per_experiment(self):
+        seen = set()
+        for claim in CLAIMS:
+            key = (claim.experiment_id, claim.headline_key)
+            assert key not in seen, key
+            seen.add(key)
+
+    def test_every_claim_names_a_registered_experiment(self):
+        from repro.experiments.run_all import REGISTRY
+
+        for claim in CLAIMS:
+            assert claim.experiment_id in REGISTRY, claim.headline_key
+
+    def test_turbo_claims_are_exact_frequency_ratios(self):
+        boost = next(c for c in CLAIMS if c.headline_key.startswith("single_thread"))
+        assert boost.paper_value == pytest.approx(3.6 / 2.8)
+        assert boost.expectation == "band"
+
+    def test_claims_for(self):
+        assert {c.experiment_id for c in claims_for("sweep")} == {"sweep"}
+        assert len(claims_for("sweep")) == 3
+
+
+class TestVerdicts:
+    def test_band_verdicts(self):
+        claim = PaperClaim("k", "fig14", 1.286, "6.3", "d", expectation="band", band=0.05)
+        assert claim.verdict(1.29) == "match"
+        assert claim.verdict(1.5) == "deviates"
+
+    def test_order_verdicts(self):
+        claim = PaperClaim("k", "headline", 2.8, "6.1", "d")
+        assert claim.verdict(1.5) == "comparable"
+        assert claim.verdict(30.0) == "deviates"
+
+    def test_shape_verdicts(self):
+        claim = PaperClaim("k", "fig13", 10.0, "6.3", "d", expectation="shape")
+        assert claim.verdict(7.2) == "match"
+        assert claim.verdict(-3.0) == "deviates"
+
+
+class TestComparison:
+    def test_joins_measured_values(self):
+        headlines = {
+            "fig14": {
+                "single_thread_boost_over_background": 1.308,
+                "full_machine_penalty_for_disabling": 1.226,
+            }
+        }
+        results = compare_headlines(headlines)
+        by_key = {c.headline_key: (m, v) for c, m, v in results}
+        measured, verdict = by_key["single_thread_boost_over_background"]
+        assert measured == 1.308
+        assert verdict == "match"
+        # Everything not in the run is marked, not dropped.
+        assert by_key["cost_ratio_X5-2"] == (None, "not run")
+
+    def test_table_renders(self):
+        headlines = {"fig14": {"single_thread_boost_over_background": 1.308}}
+        table = comparison_table(headlines)
+        assert "paper" in table and "verdict" in table
+        assert "match" in table
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            compare_headlines({})
+
+
+class TestTranscriptParsing:
+    TRANSCRIPT = """\
+== fig14: Effect of Turbo Boost on a CPU-bound loop (X5-2) ==
+paper: something
+
+plot lines here | with pipes
+
+headline numbers:
+  single_thread_boost_over_background = 1.308
+  full_machine_penalty_for_disabling = 1.226
+[fig14 took 0.9s]
+
+== sweep: Simple pattern exploration vs Pandia (Section 6.3) ==
+headline numbers:
+  cost_ratio_X5-2 = 7.659
+"""
+
+    def test_parse_results_headlines(self):
+        from repro.paper import parse_results_headlines
+
+        headlines = parse_results_headlines(self.TRANSCRIPT)
+        assert headlines["fig14"]["single_thread_boost_over_background"] == 1.308
+        assert headlines["sweep"]["cost_ratio_X5-2"] == 7.659
+
+    def test_parse_feeds_comparison(self):
+        from repro.paper import comparison_table, parse_results_headlines
+
+        table = comparison_table(parse_results_headlines(self.TRANSCRIPT))
+        assert "match" in table
+        assert "not run" in table
+
+    def test_parse_rejects_headline_free_text(self):
+        from repro.paper import parse_results_headlines
+
+        with pytest.raises(ReproError):
+            parse_results_headlines("nothing to see")
+
+    def test_cli_main(self, tmp_path, capsys):
+        from repro.paper import main
+
+        path = tmp_path / "results.txt"
+        path.write_text(self.TRANSCRIPT)
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "paper vs reproduction" in out

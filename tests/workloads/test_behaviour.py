@@ -1,0 +1,179 @@
+"""Behavioural regression tests: the catalog acts like its namesakes.
+
+Each of the 22 workloads stands in for a published benchmark; these
+tests pin the *observable* behaviour (through timed runs on the
+simulated X5-2) to that benchmark's character, so catalog edits cannot
+silently change what the evaluation measures.
+"""
+
+import pytest
+
+from repro.core.sweep import packed_placement, spread_placement
+from repro.hardware import machines
+from repro.sim.engine import Job, SimOptions, simulate
+from repro.sim.noise import NO_NOISE
+from repro.workloads import catalog
+
+QUIET = SimOptions(noise=NO_NOISE)
+X5 = machines.get("X5-2")
+
+
+def time_with(spec, placement):
+    return simulate(X5, [Job(spec, placement.hw_thread_ids)], QUIET).job_results[0].elapsed_s
+
+
+def speedup_at(spec, n):
+    t1 = time_with(spec, spread_placement(X5.topology, 1))
+    tn = time_with(spec, spread_placement(X5.topology, n))
+    return t1 / tn
+
+
+class TestScalingCharacter:
+    def test_ep_is_near_linear_to_a_socket(self):
+        """Embarrassingly parallel: ~18x on 18 cores."""
+        assert speedup_at(catalog.get("EP"), 18) > 14.0
+
+    def test_md_scales_far(self):
+        """Figure 1: MD keeps gaining to large thread counts."""
+        md = catalog.get("MD")
+        assert speedup_at(md, 36) > 20.0
+
+    def test_swim_saturates_early(self):
+        """Bandwidth-bound: DRAM gates well below the core count."""
+        swim = catalog.get("Swim")
+        s8 = speedup_at(swim, 8)
+        s36 = speedup_at(swim, 36)
+        assert s36 < s8 * 2.0  # far from linear past saturation
+
+    def test_memory_bound_set_saturates_below_compute_bound(self):
+        for mem_name in ("Swim", "Bwaves", "NPO"):
+            assert speedup_at(catalog.get(mem_name), 36) < speedup_at(
+                catalog.get("EP"), 36
+            )
+
+
+class TestMemoryCharacter:
+    @pytest.mark.parametrize("name", ["Swim", "Bwaves", "CG", "MG"])
+    def test_memory_bound_workloads_load_dram_heavily(self, name):
+        """A machine-wide spread pushes DRAM near its limit: these
+        first-touch-local workloads are DRAM-bound, not link-bound."""
+        spec = catalog.get(name)
+        placement = spread_placement(X5.topology, 36)
+        sim = simulate(X5, [Job(spec, placement.hw_thread_ids)], QUIET)
+        dram_load = max(
+            v for k, v in sim.resource_loads.items() if k[0] == "dram"
+        )
+        assert dram_load > 0.8 * X5.dram_gbs_per_node, name
+
+    @pytest.mark.parametrize("name", ["NPO", "PageRank", "Sort-Join"])
+    def test_shared_table_workloads_saturate_the_interconnect(self, name):
+        """Joins over shared hash tables and graph traversals keep low
+        NUMA locality: spread over sockets, the interconnect gates."""
+        spec = catalog.get(name)
+        placement = spread_placement(X5.topology, 36)
+        sim = simulate(X5, [Job(spec, placement.hw_thread_ids)], QUIET)
+        link_load = max(
+            v for k, v in sim.resource_loads.items() if k[0] == "link"
+        )
+        assert link_load > 0.9 * X5.interconnect_gbs, name
+
+    @pytest.mark.parametrize("name", ["EP", "MD"])
+    def test_compute_bound_workloads_barely_touch_dram(self, name):
+        spec = catalog.get(name)
+        placement = spread_placement(X5.topology, 36)
+        sim = simulate(X5, [Job(spec, placement.hw_thread_ids)], QUIET)
+        dram_load = max(
+            (v for k, v in sim.resource_loads.items() if k[0] == "dram"),
+            default=0.0,
+        )
+        assert dram_load < 0.5 * X5.dram_gbs_per_node, name
+
+
+class TestSmtCharacter:
+    def test_sort_join_dislikes_smt(self):
+        """The bursty AVX pipelines: packing two per core loses more
+        than for a steady workload."""
+        sj = catalog.get("Sort-Join")
+        cg = catalog.get("CG")
+
+        def smt_penalty(spec):
+            spread = time_with(spec, spread_placement(X5.topology, 18))
+            packed = time_with(spec, packed_placement(X5.topology, 18))
+            return packed / spread
+
+        assert smt_penalty(sj) > smt_penalty(cg)
+
+    def test_md_gains_from_whole_machine_smt(self):
+        """Figure 1's right edge: the full 72 threads still (slightly)
+        beat 36 one-per-core for MD."""
+        md = catalog.get("MD")
+        t36 = time_with(md, spread_placement(X5.topology, 36))
+        t72 = time_with(md, spread_placement(X5.topology, 72))
+        assert t72 < t36
+
+
+class TestSocketCharacter:
+    @staticmethod
+    def _spread_gain(spec):
+        """Speedup from moving 18 one-per-core threads from one socket
+        to both sockets (same core count, doubled memory system)."""
+        one_socket_tids = tuple(
+            X5.topology.core(c).hw_thread_ids[0] for c in X5.topology.socket(0).core_ids
+        )
+        from repro.core.placement import Placement
+
+        t_one = simulate(
+            X5, [Job(spec, one_socket_tids)], QUIET
+        ).job_results[0].elapsed_s
+        t_both = time_with(spec, spread_placement(X5.topology, 18))
+        return t_one / t_both
+
+    def test_pagerank_gains_less_from_spreading_than_local_workloads(self):
+        """Graph analytics drags a shared graph across the interconnect:
+        doubling the memory system buys less than it does for a
+        first-touch-local workload like Swim."""
+        assert self._spread_gain(catalog.get("PageRank")) < self._spread_gain(
+            catalog.get("Swim")
+        )
+
+    def test_ep_is_socket_indifferent(self):
+        ep = catalog.get("EP")
+        spread = time_with(ep, spread_placement(X5.topology, 8))
+        packed_cores = time_with(
+            ep, spread_placement(X5.topology, 8)
+        )
+        assert spread == pytest.approx(packed_cores, rel=1e-9)
+
+
+class TestSpecials:
+    def test_equake_work_grows(self):
+        """Figure 13's broken assumption: instructions rise with n."""
+        equake = catalog.get("equake")
+        placement = spread_placement(X5.topology, 16)
+        sim = simulate(X5, [Job(equake, placement.hw_thread_ids)], QUIET)
+        solo = simulate(
+            X5, [Job(equake, spread_placement(X5.topology, 1).hw_thread_ids)], QUIET
+        )
+        assert (
+            sim.job_results[0].counters.instructions_g
+            > solo.job_results[0].counters.instructions_g * 1.2
+        )
+
+    def test_npo_1t_never_scales(self):
+        npo1 = catalog.get("NPO-1T")
+        assert speedup_at(npo1, 16) < 1.2
+
+    def test_bt_small_staircase(self):
+        bt = catalog.get("BT-small")
+        t32 = time_with(bt, spread_placement(X5.topology, 32))
+        t48 = time_with(bt, spread_placement(X5.topology, 48))
+        assert t48 >= t32 * 0.95
+
+
+class TestDevelopmentSetIsRepresentative:
+    def test_dev_set_spans_memory_intensity(self):
+        """BT, CG, IS, MD cover compute-bound to bandwidth-bound."""
+        dev = {w.name: w for w in catalog.development_set()}
+        assert dev["MD"].dram_bpi < 0.5  # compute
+        assert dev["IS"].dram_bpi > 3.0  # bandwidth + comm
+        assert dev["CG"].dram_bpi > 2.0  # memory

@@ -1,0 +1,77 @@
+"""Tests for the 22-benchmark catalog."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.workloads import catalog
+
+
+class TestCompleteness:
+    def test_twenty_two_evaluation_workloads(self):
+        assert len(catalog.evaluation_set()) == 22
+        assert len(catalog.names()) == 22
+
+    def test_development_and_test_split(self):
+        dev = catalog.development_set()
+        test = catalog.test_set()
+        assert {w.name for w in dev} == {"BT", "CG", "IS", "MD"}
+        assert len(test) == 18
+        assert not {w.name for w in dev} & {w.name for w in test}
+
+    def test_paper_workload_names_present(self):
+        expected = {
+            "Applu", "Apsi", "Art", "BT", "Bwaves", "CG", "EP", "FMA-3D",
+            "FT", "IS", "LU", "MD", "MG", "NPO", "PRH", "PRHO", "PRO",
+            "PageRank", "Sort-Join", "SP", "Swim", "Wupwise",
+        }
+        assert set(catalog.names()) == expected
+
+    def test_specials_present(self):
+        assert catalog.get("equake").work_growth > 0
+        assert catalog.get("NPO-1T").active_threads == 1
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SimulationError, match="known"):
+            catalog.get("doom")
+
+    def test_all_names_include_specials(self):
+        names = catalog.all_names()
+        assert "equake" in names and "NPO-1T" in names and "MD" in names
+
+
+class TestCharacter:
+    """Spot-check that specs encode the published workload characters."""
+
+    def test_ep_is_embarrassingly_parallel(self):
+        ep = catalog.get("EP")
+        assert ep.parallel_fraction > 0.999
+        assert ep.comm_fraction == 0.0
+        assert ep.dram_bpi < 0.1
+
+    def test_swim_is_bandwidth_bound(self):
+        swim = catalog.get("Swim")
+        assert swim.dram_bpi == max(w.dram_bpi for w in catalog.evaluation_set())
+
+    def test_pagerank_is_communication_heavy(self):
+        pr = catalog.get("PageRank")
+        others = [w.comm_fraction for w in catalog.evaluation_set() if w.name != "Sort-Join"]
+        assert pr.comm_fraction == max(others)
+
+    def test_sort_join_is_bursty(self):
+        sj = catalog.get("Sort-Join")
+        assert sj.burst_duty == min(w.burst_duty for w in catalog.evaluation_set())
+
+    def test_lu_is_lockstep(self):
+        assert catalog.get("LU").load_balance <= 0.1
+
+    def test_diversity_across_axes(self):
+        """The set must span the behavioural space, not cluster."""
+        specs = catalog.evaluation_set()
+        assert max(w.dram_bpi for w in specs) > 10 * max(0.05, min(w.dram_bpi for w in specs))
+        assert max(w.load_balance for w in specs) - min(w.load_balance for w in specs) > 0.6
+        assert min(w.parallel_fraction for w in specs) < 0.97
+        assert max(w.parallel_fraction for w in specs) > 0.999
+
+    def test_equake_excluded_from_evaluation_set(self):
+        assert "equake" not in catalog.names()
+        assert all(w.work_growth == 0.0 for w in catalog.evaluation_set())

@@ -1,0 +1,73 @@
+"""Data-driven scaling-band regression for every evaluation workload.
+
+Each of the 22 workloads has a stated speedup band at 36 one-per-core
+threads of the X5-2 (relative to one thread).  The bands document the
+intended behavioural spread of the catalog and freeze it: a parameter
+edit that moves a workload out of its band fails here with a message
+naming the band, not in some downstream experiment.
+"""
+
+import pytest
+
+from repro.core.sweep import spread_placement
+from repro.hardware import machines
+from repro.sim.engine import Job, SimOptions, simulate
+from repro.sim.noise import NO_NOISE
+from repro.workloads import catalog
+
+QUIET = SimOptions(noise=NO_NOISE)
+X5 = machines.get("X5-2")
+
+#: workload -> (min, max) measured speedup at 36 spread threads.
+BANDS = {
+    # compute-leaning NPB/OMP: near-linear up to the core count
+    "EP": (25.0, 37.0),
+    "MD": (22.0, 36.0),
+    "BT": (18.0, 34.0),
+    "Wupwise": (12.0, 28.0),
+    "Apsi": (12.0, 30.0),
+    "Applu": (10.0, 28.0),
+    "LU": (10.0, 28.0),
+    "SP": (8.0, 26.0),
+    "Art": (8.0, 26.0),
+    "FMA-3D": (7.0, 24.0),
+    "FT": (5.0, 20.0),
+    # bandwidth/communication-bound: early saturation
+    "CG": (4.0, 16.0),
+    "MG": (3.0, 12.0),
+    "IS": (3.0, 12.0),
+    "Bwaves": (3.0, 12.0),
+    "Swim": (2.0, 10.0),
+    # joins and graph: interconnect-gated
+    "NPO": (2.0, 10.0),
+    "PRH": (3.0, 14.0),
+    "PRHO": (3.0, 14.0),
+    "PRO": (3.0, 14.0),
+    "Sort-Join": (3.0, 16.0),
+    "PageRank": (2.0, 10.0),
+}
+
+
+def measured_speedup(name: str) -> float:
+    spec = catalog.get(name)
+    t1 = simulate(
+        X5, [Job(spec, spread_placement(X5.topology, 1).hw_thread_ids)], QUIET
+    ).job_results[0].elapsed_s
+    t36 = simulate(
+        X5, [Job(spec, spread_placement(X5.topology, 36).hw_thread_ids)], QUIET
+    ).job_results[0].elapsed_s
+    return t1 / t36
+
+
+@pytest.mark.parametrize("name", catalog.names())
+def test_workload_stays_in_its_band(name):
+    lo, hi = BANDS[name]
+    speedup = measured_speedup(name)
+    assert lo <= speedup <= hi, (
+        f"{name}: 36-thread speedup {speedup:.1f} outside its documented "
+        f"band [{lo}, {hi}] — a catalog edit changed its character"
+    )
+
+
+def test_every_workload_has_a_band():
+    assert set(BANDS) == set(catalog.names())

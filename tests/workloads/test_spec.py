@@ -1,0 +1,87 @@
+"""Tests for the workload-spec data model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.workloads.spec import MemoryPolicy, WorkloadSpec
+
+
+def make_spec(**overrides):
+    base = dict(name="w", work_ginstr=10.0, cpi=0.5)
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+class TestMemoryPolicy:
+    def test_default_is_interleave_active(self):
+        assert make_spec().memory_policy.kind == "interleave_active"
+
+    def test_bind_requires_nodes(self):
+        with pytest.raises(SimulationError):
+            MemoryPolicy(kind="bind")
+
+    def test_bind_normalises_nodes(self):
+        assert MemoryPolicy.bind(2, 0, 2).nodes == (0, 2)
+
+    def test_non_bind_rejects_nodes(self):
+        with pytest.raises(SimulationError):
+            MemoryPolicy(kind="local", nodes=(0,))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimulationError):
+            MemoryPolicy(kind="random")
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("work_ginstr", 0.0),
+            ("cpi", 0.0),
+            ("l1_bpi", -1.0),
+            ("dram_bpi", -0.1),
+            ("parallel_fraction", 1.0001),
+            ("load_balance", -0.5),
+            ("burst_duty", 0.0),
+            ("burst_duty", 1.2),
+            ("comm_fraction", -0.1),
+            ("work_growth", -0.1),
+            ("active_threads", 0),
+        ],
+    )
+    def test_rejects_out_of_range(self, field, value):
+        with pytest.raises(SimulationError):
+            make_spec(**{field: value})
+
+    def test_background_spec_allows_placeholder_work(self):
+        spec = make_spec(background=True, work_ginstr=1.0)
+        assert spec.background
+
+
+class TestDerived:
+    def test_ipc_demand(self):
+        assert make_spec(cpi=0.25).ipc_demand == 4.0
+
+    def test_bpi_vector_and_cache_lookup(self):
+        spec = make_spec(l1_bpi=8.0, l2_bpi=4.0, l3_bpi=2.0, dram_bpi=1.0)
+        assert spec.bpi_vector() == {"L1": 8.0, "L2": 4.0, "L3": 2.0, "DRAM": 1.0}
+        assert spec.cache_bpi("L2") == 4.0
+        with pytest.raises(SimulationError):
+            spec.cache_bpi("L4")
+
+    def test_n_active_caps_at_spec_limit(self):
+        spec = make_spec(active_threads=2)
+        assert spec.n_active(1) == 1
+        assert spec.n_active(5) == 2
+        with pytest.raises(SimulationError):
+            spec.n_active(0)
+
+    def test_total_work_grows_with_threads(self):
+        spec = make_spec(work_growth=0.1)
+        assert spec.total_work_ginstr(1) == pytest.approx(10.0)
+        assert spec.total_work_ginstr(5) == pytest.approx(14.0)
+
+    def test_with_replaces_fields(self):
+        spec = make_spec().with_(cpi=1.0)
+        assert spec.cpi == 1.0
+        assert spec.name == "w"

@@ -1,0 +1,40 @@
+"""Tests for benchmark-suite metadata."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.workloads import catalog, suites
+
+
+class TestPartition:
+    def test_suites_partition_the_evaluation_set(self):
+        suites.verify_partition()  # raises on any mismatch
+
+    def test_counts_match_the_paper(self):
+        assert len(suites.workloads_in("NPB")) == 8
+        assert len(suites.workloads_in("SPEC OMP")) == 8
+        assert len(suites.workloads_in("hash joins")) == 5
+        assert len(suites.workloads_in("graph analytics")) == 1
+
+
+class TestLookups:
+    def test_suite_of(self):
+        assert suites.suite_of("CG") == "NPB"
+        assert suites.suite_of("MD") == "SPEC OMP"
+        assert suites.suite_of("Sort-Join") == "hash joins"
+        assert suites.suite_of("PageRank") == "graph analytics"
+
+    def test_unknown_workload(self):
+        with pytest.raises(SimulationError):
+            suites.suite_of("doom")
+
+    def test_unknown_suite(self):
+        with pytest.raises(SimulationError, match="known"):
+            suites.workloads_in("SPECint")
+
+
+class TestSuiteCharacter:
+    def test_joins_have_lower_locality_than_npb(self):
+        joins = [catalog.get(n).numa_local_fraction for n in suites.workloads_in("hash joins")]
+        npb = [catalog.get(n).numa_local_fraction for n in suites.workloads_in("NPB")]
+        assert max(joins) < min(npb)

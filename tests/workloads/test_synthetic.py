@@ -1,0 +1,40 @@
+"""Tests for synthetic workload generation."""
+
+import pytest
+
+from repro.workloads.synthetic import (
+    AXIS_RANGES,
+    compute_bound_spec,
+    memory_bound_spec,
+    random_spec,
+)
+
+
+class TestRandomSpec:
+    def test_reproducible(self):
+        assert random_spec(7) == random_spec(7)
+
+    def test_seeds_differ(self):
+        assert random_spec(1) != random_spec(2)
+
+    def test_within_ranges(self):
+        for seed in range(30):
+            spec = random_spec(seed)
+            for axis, (lo, hi) in AXIS_RANGES.items():
+                value = getattr(spec, axis)
+                assert lo <= value <= hi, f"{axis} out of range for seed {seed}"
+
+    def test_custom_name(self):
+        assert random_spec(3, name="custom").name == "custom"
+
+
+class TestExtremes:
+    def test_compute_bound_touches_little_memory(self):
+        spec = compute_bound_spec()
+        assert spec.dram_bpi == 0.0
+        assert spec.cpi < 0.5
+
+    def test_memory_bound_is_dram_heavy(self):
+        spec = memory_bound_spec()
+        assert spec.dram_bpi >= 5.0
+        assert spec.working_set_mib > 100
