@@ -1,0 +1,184 @@
+"""Wall-clock benchmark: search engine vs the naive serial ranking.
+
+Measures one *placement-optimisation session* — the optimizer's real
+call pattern: ``best_placement``, ``rightsize`` at several tolerances,
+and ``peak_thread_count`` — over the full packed/spread sweep of the
+largest catalog machine (X2-4, 4 sockets, 80 hardware threads).
+
+The naive baseline is what the code did before the search engine
+existed: every helper re-ranks the whole placement set with one
+predictor call per placement (kept verbatim as
+``rank_placements_serial``).  The engine path evaluates each symmetry
+class once and answers everything else from its prediction cache; on
+multi-core hosts ``--workers N`` additionally fans misses out over a
+process pool.  Golden equivalence (identical best placement, times
+within 1e-12) is asserted on every run.
+
+Usage::
+
+    python benchmarks/bench_search.py            # full: X2-4, 3 workloads
+    python benchmarks/bench_search.py --quick    # CI smoke: TESTBOX, 1 workload
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.core.machine_desc import generate_machine_description
+from repro.core.optimizer import (
+    best_placement,
+    peak_thread_count,
+    rank_placements_serial,
+    rightsize,
+)
+from repro.core.predictor import PandiaPredictor
+from repro.core.sweep import packed_placement, spread_placement
+from repro.core.workload_desc import WorkloadDescriptionGenerator
+from repro.hardware import machines
+from repro.search import SearchEngine
+from repro.sim.noise import NO_NOISE
+from repro.workloads import catalog
+
+TOLERANCES = (0.02, 0.05, 0.10)
+GOLDEN_TOL = 1e-12
+
+
+def full_sweep(topology) -> List:
+    """Every packed and spread placement at 1..n threads (with the
+    boundary duplicates a naive caller would produce)."""
+    placements = []
+    for n in range(1, topology.n_hw_threads + 1):
+        placements.append(packed_placement(topology, n))
+        placements.append(spread_placement(topology, n))
+    return placements
+
+
+def naive_session(predictor, workload, placements):
+    """The pre-engine behaviour: each helper re-ranks from scratch."""
+    ranked = rank_placements_serial(predictor, workload, placements)
+    best = ranked[0]
+    for tolerance in TOLERANCES:
+        ranked_again = rank_placements_serial(predictor, workload, placements)
+        budget = ranked_again[0].predicted_time_s * (1.0 + tolerance)
+        min(
+            (r for r in ranked_again if r.predicted_time_s <= budget),
+            key=lambda r: (
+                r.placement.n_threads,
+                len(r.placement.threads_per_core()),
+                len(r.placement.active_sockets()),
+            ),
+        )
+    peak = rank_placements_serial(predictor, workload, placements)[0]
+    return best.placement, best.predicted_time_s, peak.placement.n_threads
+
+
+def engine_session(predictor, workload, placements, workers: Optional[int]):
+    """The same session through one (fresh) search engine."""
+    with SearchEngine(
+        predictor,
+        max_workers=workers,
+        executor="process" if workers and workers > 1 else "thread",
+    ) as engine:
+        best, best_pred = best_placement(predictor, workload, placements, engine=engine)
+        for tolerance in TOLERANCES:
+            rightsize(predictor, workload, placements, tolerance, engine=engine)
+        peak = peak_thread_count(predictor, workload, placements, engine=engine)
+        stats = engine.stats.snapshot()
+    return best, best_pred.predicted_time_s, peak, stats
+
+
+def run(machine_name: str, workload_names: Sequence[str], repeats: int,
+        workers: Optional[int]) -> float:
+    spec = machines.get(machine_name)
+    md = generate_machine_description(spec, noise=NO_NOISE)
+    predictor = PandiaPredictor(md)
+    generator = WorkloadDescriptionGenerator(spec, md, noise=NO_NOISE)
+    placements = full_sweep(spec.topology)
+    print(
+        f"machine {machine_name}: {spec.topology.n_hw_threads} hw threads, "
+        f"{len(placements)} sweep placements, "
+        f"{1 + len(TOLERANCES) + 1} rankings per session"
+    )
+
+    worst_speedup = float("inf")
+    for name in workload_names:
+        workload = generator.generate(catalog.get(name))
+
+        naive_best = min(
+            _timed(naive_session, predictor, workload, placements)
+            for _ in range(repeats)
+        )
+        engine_best = float("inf")
+        last = None
+        for _ in range(repeats):
+            elapsed, last = _timed_r(
+                engine_session, predictor, workload, placements, workers
+            )
+            engine_best = min(engine_best, elapsed)
+        best_pl, best_time, peak, stats = last
+
+        ref_pl, ref_time, ref_peak = naive_session(predictor, workload, placements)
+        if (
+            best_pl.canonical_key() != ref_pl.canonical_key()
+            or abs(best_time - ref_time) > GOLDEN_TOL
+            or peak != ref_peak
+        ):
+            print(f"ERROR: {name}: engine result diverged from naive serial loop")
+            return -1.0
+
+        speedup = naive_best / engine_best
+        worst_speedup = min(worst_speedup, speedup)
+        print(
+            f"  {name:6s} naive {naive_best * 1e3:8.1f} ms   "
+            f"engine {engine_best * 1e3:8.1f} ms   speedup {speedup:5.2f}x   "
+            f"(evals {stats.evaluations}/{stats.requests} requests, "
+            f"dedup {stats.dedup_ratio:.0%})"
+        )
+    return worst_speedup
+
+
+def _timed(fn, *args):
+    t0 = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - t0
+
+
+def _timed_r(fn, *args):
+    t0 = time.perf_counter()
+    result = fn(*args)
+    return time.perf_counter() - t0, result
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: TESTBOX, one workload, one repeat")
+    parser.add_argument("--machine", default=None,
+                        help="override the benchmark machine")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="sessions per configuration (best-of)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="process-pool workers for the engine (0 = serial)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        machine = args.machine or "TESTBOX"
+        workloads, repeats = ("MD",), args.repeats or 1
+    else:
+        machine = args.machine or "X2-4"  # largest: 4 sockets, 80 hw threads
+        workloads, repeats = ("MD", "CG", "Swim"), args.repeats or 3
+
+    worst = run(machine, workloads, repeats, args.workers or None)
+    if worst < 0:
+        return 1
+    print(f"worst-case session speedup: {worst:.2f}x")
+    if not args.quick and worst < 3.0:
+        print("WARNING: speedup below the 3x target (loaded host?)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,6 +77,29 @@ def write_html_report(
     return out
 
 
+def search_stats_section(stats, title: str = "Placement search") -> str:
+    """HTML snippet for a :class:`~repro.search.stats.SearchStats` object.
+
+    Drop the returned fragment into ``figures`` (or append it to a
+    report body) to surface cache hits, dedup ratio, evaluation count
+    and wall time alongside the experiment that ran the search.
+    """
+    rows = "".join(
+        f"<div>{escape(label)} = {escape(str(value))}</div>"
+        for label, value in [
+            ("requests", stats.requests),
+            ("cache hits", stats.cache_hits),
+            ("evaluations", stats.evaluations),
+            ("dedup ratio", f"{stats.dedup_ratio:.0%}"),
+            ("rounds", stats.rounds),
+            ("wall time (s)", f"{stats.wall_time_s:.3f}"),
+        ]
+    )
+    return (
+        f"<div class='headline'><strong>{escape(title)}</strong>{rows}</div>"
+    )
+
+
 def evaluation_figure(evaluation, title: Optional[str] = None) -> str:
     """The Figure-1-style scatter for one EvaluationResult, as SVG."""
     return svg_scatter(

@@ -106,17 +106,39 @@ def cmd_predict(args: argparse.Namespace) -> int:
 
 
 def cmd_optimize(args: argparse.Namespace) -> int:
-    from repro.core.placement import sample_canonical
+    from repro.search import (
+        ExhaustiveStrategy,
+        GreedyHillClimbStrategy,
+        SearchEngine,
+        SweepStrategy,
+    )
 
     machine, md, wd = _descriptions(args)
-    placements = sample_canonical(machine.topology, args.max_placements, seed=0)
     predictor = PandiaPredictor(md)
-    best, best_pred = best_placement(predictor, wd, placements)
-    small, small_pred = rightsize(predictor, wd, placements, tolerance=args.tolerance)
-    print(f"best predicted: {best}")
-    print(f"  speedup {best_pred.speedup:.2f}, time {best_pred.predicted_time_s:.3f} s")
-    print(f"right-sized (within {args.tolerance:.0%}): {small}")
-    print(f"  speedup {small_pred.speedup:.2f}, time {small_pred.predicted_time_s:.3f} s")
+    if args.strategy == "sweep":
+        strategy = SweepStrategy()
+    elif args.strategy == "greedy":
+        strategy = GreedyHillClimbStrategy()
+    else:
+        strategy = ExhaustiveStrategy(sample=args.max_placements, seed=0)
+    with SearchEngine(
+        predictor,
+        max_workers=args.workers if args.workers > 1 else None,
+        executor="process" if args.workers > 1 else "thread",
+        chunk_size=args.chunk_size,
+    ) as engine:
+        result = engine.search(wd, strategy)
+        placements = [r.placement for r in result.ranked]  # all cache hits below
+        best, best_pred = result.best_placement, result.best_prediction
+        small, small_pred = rightsize(
+            predictor, wd, placements, tolerance=args.tolerance, engine=engine
+        )
+        print(f"best predicted: {best}")
+        print(f"  speedup {best_pred.speedup:.2f}, time {best_pred.predicted_time_s:.3f} s")
+        print(f"right-sized (within {args.tolerance:.0%}): {small}")
+        print(f"  speedup {small_pred.speedup:.2f}, time {small_pred.predicted_time_s:.3f} s")
+        if args.stats:
+            print(engine.stats.summary())
     return 0
 
 
@@ -330,6 +352,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload")
     p.add_argument("--max-placements", type=int, default=400)
     p.add_argument("--tolerance", type=float, default=0.05)
+    p.add_argument(
+        "--strategy", choices=("exhaustive", "sweep", "greedy"), default="exhaustive",
+        help="placement-search strategy (default: exhaustive sample)",
+    )
+    p.add_argument("--workers", type=int, default=0,
+                   help="process-pool workers for prediction fan-out (0 = serial)")
+    p.add_argument("--chunk-size", type=int, default=16,
+                   help="placements per pool work unit")
+    p.add_argument("--stats", action="store_true",
+                   help="print search-engine cache/dedup statistics")
     p.set_defaults(func=cmd_optimize)
 
     p = sub.add_parser("experiment", help="reproduce paper artifacts")

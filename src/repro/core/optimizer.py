@@ -6,39 +6,78 @@ The paper's two headline uses of Pandia (Section 1):
   whether to span sockets and whether SMT helps (:func:`best_placement`);
 * find where extra resources stop buying performance, so a poorly
   scaling workload can be confined to fewer cores (:func:`rightsize`).
+
+All helpers route through :class:`repro.search.engine.SearchEngine`:
+symmetric placements are predicted once and predictions are memoised
+per predictor, so chaining ``best_placement`` → ``rightsize`` →
+``peak_thread_count`` over one placement set costs a single evaluation
+pass.  Pass ``engine=`` to control caching/parallelism explicitly;
+:func:`rank_placements_serial` keeps the naive loop as the golden
+reference (``tests/search/test_golden_equivalence.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.description import WorkloadDescription
 from repro.core.placement import Placement
 from repro.core.predictor import PandiaPredictor, Prediction
 from repro.errors import PredictionError
+from repro.search.engine import RankedPlacement, SearchEngine
+
+__all__ = [
+    "RankedPlacement",
+    "rank_placements",
+    "rank_placements_serial",
+    "best_placement",
+    "rightsize",
+    "peak_thread_count",
+]
 
 
-@dataclass
-class RankedPlacement:
-    """One placement with its prediction, ordered fastest-first."""
+def _machine_name(predictor) -> str:
+    return getattr(getattr(predictor, "md", None), "machine_name", "<unknown machine>")
 
-    placement: Placement
-    prediction: Prediction
 
-    @property
-    def predicted_time_s(self) -> float:
-        return self.prediction.predicted_time_s
+def _require_placements(
+    predictor, workload: WorkloadDescription, placements: Sequence[Placement]
+) -> None:
+    if not placements:
+        raise PredictionError(
+            f"no placements to rank for workload {workload.name!r} "
+            f"on {_machine_name(predictor)}"
+        )
 
 
 def rank_placements(
     predictor: PandiaPredictor,
     workload: WorkloadDescription,
     placements: Sequence[Placement],
+    engine: Optional[SearchEngine] = None,
 ) -> List[RankedPlacement]:
-    """Predict every placement and sort fastest-first."""
-    if not placements:
-        raise PredictionError("no placements to rank")
+    """Predict every placement and sort fastest-first.
+
+    Uses the per-predictor shared search engine unless *engine* is
+    given, so repeated rankings hit the prediction cache.
+    """
+    _require_placements(predictor, workload, placements)
+    if engine is None:
+        engine = SearchEngine.shared(predictor)
+    return engine.rank(workload, placements)
+
+
+def rank_placements_serial(
+    predictor: PandiaPredictor,
+    workload: WorkloadDescription,
+    placements: Sequence[Placement],
+) -> List[RankedPlacement]:
+    """The naive serial loop: no dedup, no cache, no pool.
+
+    Reference implementation for the golden-equivalence tests and the
+    ``bench_search`` baseline; prefer :func:`rank_placements`.
+    """
+    _require_placements(predictor, workload, placements)
     ranked = [
         RankedPlacement(pl, predictor.predict(workload, pl)) for pl in placements
     ]
@@ -50,9 +89,10 @@ def best_placement(
     predictor: PandiaPredictor,
     workload: WorkloadDescription,
     placements: Sequence[Placement],
+    engine: Optional[SearchEngine] = None,
 ) -> Tuple[Placement, Prediction]:
     """The placement Pandia predicts to be fastest."""
-    top = rank_placements(predictor, workload, placements)[0]
+    top = rank_placements(predictor, workload, placements, engine=engine)[0]
     return top.placement, top.prediction
 
 
@@ -70,6 +110,7 @@ def rightsize(
     workload: WorkloadDescription,
     placements: Sequence[Placement],
     tolerance: float = 0.05,
+    engine: Optional[SearchEngine] = None,
 ) -> Tuple[Placement, Prediction]:
     """Smallest-footprint placement within *tolerance* of the best.
 
@@ -81,7 +122,7 @@ def rightsize(
     """
     if tolerance < 0:
         raise PredictionError("tolerance must be >= 0")
-    ranked = rank_placements(predictor, workload, placements)
+    ranked = rank_placements(predictor, workload, placements, engine=engine)
     budget = ranked[0].predicted_time_s * (1.0 + tolerance)
     eligible = [r for r in ranked if r.predicted_time_s <= budget]
     winner = min(eligible, key=lambda r: _footprint(r.placement))
@@ -92,11 +133,12 @@ def peak_thread_count(
     predictor: PandiaPredictor,
     workload: WorkloadDescription,
     placements: Sequence[Placement],
+    engine: Optional[SearchEngine] = None,
 ) -> int:
     """Thread count of the predicted-fastest placement.
 
     Section 6.1 observes that on larger machines the peak often sits
     below the maximum thread count (81% of workloads on the X5-2).
     """
-    placement, _ = best_placement(predictor, workload, placements)
+    placement, _ = best_placement(predictor, workload, placements, engine=engine)
     return placement.n_threads

@@ -73,8 +73,16 @@ class Placement:
         return tuple(shapes)
 
     def canonical_key(self) -> Tuple[SocketShape, ...]:
-        """Shape with socket order normalised (descending)."""
-        return tuple(sorted(self.socket_shapes(), reverse=True))
+        """Shape with socket order normalised (descending).
+
+        Memoised: the search engine computes this once per cache lookup,
+        so ranking a cached placement set must not re-derive shapes.
+        """
+        key = self.__dict__.get("_canonical_key")
+        if key is None:
+            key = tuple(sorted(self.socket_shapes(), reverse=True))
+            object.__setattr__(self, "_canonical_key", key)
+        return key
 
     def sort_key(self) -> Tuple[int, ...]:
         """The paper's x-axis order: total threads, then per-core counts."""

@@ -11,9 +11,13 @@ paper finds this effective on small machines but both slower to run
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.placement import Placement
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.description import WorkloadDescription
+    from repro.search.engine import RankedPlacement, SearchEngine
 from repro.hardware.spec import MachineSpec
 from repro.hardware.topology import MachineTopology
 from repro.sim.noise import NoiseModel
@@ -53,6 +57,20 @@ def sweep_placements(topology: MachineTopology) -> List[Placement]:
             key = (placement.n_threads, placement.canonical_key())
             seen.setdefault(key, placement)
     return sorted(seen.values(), key=lambda p: p.sort_key())
+
+
+def predict_sweep(
+    engine: "SearchEngine",
+    workload: "WorkloadDescription",
+) -> "List[RankedPlacement]":
+    """Rank the sweep placements through the search engine (no runs).
+
+    The predicted counterpart of :func:`run_sweep`: the same packed and
+    spread placements, evaluated in one cache-aware batch instead of
+    measured one timed run at a time.
+    """
+    topology = engine.predictor.md.topology
+    return engine.rank(workload, sweep_placements(topology))
 
 
 @dataclass

@@ -25,6 +25,7 @@ from repro.core.placement import Placement
 from repro.core.predictor import PandiaPredictor
 from repro.errors import ReproError
 from repro.rack.model import Assignment, Rack, RackMachine, RackSchedule
+from repro.search.engine import SearchEngine
 
 
 def free_context_placement(
@@ -68,6 +69,12 @@ class RackScheduler:
         }
         self._solo = {
             m.name: PandiaPredictor(m.description) for m in rack.machines
+        }
+        # Solo estimates go through search engines: racks of identical
+        # nodes and repeated schedule() calls re-ask for the same
+        # (workload, shape) predictions, which the cache absorbs.
+        self._solo_search = {
+            name: SearchEngine(predictor) for name, predictor in self._solo.items()
         }
 
     # -- public API ------------------------------------------------------
@@ -142,8 +149,8 @@ class RackScheduler:
             placement = free_context_placement(machine, set(), machine.n_hw_threads // 2 or 1)
             if placement is None:
                 continue
-            predictor = self._solo[machine.name]
-            best = min(best, predictor.predict(workload, placement).predicted_time_s)
+            engine = self._solo_search[machine.name]
+            best = min(best, engine.best(workload, [placement]).predicted_time_s)
         if best == float("inf"):
             raise ReproError(f"workload {workload.name} fits on no rack machine")
         return best

@@ -1,0 +1,57 @@
+"""Canonicalisation: topology symmetry and workload fingerprints.
+
+On a homogeneous machine (the paper's assumption, Section 3) a
+placement's performance depends only on its per-socket shapes — which
+sockets carry which shape is irrelevant.  ``canonical_key`` exposes
+that equivalence as a hashable key; two placements share a key exactly
+when they are related by a socket permutation (and, within a socket, by
+any core/context relabelling).
+
+``workload_fingerprint`` hashes everything about a
+:class:`~repro.core.description.WorkloadDescription` that the predictor
+reads, so cached predictions are invalidated the moment any model
+parameter changes.  Profiling bookkeeping (``runs``) is deliberately
+excluded: it does not affect predictions.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+from repro.core.description import WorkloadDescription
+from repro.core.placement import Placement, SocketShape, from_shapes
+from repro.hardware.topology import MachineTopology
+
+#: A canonical placement key: per-socket shapes, socket order normalised.
+CanonicalKey = Tuple[SocketShape, ...]
+
+
+def canonical_key(placement: Placement) -> CanonicalKey:
+    """The placement's symmetry class under socket permutation."""
+    return placement.canonical_key()
+
+
+def canonical_representative(
+    topology: MachineTopology, key: CanonicalKey
+) -> Placement:
+    """The canonical concrete placement for a symmetry class."""
+    return from_shapes(topology, key)
+
+
+def workload_fingerprint(workload: WorkloadDescription) -> Tuple[Hashable, ...]:
+    """Hashable identity of every model parameter the predictor reads."""
+    d = workload.demands
+    return (
+        workload.name,
+        workload.machine_name,
+        workload.t1,
+        d.inst_rate,
+        tuple(sorted(d.cache_bw.items())),
+        d.dram_bw,
+        d.numa_local_fraction,
+        d.io_bw,
+        workload.parallel_fraction,
+        workload.inter_socket_overhead,
+        workload.load_balance,
+        workload.burstiness,
+    )

@@ -1,0 +1,358 @@
+"""The placement-search engine.
+
+``SearchEngine`` wraps one :class:`~repro.core.predictor.PandiaPredictor`
+and answers "predict these placements" requests through three layers:
+
+1. **canonicalisation** — symmetric placements collapse to one key, so
+   each symmetry class is predicted once per workload;
+2. **memoisation** — an LRU cache keyed by ``(workload fingerprint,
+   canonical key)`` carries predictions across calls, so e.g.
+   ``best_placement`` followed by ``rightsize`` over the same set pays
+   for one evaluation pass, not two;
+3. **fan-out** — cache misses are ground through a thread or process
+   pool in chunked work units; with ``max_workers=None`` (the default)
+   or a single worker the engine degrades to a plain serial loop.
+
+Determinism: the predictor is a pure function of ``(workload,
+placement)``, each miss is evaluated on the exact concrete placement
+that first requested its symmetry class, and results are reassembled in
+submission order — so the fast path returns bit-identical predictions
+to the naive serial loop regardless of worker count or chunk size.
+"""
+
+from __future__ import annotations
+
+import time
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.description import WorkloadDescription
+from repro.core.placement import Placement
+from repro.core.predictor import PandiaPredictor, Prediction
+from repro.errors import PredictionError
+from repro.search.cache import PredictionCache
+from repro.search.canonical import canonical_key, workload_fingerprint
+from repro.search.stats import SearchStats
+
+# -- process-pool worker state -----------------------------------------------
+#
+# Each worker process rebuilds the predictor once (from the pickled
+# machine description) instead of once per task; tasks then ship only
+# the workload and a chunk of placements.
+
+_WORKER_PREDICTOR: Optional[PandiaPredictor] = None
+
+
+def _process_worker_init(md, max_iterations: int, tolerance: float) -> None:
+    global _WORKER_PREDICTOR
+    _WORKER_PREDICTOR = PandiaPredictor(
+        md, max_iterations=max_iterations, tolerance=tolerance
+    )
+
+
+def _process_worker_chunk(
+    workload: WorkloadDescription, placements: Sequence[Placement]
+) -> List[Prediction]:
+    assert _WORKER_PREDICTOR is not None, "worker initializer did not run"
+    return [_WORKER_PREDICTOR.predict(workload, p) for p in placements]
+
+
+@dataclass
+class RankedPlacement:
+    """One placement with its prediction, ordered fastest-first."""
+
+    placement: Placement
+    prediction: Prediction
+
+    @property
+    def predicted_time_s(self) -> float:
+        return self.prediction.predicted_time_s
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one strategy-driven search."""
+
+    best: RankedPlacement
+    ranked: List[RankedPlacement]  # every evaluated class, fastest-first
+    rounds: int
+    stats: SearchStats  # snapshot at completion
+    wall_time_s: float
+
+    @property
+    def best_placement(self) -> Placement:
+        return self.best.placement
+
+    @property
+    def best_prediction(self) -> Prediction:
+        return self.best.prediction
+
+
+class SearchEngine:
+    """Cache-aware, optionally parallel placement evaluator.
+
+    Parameters
+    ----------
+    predictor:
+        The bound predictor.  Anything with a ``predict(workload,
+        placement)`` method works; pool executors additionally need the
+        real :class:`PandiaPredictor` (its machine description is
+        shipped to workers).
+    max_workers:
+        ``None`` (default) or ``1`` evaluates serially.  ``>= 2``
+        enables the pool selected by *executor*.
+    executor:
+        ``"thread"`` (default) or ``"process"``.  Ignored when running
+        serially.  If the pool cannot be created (restricted
+        environments), the engine silently falls back to serial —
+        results are identical either way.
+    chunk_size:
+        Number of placements per pool work unit.
+    cache_size:
+        LRU capacity in predictions.
+    """
+
+    #: Shared per-predictor engines handed out by :meth:`shared`, so the
+    #: module-level optimizer helpers reuse one cache per predictor.
+    _SHARED: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+    def __init__(
+        self,
+        predictor,
+        *,
+        max_workers: Optional[int] = None,
+        executor: str = "thread",
+        chunk_size: int = 16,
+        cache_size: int = 65536,
+    ) -> None:
+        if executor not in ("thread", "process"):
+            raise PredictionError(f"unknown executor kind {executor!r}")
+        if chunk_size < 1:
+            raise PredictionError("chunk size must be >= 1")
+        if max_workers is not None and max_workers < 1:
+            raise PredictionError("max_workers must be >= 1 (or None for serial)")
+        self.predictor = predictor
+        self.max_workers = max_workers
+        self.executor_kind = executor
+        self.chunk_size = chunk_size
+        self.cache: PredictionCache[Prediction] = PredictionCache(cache_size)
+        self.stats = SearchStats()
+        self._pool = None
+        self._pool_broken = False
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def shared(cls, predictor) -> "SearchEngine":
+        """The serial engine shared by all callers using *predictor*.
+
+        This is what the :mod:`repro.core.optimizer` helpers use by
+        default, so ``best_placement`` + ``rightsize`` +
+        ``peak_thread_count`` over the same placement set evaluate each
+        symmetry class once.
+        """
+        try:
+            engine = cls._SHARED.get(predictor)
+        except TypeError:  # unhashable or un-weakref-able predictor
+            return cls(predictor)
+        if engine is None:
+            engine = cls(predictor)
+            try:
+                cls._SHARED[predictor] = engine
+            except TypeError:
+                pass
+        return engine
+
+    # -- evaluation ------------------------------------------------------
+
+    def evaluate(
+        self,
+        workload: WorkloadDescription,
+        placements: Sequence[Placement],
+    ) -> List[RankedPlacement]:
+        """Predict every placement, in input order.
+
+        Symmetric duplicates within *placements* share one prediction
+        (the one computed for the first concrete placement of the
+        class), as do repeats across calls via the cache.
+        """
+        t0 = time.perf_counter()
+        fingerprint = workload_fingerprint(workload)
+        self.stats.requests += len(placements)
+
+        keys: List[Hashable] = []
+        found: Dict[Hashable, Prediction] = {}
+        pending: "OrderedDict[Hashable, Placement]" = OrderedDict()
+        for placement in placements:
+            key = (fingerprint, canonical_key(placement))
+            keys.append(key)
+            if key in found or key in pending:
+                self.stats.cache_hits += 1
+                continue
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                found[key] = cached
+            else:
+                self.stats.cache_misses += 1
+                pending[key] = placement
+
+        if pending:
+            predictions = self._predict_batch(workload, list(pending.values()))
+            self.stats.evaluations += len(predictions)
+            for key, prediction in zip(pending, predictions):
+                found[key] = prediction
+                self.cache.put(key, prediction)
+
+        results = [
+            RankedPlacement(placement, found[key])
+            for placement, key in zip(placements, keys)
+        ]
+        self.stats.wall_time_s += time.perf_counter() - t0
+        return results
+
+    def rank(
+        self,
+        workload: WorkloadDescription,
+        placements: Sequence[Placement],
+    ) -> List[RankedPlacement]:
+        """Evaluate and sort fastest-first (stable in input order)."""
+        ranked = self.evaluate(workload, placements)
+        ranked.sort(key=lambda r: r.predicted_time_s)
+        return ranked
+
+    def best(
+        self,
+        workload: WorkloadDescription,
+        placements: Sequence[Placement],
+    ) -> RankedPlacement:
+        if not placements:
+            raise PredictionError(
+                f"no placements to evaluate for workload {workload.name!r}"
+            )
+        return self.rank(workload, placements)[0]
+
+    # -- strategy-driven search ------------------------------------------
+
+    def search(self, workload: WorkloadDescription, strategy) -> SearchResult:
+        """Run a search strategy to completion.
+
+        The strategy proposes an initial candidate set, then refines it
+        round by round from the evaluated results until it proposes
+        nothing new (see :mod:`repro.search.strategies`).
+        """
+        t0 = time.perf_counter()
+        topology = self._topology()
+        seen: Dict[Tuple, RankedPlacement] = {}
+        candidates = list(strategy.initial_candidates(topology))
+        if not candidates:
+            raise PredictionError(
+                f"strategy {type(strategy).__name__} proposed no candidates"
+            )
+        rounds = 0
+        while candidates:
+            rounds += 1
+            self.stats.rounds += 1
+            for ranked in self.evaluate(workload, candidates):
+                seen.setdefault(canonical_key(ranked.placement), ranked)
+            best = min(seen.values(), key=lambda r: r.predicted_time_s)
+            proposed = strategy.refine(topology, best, seen)
+            candidates = [
+                p for p in (proposed or []) if canonical_key(p) not in seen
+            ]
+        ranked_all = sorted(seen.values(), key=lambda r: r.predicted_time_s)
+        return SearchResult(
+            best=ranked_all[0],
+            ranked=ranked_all,
+            rounds=rounds,
+            stats=self.stats.snapshot(),
+            wall_time_s=time.perf_counter() - t0,
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was started."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SearchEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals -------------------------------------------------------
+
+    def _topology(self):
+        md = getattr(self.predictor, "md", None)
+        topology = getattr(md, "topology", None)
+        if topology is None:
+            raise PredictionError(
+                "strategy search needs a predictor with a machine description"
+            )
+        return topology
+
+    def _predict_batch(
+        self, workload: WorkloadDescription, placements: List[Placement]
+    ) -> List[Prediction]:
+        pool = self._ensure_pool() if self._parallel_wanted(placements) else None
+        if pool is None:
+            return [self.predictor.predict(workload, p) for p in placements]
+        chunks = [
+            placements[i : i + self.chunk_size]
+            for i in range(0, len(placements), self.chunk_size)
+        ]
+        if self.executor_kind == "process":
+            futures = [
+                pool.submit(_process_worker_chunk, workload, chunk)
+                for chunk in chunks
+            ]
+        else:
+            predict = self.predictor.predict
+            futures = [
+                pool.submit(lambda c=chunk: [predict(workload, p) for p in c])
+                for chunk in chunks
+            ]
+        results: List[Prediction] = []
+        for future in futures:  # submission order => deterministic assembly
+            results.extend(future.result())
+        return results
+
+    def _parallel_wanted(self, placements: Sequence[Placement]) -> bool:
+        return (
+            self.max_workers is not None
+            and self.max_workers >= 2
+            and not self._pool_broken
+            and len(placements) > 1
+        )
+
+    def _ensure_pool(self):
+        if self._pool is not None:
+            return self._pool
+        try:
+            if self.executor_kind == "process":
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    initializer=_process_worker_init,
+                    initargs=(
+                        self.predictor.md,
+                        self.predictor.max_iterations,
+                        self.predictor.tolerance,
+                    ),
+                )
+            else:
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        except (OSError, ImportError, NotImplementedError, AttributeError):
+            # Restricted environments (no semaphores, no fork) or a
+            # duck-typed predictor without .md: fall back to serial.
+            self._pool_broken = True
+            self._pool = None
+        return self._pool

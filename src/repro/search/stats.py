@@ -1,0 +1,58 @@
+"""Counters describing one engine's search activity.
+
+The invariants the property tests pin down
+(``tests/properties/test_search_properties.py``):
+
+* every placement submitted to the engine is exactly one cache request,
+  so ``cache_hits + cache_misses == requests`` always;
+* only misses reach the predictor, so ``evaluations == cache_misses``;
+* the dedup ratio is the fraction of requests answered without a
+  predictor call — symmetry duplicates and repeat lookups alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass
+class SearchStats:
+    """Cumulative counters for one :class:`~repro.search.engine.SearchEngine`."""
+
+    requests: int = 0  # placements submitted for evaluation
+    cache_hits: int = 0  # answered from the cache (incl. in-batch dedup)
+    cache_misses: int = 0  # required a predictor call
+    evaluations: int = 0  # predictor calls actually performed
+    rounds: int = 0  # strategy rounds driven by search()
+    wall_time_s: float = 0.0  # time spent inside evaluate()
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of requests served without running the predictor."""
+        if self.requests == 0:
+            return 0.0
+        return 1.0 - self.evaluations / self.requests
+
+    @property
+    def hit_rate(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.cache_hits / self.requests
+
+    def snapshot(self) -> "SearchStats":
+        """An independent copy (e.g. to freeze into a SearchResult)."""
+        return replace(self)
+
+    def summary(self) -> str:
+        """Human-readable report (CLI / report output)."""
+        return "\n".join(
+            [
+                "search stats:",
+                f"  requests:    {self.requests}",
+                f"  cache hits:  {self.cache_hits} ({self.hit_rate:.0%})",
+                f"  evaluations: {self.evaluations} "
+                f"(dedup ratio {self.dedup_ratio:.0%})",
+                f"  rounds:      {self.rounds}",
+                f"  wall time:   {self.wall_time_s:.3f} s",
+            ]
+        )

@@ -1,0 +1,166 @@
+"""Search strategies: what to evaluate, and when to stop.
+
+All strategies share one API consumed by
+:meth:`repro.search.engine.SearchEngine.search`:
+
+* ``initial_candidates(topology)`` — the first batch of placements;
+* ``refine(topology, best, seen)`` — the next batch given the best
+  result so far and everything evaluated (keyed by canonical key), or
+  ``None``/empty to stop.
+
+``ExhaustiveStrategy`` and ``SweepStrategy`` are single-round;
+``GreedyHillClimbStrategy`` walks neighbour moves in shape space until
+no move improves the predicted time.  Strategies carry per-search
+state — use a fresh instance per :meth:`search` call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.placement import (
+    Placement,
+    SocketShape,
+    enumerate_canonical,
+    from_shapes,
+    sample_canonical,
+)
+from repro.core.sweep import packed_placement, spread_placement, sweep_placements
+from repro.hardware.topology import MachineTopology
+
+
+class ExhaustiveStrategy:
+    """Every canonical placement (optionally sampled / filtered).
+
+    ``sample`` bounds the candidate count via the deterministic
+    :func:`~repro.core.placement.sample_canonical`; the filters are the
+    Figure-12 placement-class bounds.
+    """
+
+    def __init__(
+        self,
+        max_threads: Optional[int] = None,
+        max_sockets: Optional[int] = None,
+        max_cores: Optional[int] = None,
+        sample: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        self.max_threads = max_threads
+        self.max_sockets = max_sockets
+        self.max_cores = max_cores
+        self.sample = sample
+        self.seed = seed
+
+    def initial_candidates(self, topology: MachineTopology) -> List[Placement]:
+        filters = dict(
+            max_threads=self.max_threads,
+            max_sockets=self.max_sockets,
+            max_cores=self.max_cores,
+        )
+        if self.sample is not None:
+            return sample_canonical(topology, self.sample, seed=self.seed, **filters)
+        return enumerate_canonical(topology, **filters)
+
+    def refine(self, topology, best, seen) -> None:
+        return None
+
+
+class SweepStrategy:
+    """The paper's packed/spread sweep (Section 6.3), predicted not run.
+
+    Candidates are every packed and every spread placement at 1..n
+    threads — the same placements ``run_sweep`` would *measure*, here
+    evaluated through the predictor in one batch.
+    """
+
+    def initial_candidates(self, topology: MachineTopology) -> List[Placement]:
+        return sweep_placements(topology)
+
+    def refine(self, topology, best, seen) -> None:
+        return None
+
+
+class GreedyHillClimbStrategy:
+    """Hill-climb over neighbour moves in per-socket shape space.
+
+    Seeds with packed and spread placements at a few pivotal thread
+    counts, then repeatedly proposes every single-move neighbour of the
+    current best — add/remove a thread, pair/split an SMT context,
+    migrate a thread across sockets — until a round yields no
+    improvement or ``max_rounds`` is hit.  Evaluating each neighbour
+    batch through the engine keeps the climb cache-friendly and
+    pool-parallel.
+    """
+
+    def __init__(self, max_rounds: int = 64) -> None:
+        self.max_rounds = max_rounds
+        self._rounds = 0
+        self._last_best_key: Optional[Tuple[SocketShape, ...]] = None
+
+    def initial_candidates(self, topology: MachineTopology) -> List[Placement]:
+        pivots = {1, topology.cores_per_socket, topology.n_cores, topology.n_hw_threads}
+        seeds: Dict[Tuple, Placement] = {}
+        for n in sorted(p for p in pivots if 1 <= p <= topology.n_hw_threads):
+            for placement in (
+                packed_placement(topology, n),
+                spread_placement(topology, n),
+            ):
+                seeds.setdefault(placement.canonical_key(), placement)
+        return list(seeds.values())
+
+    def refine(self, topology, best, seen) -> Optional[Sequence[Placement]]:
+        self._rounds += 1
+        best_key = best.placement.canonical_key()
+        if best_key == self._last_best_key or self._rounds >= self.max_rounds:
+            return None
+        self._last_best_key = best_key
+        return neighbour_placements(topology, best.placement)
+
+
+def neighbour_placements(
+    topology: MachineTopology, placement: Placement
+) -> List[Placement]:
+    """Every placement one shape move away from *placement*.
+
+    Moves, per socket: add a single-thread core, drop one, pair a
+    single into an SMT dual, split a dual back; plus migrating one
+    single thread between two sockets.  Results are canonicalised and
+    deduplicated.
+    """
+    base = list(placement.canonical_key())
+    cps = topology.cores_per_socket
+    smt = topology.threads_per_core >= 2
+    shapes: Dict[Tuple[SocketShape, ...], None] = {}
+
+    def propose(candidate: List[SocketShape]) -> None:
+        if sum(o + 2 * t for o, t in candidate) == 0:
+            return
+        key = tuple(sorted(candidate, reverse=True))
+        if key != tuple(sorted(base, reverse=True)):
+            shapes.setdefault(key)
+
+    for i, (ones, twos) in enumerate(base):
+        moves = []
+        if ones + twos < cps:
+            moves.append((ones + 1, twos))  # add a single-thread core
+        if ones > 0:
+            moves.append((ones - 1, twos))  # drop a thread
+            if smt:
+                moves.append((ones - 1, twos + 1))  # pair into an SMT dual
+        if twos > 0:
+            moves.append((ones + 1, twos - 1))  # split a dual
+        for move in moves:
+            candidate = list(base)
+            candidate[i] = move
+            propose(candidate)
+        # migrate one single thread from socket i to socket j
+        if ones > 0:
+            for j, (oj, tj) in enumerate(base):
+                if j == i or oj + tj >= cps:
+                    continue
+                candidate = list(base)
+                candidate[i] = (ones - 1, twos)
+                candidate[j] = (oj + 1, tj)
+                propose(candidate)
+
+    return [from_shapes(topology, key) for key in shapes]

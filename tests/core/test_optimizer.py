@@ -7,6 +7,7 @@ from repro.core.optimizer import (
     best_placement,
     peak_thread_count,
     rank_placements,
+    rank_placements_serial,
     rightsize,
 )
 from repro.core.placement import enumerate_canonical
@@ -47,6 +48,15 @@ class TestRanking:
     def test_empty_placements_rejected(self, fig3_predictor):
         with pytest.raises(PredictionError):
             rank_placements(fig3_predictor, make_workload(), [])
+
+    def test_empty_placements_error_names_workload_and_machine(
+        self, fig3_predictor
+    ):
+        wd = make_workload(name="lonely")
+        with pytest.raises(PredictionError, match=r"'lonely'.*FIG3"):
+            rank_placements(fig3_predictor, wd, [])
+        with pytest.raises(PredictionError, match=r"'lonely'.*FIG3"):
+            rank_placements_serial(fig3_predictor, wd, [])
 
 
 class TestBestPlacement:
@@ -101,3 +111,74 @@ class TestRightsize:
     def test_negative_tolerance_rejected(self, fig3_predictor, all_placements):
         with pytest.raises(PredictionError):
             rightsize(fig3_predictor, make_workload(), all_placements, tolerance=-0.1)
+
+
+class TiedPredictor:
+    """Stub predictor: every placement gets exactly the same time."""
+
+    def predict(self, workload, placement):
+        from repro.core.predictor import Prediction
+
+        return Prediction(
+            workload_name=workload.name,
+            machine_name="TIED",
+            placement=placement,
+            amdahl=1.0,
+            speedup=1.0,
+            predicted_time_s=5.0,
+            slowdowns=(1.0,),
+            utilisations=(1.0,),
+            iterations=1,
+            converged=True,
+        )
+
+
+class TestRightsizeTieBreaking:
+    """With deliberately tied predictions, the footprint order decides:
+    fewest threads first, then fewest occupied cores, then fewest
+    active sockets."""
+
+    @pytest.fixture(scope="class")
+    def topo(self):
+        from repro.hardware.topology import MachineTopology
+
+        return MachineTopology(n_sockets=2, cores_per_socket=4, threads_per_core=2)
+
+    def _shapes(self, topo, shapes):
+        from repro.core.placement import from_shapes
+
+        return from_shapes(topo, shapes)
+
+    def test_fewest_threads_wins(self, topo):
+        eight = self._shapes(topo, [(0, 2), (0, 2)])  # 8 threads
+        four = self._shapes(topo, [(0, 2), (0, 0)])  # 4 threads
+        one = self._shapes(topo, [(1, 0), (0, 0)])  # 1 thread
+        winner, _ = rightsize(TiedPredictor(), make_workload(), [eight, four, one])
+        assert winner == one
+
+    def test_fewest_cores_breaks_thread_ties(self, topo):
+        on_three_cores = self._shapes(topo, [(2, 1), (0, 0)])  # 4 threads, 3 cores
+        on_two_cores = self._shapes(topo, [(0, 1), (0, 1)])  # 4 threads, 2 cores
+        winner, _ = rightsize(
+            TiedPredictor(), make_workload(), [on_three_cores, on_two_cores]
+        )
+        assert winner == on_two_cores
+
+    def test_fewest_sockets_breaks_core_ties(self, topo):
+        two_sockets = self._shapes(topo, [(0, 1), (0, 1)])  # 4t, 2 cores, 2 sockets
+        one_socket = self._shapes(topo, [(0, 2), (0, 0)])  # 4t, 2 cores, 1 socket
+        winner, _ = rightsize(
+            TiedPredictor(), make_workload(), [two_sockets, one_socket]
+        )
+        assert winner == one_socket
+
+    def test_full_ordering(self, topo):
+        placements = [
+            self._shapes(topo, [(0, 2), (0, 2)]),  # (8, 4, 2)
+            self._shapes(topo, [(2, 1), (0, 0)]),  # (4, 3, 1)
+            self._shapes(topo, [(0, 1), (0, 1)]),  # (4, 2, 2)
+            self._shapes(topo, [(0, 2), (0, 0)]),  # (4, 2, 1)  <- winner
+        ]
+        winner, prediction = rightsize(TiedPredictor(), make_workload(), placements)
+        assert winner == placements[-1]
+        assert prediction.predicted_time_s == 5.0

@@ -1,0 +1,126 @@
+"""Golden regression: the fast search path equals the naive serial loop.
+
+For every machine in the catalog and three catalog workloads, the
+parallel + cached engine must return the same best placement and the
+same predicted times (within 1e-12) as
+:func:`repro.core.optimizer.rank_placements_serial` — the pre-engine
+implementation kept verbatim as the reference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.machine_desc import generate_machine_description
+from repro.core.optimizer import rank_placements, rank_placements_serial
+from repro.core.placement import sample_canonical
+from repro.core.predictor import PandiaPredictor
+from repro.core.sweep import sweep_placements
+from repro.core.workload_desc import WorkloadDescriptionGenerator
+from repro.hardware import machines
+from repro.search import SearchEngine, canonical_key
+from repro.sim.noise import NO_NOISE
+from repro.workloads import catalog
+
+MACHINES = machines.names()
+WORKLOADS = ("MD", "CG", "EP")
+TOLERANCE = 1e-12
+
+_CACHE = {}
+
+
+def _setup(machine_name):
+    """(spec, predictor, {workload: description}) — cached per machine."""
+    if machine_name not in _CACHE:
+        spec = machines.get(machine_name)
+        md = generate_machine_description(spec, noise=NO_NOISE)
+        gen = WorkloadDescriptionGenerator(spec, md, noise=NO_NOISE)
+        descriptions = {w: gen.generate(catalog.get(w)) for w in WORKLOADS}
+        _CACHE[machine_name] = (spec, PandiaPredictor(md), descriptions)
+    return _CACHE[machine_name]
+
+
+def _candidates(spec):
+    """Sweep placements plus a canonical sample, one per symmetry class.
+
+    Duplicate-free so the serial loop and the deduplicating engine
+    predict the exact same concrete placements — the strict golden case.
+    """
+    topo = spec.topology
+    unique = {}
+    for placement in sweep_placements(topo) + sample_canonical(topo, 30, seed=1):
+        unique.setdefault(canonical_key(placement), placement)
+    return list(unique.values())
+
+
+@pytest.mark.parametrize("machine_name", MACHINES)
+@pytest.mark.parametrize("workload_name", WORKLOADS)
+class TestGoldenEquivalence:
+    def test_parallel_cached_search_matches_serial_loop(
+        self, machine_name, workload_name
+    ):
+        spec, predictor, descriptions = _setup(machine_name)
+        workload = descriptions[workload_name]
+        placements = _candidates(spec)
+
+        golden = rank_placements_serial(predictor, workload, placements)
+
+        with SearchEngine(
+            predictor, max_workers=2, executor="thread", chunk_size=7
+        ) as engine:
+            fast = rank_placements(predictor, workload, placements, engine=engine)
+            # A second pass must be answered from the cache, unchanged.
+            again = rank_placements(predictor, workload, placements, engine=engine)
+            assert engine.stats.cache_hits >= len(placements)
+
+        for label, ranked in (("fast", fast), ("cached", again)):
+            assert len(ranked) == len(golden), label
+            assert ranked[0].placement == golden[0].placement, (
+                f"{label}: best placement diverged on {machine_name}/{workload_name}"
+            )
+            for ours, ref in zip(ranked, golden):
+                assert ours.placement == ref.placement
+                assert abs(ours.predicted_time_s - ref.predicted_time_s) <= TOLERANCE
+
+
+class TestSymmetricDuplicates:
+    """With symmetric duplicates in the input, times still match.
+
+    Two concrete placements of one symmetry class may differ in the
+    last float bit under the serial loop (summation order), so the
+    guarantee is shape- and time-level: same best symmetry class, and
+    rank-for-rank predicted times within 1e-12.
+    """
+
+    def test_duplicate_heavy_input(self):
+        spec, predictor, descriptions = _setup("TESTBOX")
+        workload = descriptions["CG"]
+        topo = spec.topology
+        placements = sweep_placements(topo) + sample_canonical(topo, 30, seed=1)
+        assert len({canonical_key(p) for p in placements}) < len(placements)
+
+        golden = rank_placements_serial(predictor, workload, placements)
+        with SearchEngine(predictor) as engine:
+            fast = rank_placements(predictor, workload, placements, engine=engine)
+
+        assert len(fast) == len(golden)
+        assert canonical_key(fast[0].placement) == canonical_key(golden[0].placement)
+        for ours, ref in zip(fast, golden):
+            assert abs(ours.predicted_time_s - ref.predicted_time_s) <= TOLERANCE
+
+
+class TestProcessPoolEquivalence:
+    """One process-pool case (spawn cost keeps this to a single machine)."""
+
+    def test_process_pool_matches_serial(self):
+        spec, predictor, descriptions = _setup("TESTBOX")
+        workload = descriptions["MD"]
+        placements = _candidates(spec)
+        golden = rank_placements_serial(predictor, workload, placements)
+        with SearchEngine(
+            predictor, max_workers=2, executor="process", chunk_size=5
+        ) as engine:
+            fast = engine.rank(workload, placements)
+        assert [r.placement for r in fast] == [r.placement for r in golden]
+        for ours, ref in zip(fast, golden):
+            assert abs(ours.predicted_time_s - ref.predicted_time_s) <= TOLERANCE
