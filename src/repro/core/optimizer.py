@@ -11,9 +11,11 @@ All helpers route through :class:`repro.search.engine.SearchEngine`:
 symmetric placements are predicted once and predictions are memoised
 per predictor, so chaining ``best_placement`` → ``rightsize`` →
 ``peak_thread_count`` over one placement set costs a single evaluation
-pass.  Pass ``engine=`` to control caching/parallelism explicitly;
-:func:`rank_placements_serial` keeps the naive loop as the golden
-reference (``tests/search/test_golden_equivalence.py``).
+pass — and that pass runs the misses through the predictor's batched
+``predict_batch`` kernel (one vectorised fixed point over the whole
+miss set).  Pass ``engine=`` to control caching/parallelism
+explicitly; :func:`rank_placements_serial` keeps the naive scalar loop
+as the golden reference (``tests/search/test_golden_equivalence.py``).
 """
 
 from __future__ import annotations

@@ -67,7 +67,9 @@ def predict_sweep(
 
     The predicted counterpart of :func:`run_sweep`: the same packed and
     spread placements, evaluated in one cache-aware batch instead of
-    measured one timed run at a time.
+    measured one timed run at a time.  Cache misses run through the
+    predictor's vectorised ``predict_batch`` kernel, so the whole sweep
+    population is one stacked fixed point rather than a Python loop.
     """
     topology = engine.predictor.md.topology
     return engine.rank(workload, sweep_placements(topology))

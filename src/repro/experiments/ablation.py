@@ -48,13 +48,15 @@ def _evaluate_variant(
     predictor: PandiaPredictor,
 ) -> Tuple[float, float]:
     """(median error %, placement regret %) for one variant."""
+    measured = context.measured(MACHINE, workload_name)
+    predictions = predictor.predict_batch(description, [pl for pl, _ in measured])
     outcomes = [
         PlacementOutcome(
             placement=placement,
             measured_time_s=measured_s,
-            predicted_time_s=predictor.predict(description, placement).predicted_time_s,
+            predicted_time_s=prediction.predicted_time_s,
         )
-        for placement, measured_s in context.measured(MACHINE, workload_name)
+        for (placement, measured_s), prediction in zip(measured, predictions)
     ]
     result = EvaluationResult(
         workload_name=workload_name, machine_name=MACHINE, outcomes=outcomes

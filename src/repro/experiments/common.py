@@ -220,13 +220,17 @@ class ExperimentContext:
         """
         desc = self.description(description_machine or machine_name, workload_name)
         predictor = self.predictor(machine_name)
+        measured = self.measured(machine_name, workload_name, **filters)
+        # One batched fixed point over the whole placement set instead
+        # of a per-placement predict loop.
+        predictions = predictor.predict_batch(desc, [pl for pl, _ in measured])
         outcomes = [
             PlacementOutcome(
                 placement=placement,
                 measured_time_s=measured_s,
-                predicted_time_s=predictor.predict(desc, placement).predicted_time_s,
+                predicted_time_s=prediction.predicted_time_s,
             )
-            for placement, measured_s in self.measured(machine_name, workload_name, **filters)
+            for (placement, measured_s), prediction in zip(measured, predictions)
         ]
         return EvaluationResult(
             workload_name=workload_name,

@@ -76,6 +76,12 @@ class RackScheduler:
         self._solo_search = {
             name: SearchEngine(predictor) for name, predictor in self._solo.items()
         }
+        # The solo reference placement depends only on the machine, so
+        # build it once per machine instead of once per estimate.
+        self._solo_placements = {
+            m.name: free_context_placement(m, set(), m.n_hw_threads // 2 or 1)
+            for m in rack.machines
+        }
 
     # -- public API ------------------------------------------------------
 
@@ -146,7 +152,7 @@ class RackScheduler:
         """Predicted solo time on the workload's best single machine."""
         best = float("inf")
         for machine in self.rack.machines:
-            placement = free_context_placement(machine, set(), machine.n_hw_threads // 2 or 1)
+            placement = self._solo_placements[machine.name]
             if placement is None:
                 continue
             engine = self._solo_search[machine.name]

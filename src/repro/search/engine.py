@@ -11,13 +11,20 @@ and answers "predict these placements" requests through three layers:
    for one evaluation pass, not two;
 3. **fan-out** — cache misses are ground through a thread or process
    pool in chunked work units; with ``max_workers=None`` (the default)
-   or a single worker the engine degrades to a plain serial loop.
+   or a single worker the engine evaluates in-process.
+
+Every miss path — serial, thread-pool chunk and process-pool chunk —
+routes through :func:`_chunk_predictions`, which hands the whole chunk
+to :meth:`PandiaPredictor.predict_batch` (one vectorised fixed point
+over the population) when the predictor provides it, and falls back to
+the scalar ``predict`` loop for duck-typed predictors that do not.
 
 Determinism: the predictor is a pure function of ``(workload,
 placement)``, each miss is evaluated on the exact concrete placement
 that first requested its symmetry class, and results are reassembled in
-submission order — so the fast path returns bit-identical predictions
-to the naive serial loop regardless of worker count or chunk size.
+submission order — so the fast path matches the naive serial loop to
+the batch kernel's 1e-12 equivalence guarantee regardless of worker
+count or chunk size.
 """
 
 from __future__ import annotations
@@ -52,11 +59,30 @@ def _process_worker_init(md, max_iterations: int, tolerance: float) -> None:
     )
 
 
+def _chunk_predictions(
+    predictor, workload: WorkloadDescription, placements: Sequence[Placement]
+) -> List[Prediction]:
+    """Predict a chunk, through the batch kernel when available.
+
+    Duck-typed so the engine still accepts any object with a scalar
+    ``predict``; the real :class:`PandiaPredictor` exposes
+    ``predict_batch``, which runs the whole chunk as one vectorised
+    fixed point and matches the scalar path to 1e-12.
+    """
+    batch = getattr(predictor, "predict_batch", None)
+    if batch is not None:
+        # Even single-placement chunks go through the kernel: its
+        # results are bit-identical regardless of chunk composition,
+        # so every pool/chunk configuration returns the same floats.
+        return batch(workload, placements)
+    return [predictor.predict(workload, p) for p in placements]
+
+
 def _process_worker_chunk(
     workload: WorkloadDescription, placements: Sequence[Placement]
 ) -> List[Prediction]:
     assert _WORKER_PREDICTOR is not None, "worker initializer did not run"
-    return [_WORKER_PREDICTOR.predict(workload, p) for p in placements]
+    return _chunk_predictions(_WORKER_PREDICTOR, workload, placements)
 
 
 @dataclass
@@ -301,7 +327,7 @@ class SearchEngine:
     ) -> List[Prediction]:
         pool = self._ensure_pool() if self._parallel_wanted(placements) else None
         if pool is None:
-            return [self.predictor.predict(workload, p) for p in placements]
+            return _chunk_predictions(self.predictor, workload, placements)
         chunks = [
             placements[i : i + self.chunk_size]
             for i in range(0, len(placements), self.chunk_size)
@@ -312,9 +338,9 @@ class SearchEngine:
                 for chunk in chunks
             ]
         else:
-            predict = self.predictor.predict
+            predictor = self.predictor
             futures = [
-                pool.submit(lambda c=chunk: [predict(workload, p) for p in c])
+                pool.submit(_chunk_predictions, predictor, workload, chunk)
                 for chunk in chunks
             ]
         results: List[Prediction] = []

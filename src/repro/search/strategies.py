@@ -12,6 +12,12 @@ All strategies share one API consumed by
 ``GreedyHillClimbStrategy`` walks neighbour moves in shape space until
 no move improves the predicted time.  Strategies carry per-search
 state — use a fresh instance per :meth:`search` call.
+
+Each round's candidate batch reaches the engine as one list, so cache
+misses are evaluated by the predictor's vectorised ``predict_batch``
+kernel in a single stacked fixed point — proposing candidates in
+batches (rather than one at a time) is what lets every strategy ride
+the kernel.
 """
 
 from __future__ import annotations

@@ -5,6 +5,14 @@ parallel + cached engine must return the same best placement and the
 same predicted times (within 1e-12) as
 :func:`repro.core.optimizer.rank_placements_serial` — the pre-engine
 implementation kept verbatim as the reference.
+
+The engine's miss path now runs the batched kernel
+(:meth:`PandiaPredictor.predict_batch`), whose guarantee is numeric —
+everything within 1e-12 of the scalar path — rather than bit-exact.
+Distinct placements whose scalar predicted times coincide exactly may
+therefore swap rank order; the order checks here accept a swap only
+inside such a sub-tolerance tie.  ``TestBatchMatchesScalar`` checks
+the kernel itself field by field.
 """
 
 from __future__ import annotations
@@ -53,6 +61,26 @@ def _candidates(spec):
     return list(unique.values())
 
 
+def _assert_rank_matches(ranked, golden, label):
+    """Rank-for-rank equality, modulo swaps inside sub-tolerance ties.
+
+    Every rank must carry the golden predicted time (1e-12); placement
+    identity is additionally required wherever the golden ranking is
+    locally untied, so only genuine ties may reorder.
+    """
+    assert len(ranked) == len(golden), label
+    times = [r.predicted_time_s for r in golden]
+    for i, (ours, ref) in enumerate(zip(ranked, golden)):
+        assert abs(ours.predicted_time_s - ref.predicted_time_s) <= TOLERANCE, label
+        tied = (i > 0 and times[i] - times[i - 1] <= TOLERANCE) or (
+            i + 1 < len(times) and times[i + 1] - times[i] <= TOLERANCE
+        )
+        if not tied:
+            assert ours.placement == ref.placement, (
+                f"{label}: placements diverged at untied rank {i}"
+            )
+
+
 @pytest.mark.parametrize("machine_name", MACHINES)
 @pytest.mark.parametrize("workload_name", WORKLOADS)
 class TestGoldenEquivalence:
@@ -74,13 +102,9 @@ class TestGoldenEquivalence:
             assert engine.stats.cache_hits >= len(placements)
 
         for label, ranked in (("fast", fast), ("cached", again)):
-            assert len(ranked) == len(golden), label
-            assert ranked[0].placement == golden[0].placement, (
-                f"{label}: best placement diverged on {machine_name}/{workload_name}"
+            _assert_rank_matches(
+                ranked, golden, f"{label} on {machine_name}/{workload_name}"
             )
-            for ours, ref in zip(ranked, golden):
-                assert ours.placement == ref.placement
-                assert abs(ours.predicted_time_s - ref.predicted_time_s) <= TOLERANCE
 
 
 class TestSymmetricDuplicates:
@@ -121,6 +145,36 @@ class TestProcessPoolEquivalence:
             predictor, max_workers=2, executor="process", chunk_size=5
         ) as engine:
             fast = engine.rank(workload, placements)
-        assert [r.placement for r in fast] == [r.placement for r in golden]
-        for ours, ref in zip(fast, golden):
-            assert abs(ours.predicted_time_s - ref.predicted_time_s) <= TOLERANCE
+        _assert_rank_matches(fast, golden, "process pool on TESTBOX/MD")
+
+
+@pytest.mark.parametrize("machine_name", MACHINES)
+@pytest.mark.parametrize("workload_name", WORKLOADS)
+class TestBatchMatchesScalar:
+    """The batched kernel against the scalar golden reference, field by
+    field, for every catalog machine and workload."""
+
+    def test_predict_batch_matches_predict(self, machine_name, workload_name):
+        spec, predictor, descriptions = _setup(machine_name)
+        workload = descriptions[workload_name]
+        placements = _candidates(spec)
+
+        batched = predictor.predict_batch(workload, placements)
+        assert len(batched) == len(placements)
+        for placement, ours in zip(placements, batched):
+            ref = predictor.predict(workload, placement)
+            ctx = f"{machine_name}/{workload_name}/{placement.sort_key()}"
+            assert ours.iterations == ref.iterations, ctx
+            assert ours.converged is ref.converged, ctx
+            assert abs(ours.predicted_time_s - ref.predicted_time_s) <= TOLERANCE, ctx
+            assert abs(ours.speedup - ref.speedup) <= TOLERANCE, ctx
+            assert abs(ours.amdahl - ref.amdahl) <= TOLERANCE, ctx
+            assert len(ours.slowdowns) == len(ref.slowdowns), ctx
+            for a, b in zip(ours.slowdowns, ref.slowdowns):
+                assert abs(a - b) <= TOLERANCE, ctx
+            for a, b in zip(ours.utilisations, ref.utilisations):
+                assert abs(a - b) <= TOLERANCE, ctx
+            assert ours.resource_capacities == ref.resource_capacities, ctx
+            assert ours.resource_loads.keys() == ref.resource_loads.keys(), ctx
+            for key, load in ref.resource_loads.items():
+                assert abs(ours.resource_loads[key] - load) <= 1e-9, (ctx, key)
