@@ -162,7 +162,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="sessions per configuration (best-of)")
     parser.add_argument("--workers", type=int, default=0,
                         help="process-pool workers for the engine (0 = serial)")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="collect repro.obs spans during the engine "
+                             "sessions and write a Chrome trace to FILE "
+                             "(adds tracing overhead to reported timings)")
     args = parser.parse_args(argv)
+
+    if args.trace_out:
+        from repro import obs
+
+        obs.enable()
 
     if args.quick:
         machine = args.machine or "TESTBOX"
@@ -174,6 +183,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     worst = run(machine, workloads, repeats, args.workers or None)
     if worst < 0:
         return 1
+    if args.trace_out:
+        from repro import obs
+        from repro.obs.export import validate_chrome_trace_file, write_chrome_trace
+
+        spans = obs.tracer().spans()
+        write_chrome_trace(args.trace_out, spans)
+        counts = validate_chrome_trace_file(args.trace_out)
+        print(
+            f"wrote {counts['spans']} spans "
+            f"({counts['events']} events, {counts['tracks']} tracks) "
+            f"to {args.trace_out}"
+        )
     print(f"worst-case session speedup: {worst:.2f}x")
     if not args.quick and worst < 3.0:
         print("WARNING: speedup below the 3x target (loaded host?)")

@@ -12,10 +12,12 @@ Public API highlights::
         generate_machine_description, WorkloadDescriptionGenerator,
         PandiaPredictor, enumerate_canonical, best_placement, rightsize,
     )
+    from repro import obs          # tracing + metrics (off by default)
 """
 
+from repro import obs
 from repro.hardware import machines
 from repro.workloads import catalog
 
 __version__ = "1.0.0"
-__all__ = ["machines", "catalog", "__version__"]
+__all__ = ["machines", "catalog", "obs", "__version__"]

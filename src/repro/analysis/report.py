@@ -93,11 +93,30 @@ def search_stats_section(stats, title: str = "Placement search") -> str:
             ("dedup ratio", f"{stats.dedup_ratio:.0%}"),
             ("rounds", stats.rounds),
             ("wall time (s)", f"{stats.wall_time_s:.3f}"),
+            ("strategy time (s)", f"{stats.strategy_time_s:.3f}"),
         ]
     )
     return (
         f"<div class='headline'><strong>{escape(title)}</strong>{rows}</div>"
     )
+
+
+def metrics_section(metrics=None, title: str = "Run metrics") -> str:
+    """HTML snippet for a :class:`repro.obs.Metrics` registry.
+
+    Defaults to the process-wide registry, so a report rendered after a
+    traced run (``--trace`` / ``REPRO_TRACE``) surfaces the predictor
+    convergence histograms and search counters without extra plumbing.
+    Returns an empty string when nothing was recorded.
+    """
+    if metrics is None:
+        from repro import obs
+
+        metrics = obs.metrics()
+    if not metrics:
+        return ""
+    body = escape(metrics.summary(title=title))
+    return f"<div class='headline'><pre>{body}</pre></div>"
 
 
 def evaluation_figure(evaluation, title: Optional[str] = None) -> str:

@@ -21,6 +21,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.analysis.tables import format_table
 from repro.core.machine_desc import generate_machine_description
 from repro.core.optimizer import best_placement, rightsize
@@ -36,6 +37,55 @@ from repro.workloads import catalog
 
 def _noise(args: argparse.Namespace) -> NoiseModel:
     return NoiseModel(sigma=args.noise)
+
+
+def add_trace_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--trace`` / ``--trace-out`` / ``--metrics`` options."""
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="collect repro.obs spans and metrics for this run",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="FILE",
+        help="write the collected spans to FILE (implies --trace; "
+             ".jsonl writes a span log, anything else a Chrome trace)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the metrics summary at the end (implies --trace)",
+    )
+
+
+def setup_tracing(args: argparse.Namespace) -> bool:
+    """Enable :mod:`repro.obs` if any tracing flag was given."""
+    wanted = bool(
+        getattr(args, "trace", False)
+        or getattr(args, "trace_out", None)
+        or getattr(args, "metrics", False)
+    )
+    if wanted:
+        obs.enable()
+    return wanted
+
+
+def finish_tracing(args: argparse.Namespace, extra_metrics=None) -> None:
+    """Write the requested trace file and/or metrics summary."""
+    if not obs.enabled():
+        return
+    if extra_metrics is not None:
+        obs.metrics().merge(extra_metrics)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        from repro.obs.export import write_chrome_trace, write_spans_jsonl
+
+        spans = obs.tracer().spans()
+        if str(trace_out).endswith(".jsonl"):
+            write_spans_jsonl(trace_out, spans)
+        else:
+            write_chrome_trace(trace_out, spans)
+        print(f"wrote {len(spans)} spans to {trace_out}")
+    if getattr(args, "metrics", False):
+        print(obs.metrics().summary())
 
 
 def _descriptions(args: argparse.Namespace):
@@ -113,6 +163,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         SweepStrategy,
     )
 
+    setup_tracing(args)
     machine, md, wd = _descriptions(args)
     predictor = PandiaPredictor(md)
     if args.strategy == "sweep":
@@ -139,6 +190,9 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         print(f"  speedup {small_pred.speedup:.2f}, time {small_pred.predicted_time_s:.3f} s")
         if args.stats:
             print(engine.stats.summary())
+        # Fold the engine's search.* counters into the global registry so
+        # --metrics reports search activity alongside predictor telemetry.
+        finish_tracing(args, extra_metrics=engine.stats.metrics)
     return 0
 
 
@@ -148,6 +202,12 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     forwarded = list(args.ids) + ["--scale", args.scale]
     if args.html:
         forwarded += ["--html", args.html]
+    if args.trace:
+        forwarded += ["--trace"]
+    if args.trace_out:
+        forwarded += ["--trace-out", args.trace_out]
+    if args.metrics:
+        forwarded += ["--metrics"]
     return run_all_main(forwarded)
 
 
@@ -362,12 +422,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="placements per pool work unit")
     p.add_argument("--stats", action="store_true",
                    help="print search-engine cache/dedup statistics")
+    add_trace_flags(p)
     p.set_defaults(func=cmd_optimize)
 
     p = sub.add_parser("experiment", help="reproduce paper artifacts")
     p.add_argument("ids", nargs="*")
     p.add_argument("--scale", choices=("quick", "default", "full"), default="default")
     p.add_argument("--html", help="write a standalone HTML report")
+    add_trace_flags(p)
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser(

@@ -33,20 +33,30 @@ Two evaluation paths share the model:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from itertools import chain
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.amdahl import amdahl_speedup
 from repro.core.description import DemandVector, WorkloadDescription
 from repro.core.machine_desc import MachineDescription
 from repro.core.placement import Placement
 from repro.errors import PredictionError
 from repro.numa import dram_shares
+from repro.obs.records import ConvergenceRecord
 
 ResourceKey = Tuple[str, Hashable]
+
+#: Histogram bucket bounds for convergence residual magnitudes
+#: (log decades spanning tolerance scales to first-iteration jumps).
+RESIDUAL_BUCKETS = tuple(10.0 ** e for e in range(-9, 3))
+#: Histogram bucket bounds for the batch kernel's per-iteration
+#: active-set size (powers of two up to the chunk bound).
+ALIVE_BUCKETS = tuple(2 ** e for e in range(0, 10))
 
 #: Iteration count after which the dampening function engages
 #: (Section 5.4: "To prevent oscillation a dampening function engages
@@ -59,16 +69,61 @@ DAMPEN_AFTER = 100
 BATCH_CHUNK = 512
 
 
-@dataclass
-class IterationTrace:
-    """Intermediate values of one predictor iteration (Figure 7 rows)."""
+#: Per-thread vector columns recorded for each scalar iteration, in
+#: Figure 7 order.  These remain readable as attributes on
+#: :class:`IterationTrace` for backwards compatibility.
+_TRACE_VECTORS = (
+    "resource_slowdown",  # after the burstiness penalty
+    "comm_penalty",
+    "balance_penalty",
+    "overall_slowdown",
+    "start_utilisation",
+    "end_utilisation",
+)
 
-    resource_slowdown: Tuple[float, ...]  # after the burstiness penalty
-    comm_penalty: Tuple[float, ...]
-    balance_penalty: Tuple[float, ...]
-    overall_slowdown: Tuple[float, ...]
-    start_utilisation: Tuple[float, ...]
-    end_utilisation: Tuple[float, ...]
+
+class IterationTrace(ConvergenceRecord):
+    """Intermediate values of one predictor iteration (Figure 7 rows).
+
+    An :class:`repro.obs.records.ConvergenceRecord` whose ``vectors``
+    hold the six per-thread columns; the historical column attributes
+    (``trace.overall_slowdown`` etc.) are thin aliases into ``vectors``
+    kept for existing callers — new code should read
+    ``record.vectors[...]`` or the scalar telemetry fields
+    (``iteration``, ``max_residual``).
+    """
+
+    def __init__(
+        self,
+        iteration: int = 0,
+        max_residual: float = math.inf,
+        alive: int = 1,
+        compacted: int = 0,
+        vectors: Optional[Dict[str, Tuple[float, ...]]] = None,
+        **columns: Sequence[float],
+    ) -> None:
+        merged: Dict[str, Tuple[float, ...]] = dict(vectors) if vectors else {}
+        for name, values in columns.items():
+            if name not in _TRACE_VECTORS:
+                raise TypeError(f"unknown trace column {name!r}")
+            merged[name] = tuple(values)
+        super().__init__(
+            iteration=iteration,
+            max_residual=max_residual,
+            alive=alive,
+            compacted=compacted,
+            vectors=merged,
+        )
+
+    def __getattr__(self, name: str):
+        # Only reached for names not set in __init__: resolve the six
+        # legacy column aliases out of .vectors, fail for the rest.
+        if name in _TRACE_VECTORS:
+            try:
+                return self.__dict__["vectors"][name]
+            except KeyError:
+                pass
+        raise AttributeError(name)
 
 
 @dataclass
@@ -112,6 +167,12 @@ class Prediction:
         if not ratios:
             return None
         return max(ratios, key=ratios.get)
+
+    @property
+    def convergence(self) -> List[IterationTrace]:
+        """The per-iteration convergence records (alias of ``trace``,
+        which is kept under its historical name)."""
+        return self.trace
 
     @property
     def n_threads(self) -> int:
@@ -446,43 +507,76 @@ class PandiaPredictor:
         converged = False
         iterations = 0
 
-        for iteration in range(1, self.max_iterations + 1):
-            iterations = iteration
-            resource, comm, balance, overall = self._one_iteration(
-                workload, demands, f_initial, f_start, lock_comm, remote_mask, n
+        # Telemetry is a single hoisted branch: the disabled path pays
+        # one bool per call and nothing per iteration.
+        obs_on = obs.enabled()
+        if obs_on:
+            _tracer = obs.tracer()
+            _m = obs.metrics()
+            res_hist = _m.histogram("predictor.residual", RESIDUAL_BUCKETS)
+            _m.counter("predictor.predictions").inc()
+            pspan = _tracer.start(
+                "predictor.predict",
+                attrs={
+                    "workload": workload.name,
+                    "machine": self.md.machine_name,
+                    "threads": n,
+                },
             )
 
-            # Bound all values between no slowdown and the maximum seen
-            # on the first iteration (Section 5.4).
-            if slowdown_cap is None:
-                slowdown_cap = float(overall.max())
-            overall = np.clip(overall, 1.0, slowdown_cap)
-            if keep_trace:
-                trace.append(
-                    IterationTrace(
-                        resource_slowdown=tuple(float(v) for v in resource),
-                        comm_penalty=tuple(float(v) for v in comm),
-                        balance_penalty=tuple(float(v) for v in balance),
-                        overall_slowdown=tuple(float(v) for v in overall),
-                        start_utilisation=tuple(float(v) for v in f_start),
-                        end_utilisation=tuple(float(v) for v in f_initial / overall),
-                    )
+        try:
+            for iteration in range(1, self.max_iterations + 1):
+                iterations = iteration
+                resource, comm, balance, overall = self._one_iteration(
+                    workload, demands, f_initial, f_start, lock_comm, remote_mask, n
                 )
 
-            if prev_overall is not None:
-                delta = float(np.max(np.abs(overall - prev_overall)))
+                # Bound all values between no slowdown and the maximum seen
+                # on the first iteration (Section 5.4).
+                if slowdown_cap is None:
+                    slowdown_cap = float(overall.max())
+                overall = np.clip(overall, 1.0, slowdown_cap)
+
+                delta = math.inf
+                if prev_overall is not None:
+                    delta = float(np.max(np.abs(overall - prev_overall)))
+
+                if keep_trace:
+                    trace.append(
+                        IterationTrace(
+                            iteration=iteration,
+                            max_residual=delta,
+                            resource_slowdown=tuple(float(v) for v in resource),
+                            comm_penalty=tuple(float(v) for v in comm),
+                            balance_penalty=tuple(float(v) for v in balance),
+                            overall_slowdown=tuple(float(v) for v in overall),
+                            start_utilisation=tuple(float(v) for v in f_start),
+                            end_utilisation=tuple(
+                                float(v) for v in f_initial / overall
+                            ),
+                        )
+                    )
+                if obs_on and math.isfinite(delta):
+                    res_hist.observe(delta)
+
                 if delta < self.tolerance:
                     converged = True
                     prev_overall = overall
                     break
-            prev_overall = overall
+                prev_overall = overall
 
-            # Feed the penalty ratio into the next iteration's starting
-            # utilisation (Section 5.4).
-            f_next = f_initial * np.minimum(resource / overall, 1.0)
-            if iteration > DAMPEN_AFTER:
-                f_next = 0.5 * (f_start + f_next)
-            f_start = f_next
+                # Feed the penalty ratio into the next iteration's starting
+                # utilisation (Section 5.4).
+                f_next = f_initial * np.minimum(resource / overall, 1.0)
+                if iteration > DAMPEN_AFTER:
+                    f_next = 0.5 * (f_start + f_next)
+                f_start = f_next
+        finally:
+            if obs_on:
+                _m.histogram("predictor.iterations").observe(iterations)
+                pspan.attrs["iterations"] = iterations
+                pspan.attrs["converged"] = converged
+                _tracer.end(pspan)
 
         assert prev_overall is not None
         slowdowns = prev_overall
@@ -521,8 +615,15 @@ class PandiaPredictor:
         slowdown cap and dampening semantics match :meth:`predict`
         exactly, so results agree with the scalar path within 1e-12.
 
-        Traces are not recorded — use :meth:`predict` with
-        ``keep_trace=True`` to inspect a single placement's iterations.
+        Per-placement traces are not recorded — use :meth:`predict`
+        with ``keep_trace=True`` to inspect a single placement's
+        iterations.  With :mod:`repro.obs` enabled the kernel instead
+        emits population-level convergence telemetry: a
+        ``predictor.predict_batch`` span per chunk, a
+        ``predictor.iteration`` span per fixed-point iteration (active
+        rows, max residual, rows compacted), and the
+        ``predictor.iterations`` / ``predictor.residual`` /
+        ``predictor.batch.alive_rows`` histograms.
         """
         placements = list(placements)
         results: List[Prediction] = []
@@ -788,9 +889,55 @@ class PandiaPredictor:
         cap_vec: Optional[np.ndarray] = None
         overall = f  # placeholder; overwritten before use
 
+        # Telemetry: one hoisted branch; when disabled the loop body
+        # pays a single `if obs_on` check per iteration and no per-row
+        # work, keeping the kernel within noise of the uninstrumented
+        # build (tests/obs/test_overhead.py).
+        obs_on = obs.enabled()
+        if obs_on:
+            _tracer = obs.tracer()
+            _m = obs.metrics()
+            alive_hist = _m.histogram("predictor.batch.alive_rows", ALIVE_BUCKETS)
+            res_hist = _m.histogram("predictor.residual", RESIDUAL_BUCKETS)
+            compactions = _m.counter("predictor.batch.compactions")
+            _m.counter("predictor.batch.chunks").inc()
+            chunk_span = _tracer.start(
+                "predictor.predict_batch",
+                attrs={
+                    "workload": workload.name,
+                    "machine": self.md.machine_name,
+                    "population": pop,
+                },
+            )
+            convergence: List[ConvergenceRecord] = []
+
+            def _end_iteration(it_span, iteration, cur, delta_max, retired):
+                alive_hist.observe(cur)
+                if math.isfinite(delta_max):
+                    res_hist.observe(delta_max)
+                if retired:
+                    compactions.inc()
+                convergence.append(
+                    ConvergenceRecord(
+                        iteration=iteration,
+                        max_residual=delta_max,
+                        alive=cur,
+                        compacted=retired,
+                    )
+                )
+                it_span.attrs["max_residual"] = delta_max
+                it_span.attrs["compacted"] = retired
+                _tracer.end(it_span)
+
         for iteration in range(1, self.max_iterations + 1):
             iterations[alive] = iteration
             cur = alive.size
+            if obs_on:
+                it_span = _tracer.start(
+                    "predictor.iteration",
+                    attrs={"iteration": iteration, "alive": cur},
+                )
+                delta_max, retired = math.inf, 0
 
             # Step 1: resource contention + burstiness.  Padded threads
             # carry f = 0, so they contribute nothing to any sum.
@@ -865,14 +1012,20 @@ class PandiaPredictor:
 
             if prev is not None:
                 delta = np.where(valid_a, np.abs(overall - prev), 0.0).max(axis=1)
+                if obs_on:
+                    delta_max = float(delta.max())
                 done = delta < self.tolerance
                 if done.any():
+                    if obs_on:
+                        retired = int(np.count_nonzero(done))
                     finished = alive[done]
                     converged[finished] = True
                     final[finished] = overall[done]
                     keep = ~done
                     alive = alive[keep]
                     if not alive.size:
+                        if obs_on:
+                            _end_iteration(it_span, iteration, cur, delta_max, retired)
                         break
                     valid_a, shared_a = valid_a[keep], shared_a[keep]
                     core_slot_a, sock_slot_a = core_slot_a[keep], sock_slot_a[keep]
@@ -897,9 +1050,20 @@ class PandiaPredictor:
             if iteration > DAMPEN_AFTER:
                 f_next = 0.5 * (f + f_next)
             f = np.where(valid_a, f_next, 0.0)
+            if obs_on:
+                _end_iteration(it_span, iteration, cur, delta_max, retired)
 
         if alive.size:  # stragglers that hit max_iterations
             final[alive] = overall
+
+        if obs_on:
+            _m.histogram("predictor.iterations").observe_many(
+                int(v) for v in iterations
+            )
+            chunk_span.attrs["iterations_max"] = int(iterations.max())
+            chunk_span.attrs["converged_rows"] = int(np.count_nonzero(converged))
+            chunk_span.attrs["convergence"] = [r.to_dict() for r in convergence]
+            _tracer.end(chunk_span)
 
         # -- converged utilisations and resource loads, whole chunk --------
         futil = np.where(valid, f_init[:, None] / np.where(valid, final, 1.0), 0.0)

@@ -75,15 +75,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--cache", help="persist timed-run measurements to this JSON-lines file"
     )
+    from repro.cli import add_trace_flags, finish_tracing, setup_tracing
+
+    add_trace_flags(parser)
     args = parser.parse_args(argv)
 
+    from repro import obs
+
+    setup_tracing(args)
     scale = SCALES[args.scale]
     context = ExperimentContext(scale=scale, cache_path=args.cache)
     chunks: List[str] = []
     reports: List[ExperimentReport] = []
     for experiment_id in args.ids or list(REGISTRY):
         start = time.time()
-        report = run_experiments([experiment_id], context=context)[0]
+        with obs.span("experiment.run", experiment=experiment_id, scale=scale.name):
+            report = run_experiments([experiment_id], context=context)[0]
         reports.append(report)
         text = report.render()
         chunks.append(text)
@@ -120,6 +127,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             figures=figures,
         )
         print(f"wrote HTML report to {args.html}")
+    finish_tracing(args)
     return 0
 
 

@@ -1,0 +1,176 @@
+"""`repro.obs` — unified tracing, metrics and convergence telemetry.
+
+One switch governs the whole subsystem.  Everything is **off by
+default** and the disabled fast path is a single module-level branch
+(``obs.enabled()``); hot loops hoist that check out of the loop, so
+instrumented kernels run within noise of uninstrumented ones
+(``tests/obs/test_overhead.py`` pins this).
+
+Enabling::
+
+    from repro import obs
+    obs.enable()                    # programmatic
+    # or REPRO_TRACE=1 in the environment
+    # or REPRO_TRACE=/tmp/trace.json  (also writes a Chrome trace at exit)
+    # or the --trace / --trace-out / --metrics CLI flags
+
+Reading the results::
+
+    obs.tracer().spans()            # finished Span objects
+    obs.metrics().summary()         # plain-text instrument table
+    from repro.obs.export import write_chrome_trace, write_spans_jsonl
+    write_chrome_trace("trace.json", obs.tracer().spans())  # Perfetto
+
+Executor fan-out: worker *threads* share the process tracer and parent
+their spans explicitly (``obs.span(name, parent=captured_id)``).
+Worker *processes* call :func:`begin_worker` / :func:`collect_worker`
+around each work unit and ship the payload back with the result; the
+parent folds it in with :func:`absorb_worker`.  The search engine does
+all of this automatically — see ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from typing import Any, List, Optional, Tuple, Union
+
+from repro.obs.metrics import Counter, Gauge, Histogram, Metrics
+from repro.obs.records import ConvergenceRecord
+from repro.obs.trace import NULL_SPAN, NullSpan, Span, Tracer
+
+__all__ = [
+    "ConvergenceRecord",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "Span",
+    "Tracer",
+    "NullSpan",
+    "NULL_SPAN",
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+    "span",
+    "tracer",
+    "metrics",
+    "begin_worker",
+    "collect_worker",
+    "absorb_worker",
+]
+
+_enabled = False
+_tracer = Tracer()
+_metrics = Metrics()
+#: Pid that owns the current tracer/metrics; a forked pool worker finds
+#: a mismatch and swaps in fresh instances so the parent's buffered
+#: spans are never double-reported through the worker payload.
+_owner_pid = os.getpid()
+
+
+def enabled() -> bool:
+    """The one branch every instrumentation site guards on."""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn tracing + metrics collection on (idempotent)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn collection off; already-collected data stays readable."""
+    global _enabled
+    _enabled = False
+
+
+def reset() -> None:
+    """Drop all collected spans and metrics (enabled state unchanged)."""
+    _tracer.clear()
+    _metrics.clear()
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer (always exists, even when disabled)."""
+    return _tracer
+
+
+def metrics() -> Metrics:
+    """The process-wide metrics registry."""
+    return _metrics
+
+
+def span(name: str, parent: Optional[str] = None, **attrs: Any):
+    """A traced-phase context manager, or a no-op when disabled.
+
+    Yields the live :class:`Span` (mutate ``span.attrs`` freely) when
+    enabled, ``None`` when disabled — guard attr updates with
+    ``if s is not None``.
+    """
+    if not _enabled:
+        return NULL_SPAN
+    return _tracer.span(name, parent=parent, **attrs)
+
+
+# -- process-pool worker protocol -------------------------------------------
+
+
+def begin_worker() -> None:
+    """Arm collection inside a pool worker process.
+
+    Fork-safe: the first call in a freshly forked worker discards the
+    tracer/metrics state inherited from the parent (those spans are the
+    parent's to report) and starts clean buffers.
+    """
+    global _tracer, _metrics, _owner_pid, _enabled
+    if os.getpid() != _owner_pid:
+        _tracer = Tracer()
+        _metrics = Metrics()
+        _owner_pid = os.getpid()
+    _enabled = True
+
+
+def collect_worker() -> Tuple[List[Span], dict]:
+    """Drain this worker's spans + metrics into a picklable payload.
+
+    Both stores are emptied: pool workers are reused across work units,
+    and a copy-without-clear would re-ship (double-count) everything
+    already reported the next time the worker is collected.
+    """
+    data = _metrics.data()
+    _metrics.clear()
+    return _tracer.drain(), data
+
+
+def absorb_worker(payload: Tuple[List[Span], dict]) -> None:
+    """Fold a worker payload back into the parent's tracer/registry."""
+    spans, metric_data = payload
+    _tracer.absorb(spans)
+    _metrics.merge(metric_data)
+
+
+# -- environment hook --------------------------------------------------------
+
+
+def _atexit_write_trace(path: str) -> None:
+    spans = _tracer.spans()
+    if not spans:
+        return
+    from repro.obs.export import write_chrome_trace
+
+    write_chrome_trace(path, spans)
+
+
+def _configure_from_env(value: Optional[str]) -> None:
+    if not value or value.lower() in ("0", "false", "off", "no"):
+        return
+    enable()
+    # A path-looking value also requests a Chrome trace dump at exit.
+    if value.lower().endswith(".json") or os.sep in value:
+        atexit.register(_atexit_write_trace, value)
+
+
+_configure_from_env(os.environ.get("REPRO_TRACE"))

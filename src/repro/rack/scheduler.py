@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.core.coscheduling import CoSchedulePredictor, CoScheduledWorkload
 from repro.core.description import WorkloadDescription
 from repro.core.placement import Placement
@@ -104,23 +105,32 @@ class RackScheduler:
         if len(set(names)) != len(names):
             raise ReproError(f"duplicate workload names: {names}")
 
-        schedule = RackSchedule(rack=self.rack)
-        # Longest (predicted solo) first.
-        ordered = sorted(workloads, key=self._solo_estimate, reverse=True)
-        remaining = self.rack.total_hw_threads
-        for i, workload in enumerate(ordered):
-            cap = max(1, remaining // (len(ordered) - i))
-            assignment, predictions = self._best_candidate(
-                schedule, workload, max_threads=cap
-            )
-            schedule.assignments.append(assignment)
-            schedule.predicted_times.update(predictions)
-            remaining -= assignment.placement.n_threads
-            schedule._check_no_overlap()
+        with obs.span(
+            "rack.schedule",
+            workloads=len(workloads),
+            machines=len(self.rack.machines),
+        ):
+            schedule = RackSchedule(rack=self.rack)
+            with obs.span("rack.greedy") as greedy_span:
+                # Longest (predicted solo) first.
+                ordered = sorted(workloads, key=self._solo_estimate, reverse=True)
+                remaining = self.rack.total_hw_threads
+                for i, workload in enumerate(ordered):
+                    cap = max(1, remaining // (len(ordered) - i))
+                    assignment, predictions = self._best_candidate(
+                        schedule, workload, max_threads=cap
+                    )
+                    schedule.assignments.append(assignment)
+                    schedule.predicted_times.update(predictions)
+                    remaining -= assignment.placement.n_threads
+                    schedule._check_no_overlap()
+                if greedy_span is not None:
+                    greedy_span.attrs["free_threads_left"] = remaining
 
-        for _ in range(refinement_rounds):
-            for workload in ordered:
-                self._replace(schedule, workload)
+            for round_no in range(refinement_rounds):
+                with obs.span("rack.refine", round=round_no + 1):
+                    for workload in ordered:
+                        self._replace(schedule, workload)
         return schedule
 
     def _replace(self, schedule: RackSchedule, workload: WorkloadDescription) -> None:

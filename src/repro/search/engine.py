@@ -25,15 +25,28 @@ that first requested its symmetry class, and results are reassembled in
 submission order — so the fast path matches the naive serial loop to
 the batch kernel's 1e-12 equivalence guarantee regardless of worker
 count or chunk size.
+
+Observability: when ``repro.obs`` is enabled the engine emits nested
+spans — ``search.search`` > ``search.round`` / ``search.strategy`` >
+``search.evaluate`` > ``search.cache`` / ``search.predict`` >
+``search.chunk`` — with the chunk spans parented explicitly across the
+pool boundary (worker-process span buffers are shipped back with each
+result and merged at join).  ``engine.stats`` counters live in a
+:class:`repro.obs.Metrics` registry (see :mod:`repro.search.stats`).
+Instrumentation never touches what is computed: predictions are
+bit-identical with tracing on or off.
 """
 
 from __future__ import annotations
 
+import os
 import time
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro import obs
 
 from repro.core.description import WorkloadDescription
 from repro.core.placement import Placement
@@ -79,10 +92,41 @@ def _chunk_predictions(
 
 
 def _process_worker_chunk(
-    workload: WorkloadDescription, placements: Sequence[Placement]
-) -> List[Prediction]:
+    workload: WorkloadDescription,
+    placements: Sequence[Placement],
+    obs_parent: Optional[str] = None,
+):
+    """Pool-worker task: predict one chunk, optionally under tracing.
+
+    With *obs_parent* set (the submitting side's current span id) the
+    worker arms its own collectors, runs the chunk under a
+    ``search.chunk`` span parented across the process boundary, and
+    returns ``(predictions, obs_payload)`` for the parent to absorb;
+    otherwise it returns the bare prediction list.
+    """
     assert _WORKER_PREDICTOR is not None, "worker initializer did not run"
-    return _chunk_predictions(_WORKER_PREDICTOR, workload, placements)
+    if obs_parent is None:
+        return _chunk_predictions(_WORKER_PREDICTOR, workload, placements)
+    obs.begin_worker()
+    with obs.span(
+        "search.chunk",
+        parent=obs_parent or None,
+        placements=len(placements),
+        worker_pid=os.getpid(),
+    ):
+        predictions = _chunk_predictions(_WORKER_PREDICTOR, workload, placements)
+    return predictions, obs.collect_worker()
+
+
+def _traced_chunk(
+    predictor,
+    workload: WorkloadDescription,
+    placements: Sequence[Placement],
+    obs_parent: Optional[str],
+) -> List[Prediction]:
+    """Thread-pool task wrapper: same chunk, spanned under *obs_parent*."""
+    with obs.span("search.chunk", parent=obs_parent, placements=len(placements)):
+        return _chunk_predictions(predictor, workload, placements)
 
 
 @dataclass
@@ -205,38 +249,61 @@ class SearchEngine:
         class), as do repeats across calls via the cache.
         """
         t0 = time.perf_counter()
-        fingerprint = workload_fingerprint(workload)
-        self.stats.requests += len(placements)
+        obs_on = obs.enabled()
+        with obs.span(
+            "search.evaluate", workload=workload.name, placements=len(placements)
+        ) as ev_span:
+            fingerprint = workload_fingerprint(workload)
+            self.stats.inc("requests", len(placements))
 
-        keys: List[Hashable] = []
-        found: Dict[Hashable, Prediction] = {}
-        pending: "OrderedDict[Hashable, Placement]" = OrderedDict()
-        for placement in placements:
-            key = (fingerprint, canonical_key(placement))
-            keys.append(key)
-            if key in found or key in pending:
-                self.stats.cache_hits += 1
-                continue
-            cached = self.cache.get(key)
-            if cached is not None:
-                self.stats.cache_hits += 1
-                found[key] = cached
-            else:
-                self.stats.cache_misses += 1
-                pending[key] = placement
+            hits = misses = 0
+            lookup_hist = (
+                obs.metrics().histogram("search.cache.lookup_us") if obs_on else None
+            )
+            keys: List[Hashable] = []
+            found: Dict[Hashable, Prediction] = {}
+            pending: "OrderedDict[Hashable, Placement]" = OrderedDict()
+            with obs.span("search.cache") as cache_span:
+                for placement in placements:
+                    key = (fingerprint, canonical_key(placement))
+                    keys.append(key)
+                    if key in found or key in pending:
+                        hits += 1
+                        continue
+                    if lookup_hist is not None:
+                        t_probe = time.perf_counter_ns()
+                        cached = self.cache.get(key)
+                        lookup_hist.observe((time.perf_counter_ns() - t_probe) / 1e3)
+                    else:
+                        cached = self.cache.get(key)
+                    if cached is not None:
+                        hits += 1
+                        found[key] = cached
+                    else:
+                        misses += 1
+                        pending[key] = placement
+                if cache_span is not None:
+                    cache_span.attrs.update(hits=hits, misses=misses)
+            self.stats.inc("cache_hits", hits)
+            self.stats.inc("cache_misses", misses)
 
-        if pending:
-            predictions = self._predict_batch(workload, list(pending.values()))
-            self.stats.evaluations += len(predictions)
-            for key, prediction in zip(pending, predictions):
-                found[key] = prediction
-                self.cache.put(key, prediction)
+            if pending:
+                with obs.span("search.predict", misses=len(pending)):
+                    predictions = self._predict_batch(
+                        workload, list(pending.values())
+                    )
+                self.stats.inc("evaluations", len(predictions))
+                for key, prediction in zip(pending, predictions):
+                    found[key] = prediction
+                    self.cache.put(key, prediction)
 
-        results = [
-            RankedPlacement(placement, found[key])
-            for placement, key in zip(placements, keys)
-        ]
-        self.stats.wall_time_s += time.perf_counter() - t0
+            results = [
+                RankedPlacement(placement, found[key])
+                for placement, key in zip(placements, keys)
+            ]
+            if ev_span is not None:
+                ev_span.attrs.update(hits=hits, misses=misses)
+        self.stats.inc("wall_time_s", time.perf_counter() - t0)
         return results
 
     def rank(
@@ -270,31 +337,49 @@ class SearchEngine:
         nothing new (see :mod:`repro.search.strategies`).
         """
         t0 = time.perf_counter()
-        topology = self._topology()
-        seen: Dict[Tuple, RankedPlacement] = {}
-        candidates = list(strategy.initial_candidates(topology))
-        if not candidates:
-            raise PredictionError(
-                f"strategy {type(strategy).__name__} proposed no candidates"
-            )
-        rounds = 0
-        while candidates:
-            rounds += 1
-            self.stats.rounds += 1
-            for ranked in self.evaluate(workload, candidates):
-                seen.setdefault(canonical_key(ranked.placement), ranked)
-            best = min(seen.values(), key=lambda r: r.predicted_time_s)
-            proposed = strategy.refine(topology, best, seen)
-            candidates = [
-                p for p in (proposed or []) if canonical_key(p) not in seen
-            ]
-        ranked_all = sorted(seen.values(), key=lambda r: r.predicted_time_s)
+        evaluate_before = self.stats.wall_time_s
+        with obs.span(
+            "search.search",
+            workload=workload.name,
+            strategy=type(strategy).__name__,
+        ) as s_span:
+            topology = self._topology()
+            seen: Dict[Tuple, RankedPlacement] = {}
+            with obs.span("search.strategy", phase="initial"):
+                candidates = list(strategy.initial_candidates(topology))
+            if not candidates:
+                raise PredictionError(
+                    f"strategy {type(strategy).__name__} proposed no candidates"
+                )
+            rounds = 0
+            while candidates:
+                rounds += 1
+                self.stats.inc("rounds")
+                with obs.span(
+                    "search.round", round=rounds, candidates=len(candidates)
+                ):
+                    for ranked in self.evaluate(workload, candidates):
+                        seen.setdefault(canonical_key(ranked.placement), ranked)
+                    best = min(seen.values(), key=lambda r: r.predicted_time_s)
+                    with obs.span("search.strategy", phase="refine", round=rounds):
+                        proposed = strategy.refine(topology, best, seen)
+                    candidates = [
+                        p for p in (proposed or []) if canonical_key(p) not in seen
+                    ]
+            ranked_all = sorted(seen.values(), key=lambda r: r.predicted_time_s)
+            if s_span is not None:
+                s_span.attrs.update(rounds=rounds, classes=len(ranked_all))
+        wall_time = time.perf_counter() - t0
+        # Round-driving overhead = search time not spent in evaluate();
+        # wall_time_s + strategy_time_s sum to the observed wall time.
+        evaluate_time = self.stats.wall_time_s - evaluate_before
+        self.stats.inc("strategy_time_s", max(0.0, wall_time - evaluate_time))
         return SearchResult(
             best=ranked_all[0],
             ranked=ranked_all,
             rounds=rounds,
             stats=self.stats.snapshot(),
-            wall_time_s=time.perf_counter() - t0,
+            wall_time_s=wall_time,
         )
 
     # -- lifecycle -------------------------------------------------------
@@ -328,24 +413,51 @@ class SearchEngine:
         pool = self._ensure_pool() if self._parallel_wanted(placements) else None
         if pool is None:
             return _chunk_predictions(self.predictor, workload, placements)
+        obs_on = obs.enabled()
+        # Capture the submitting side's span id once: worker threads and
+        # processes parent their chunk spans under it explicitly, since
+        # thread-local context does not cross executor boundaries.
+        obs_parent = obs.tracer().current_id() if obs_on else None
         chunks = [
             placements[i : i + self.chunk_size]
             for i in range(0, len(placements), self.chunk_size)
         ]
+        merge_payloads = False
         if self.executor_kind == "process":
-            futures = [
-                pool.submit(_process_worker_chunk, workload, chunk)
-                for chunk in chunks
-            ]
+            if obs_on:
+                merge_payloads = True
+                futures = [
+                    pool.submit(
+                        _process_worker_chunk, workload, chunk, obs_parent or ""
+                    )
+                    for chunk in chunks
+                ]
+            else:
+                futures = [
+                    pool.submit(_process_worker_chunk, workload, chunk)
+                    for chunk in chunks
+                ]
         else:
             predictor = self.predictor
-            futures = [
-                pool.submit(_chunk_predictions, predictor, workload, chunk)
-                for chunk in chunks
-            ]
+            if obs_on:
+                futures = [
+                    pool.submit(_traced_chunk, predictor, workload, chunk, obs_parent)
+                    for chunk in chunks
+                ]
+            else:
+                futures = [
+                    pool.submit(_chunk_predictions, predictor, workload, chunk)
+                    for chunk in chunks
+                ]
         results: List[Prediction] = []
         for future in futures:  # submission order => deterministic assembly
-            results.extend(future.result())
+            outcome = future.result()
+            if merge_payloads:
+                predictions, payload = outcome
+                obs.absorb_worker(payload)  # child span buffers join here
+                results.extend(predictions)
+            else:
+                results.extend(outcome)
         return results
 
     def _parallel_wanted(self, placements: Sequence[Placement]) -> bool:

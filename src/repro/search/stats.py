@@ -1,5 +1,12 @@
 """Counters describing one engine's search activity.
 
+``SearchStats`` is a typed view over a per-engine
+:class:`repro.obs.Metrics` registry (instrument names ``search.*``)
+rather than a bag of hand-rolled ints: the same counters the engine
+bumps are what ``repro optimize --metrics`` folds into the global
+metrics summary, and pool workers' contributions merge through the
+registry's ``merge`` like every other metric.
+
 The invariants the property tests pin down
 (``tests/properties/test_search_properties.py``):
 
@@ -8,23 +15,76 @@ The invariants the property tests pin down
 * only misses reach the predictor, so ``evaluations == cache_misses``;
 * the dedup ratio is the fraction of requests answered without a
   predictor call — symmetry duplicates and repeat lookups alike.
+
+Time is split two ways so the parts sum to what a caller observes:
+``wall_time_s`` is time spent inside ``evaluate()`` (cache probes +
+prediction), ``strategy_time_s`` is the round-driving overhead of
+``search()`` outside ``evaluate()`` (candidate generation, refinement,
+result assembly).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+from repro.obs.metrics import Metrics
+
+#: Integer event counters, in summary order.
+_COUNTER_FIELDS = ("requests", "cache_hits", "cache_misses", "evaluations", "rounds")
+#: Accumulated-seconds counters.
+_TIME_FIELDS = ("wall_time_s", "strategy_time_s")
 
 
-@dataclass
 class SearchStats:
     """Cumulative counters for one :class:`~repro.search.engine.SearchEngine`."""
 
-    requests: int = 0  # placements submitted for evaluation
-    cache_hits: int = 0  # answered from the cache (incl. in-batch dedup)
-    cache_misses: int = 0  # required a predictor call
-    evaluations: int = 0  # predictor calls actually performed
-    rounds: int = 0  # strategy rounds driven by search()
-    wall_time_s: float = 0.0  # time spent inside evaluate()
+    __slots__ = ("metrics",)
+
+    def __init__(self, registry: Optional[Metrics] = None) -> None:
+        self.metrics = registry if registry is not None else Metrics()
+        for name in _COUNTER_FIELDS + _TIME_FIELDS:
+            self.metrics.counter(f"search.{name}")
+
+    # -- mutation (the engine's write API) -------------------------------
+
+    def inc(self, name: str, amount: Union[int, float] = 1) -> None:
+        """Bump one ``search.<name>`` counter."""
+        if name not in _COUNTER_FIELDS and name not in _TIME_FIELDS:
+            raise KeyError(f"unknown search stat {name!r}")
+        self.metrics.counter(f"search.{name}").inc(amount)
+
+    # -- reads ------------------------------------------------------------
+
+    def _value(self, name: str) -> Union[int, float]:
+        return self.metrics.counter(f"search.{name}").value
+
+    @property
+    def requests(self) -> int:  # placements submitted for evaluation
+        return self._value("requests")
+
+    @property
+    def cache_hits(self) -> int:  # answered from the cache (incl. in-batch dedup)
+        return self._value("cache_hits")
+
+    @property
+    def cache_misses(self) -> int:  # required a predictor call
+        return self._value("cache_misses")
+
+    @property
+    def evaluations(self) -> int:  # predictor calls actually performed
+        return self._value("evaluations")
+
+    @property
+    def rounds(self) -> int:  # strategy rounds driven by search()
+        return self._value("rounds")
+
+    @property
+    def wall_time_s(self) -> float:  # time spent inside evaluate()
+        return float(self._value("wall_time_s"))
+
+    @property
+    def strategy_time_s(self) -> float:  # search() time outside evaluate()
+        return float(self._value("strategy_time_s"))
 
     @property
     def dedup_ratio(self) -> float:
@@ -41,7 +101,7 @@ class SearchStats:
 
     def snapshot(self) -> "SearchStats":
         """An independent copy (e.g. to freeze into a SearchResult)."""
-        return replace(self)
+        return SearchStats(self.metrics.snapshot())
 
     def summary(self) -> str:
         """Human-readable report (CLI / report output)."""
@@ -53,6 +113,13 @@ class SearchStats:
                 f"  evaluations: {self.evaluations} "
                 f"(dedup ratio {self.dedup_ratio:.0%})",
                 f"  rounds:      {self.rounds}",
-                f"  wall time:   {self.wall_time_s:.3f} s",
+                f"  wall time:   {self.wall_time_s:.3f} s"
+                f" (+ {self.strategy_time_s:.3f} s strategy overhead)",
             ]
         )
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in _COUNTER_FIELDS + _TIME_FIELDS
+        )
+        return f"SearchStats({fields})"

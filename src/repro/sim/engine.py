@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.hardware.spec import MachineSpec
 from repro.sim.counters import CounterSet
@@ -232,39 +233,56 @@ def simulate(
     opts = options or SimOptions()
     if not jobs:
         raise SimulationError("simulate() needs at least one job")
-    model = DemandModel(
-        machine,
-        [JobSpecOnMachine(j.spec, j.hw_thread_ids) for j in jobs],
-        turbo_enabled=opts.turbo_enabled,
-    )
+    with obs.span(
+        "sim.simulate", machine=machine.name, jobs=len(jobs)
+    ) as sim_span:
+        if sim_span is not None:
+            obs.metrics().counter("sim.simulations").inc()
+        with obs.span("sim.demand_model"):
+            model = DemandModel(
+                machine,
+                [JobSpecOnMachine(j.spec, j.hw_thread_ids) for j in jobs],
+                turbo_enabled=opts.turbo_enabled,
+            )
 
-    # Positions of each job's active threads within the model arrays.
-    positions: List[List[int]] = [[] for _ in jobs]
-    for pos, tinfo in enumerate(model.threads):
-        positions[tinfo.job_index].append(pos)
+        # Positions of each job's active threads within the model arrays.
+        positions: List[List[int]] = [[] for _ in jobs]
+        for pos, tinfo in enumerate(model.threads):
+            positions[tinfo.job_index].append(pos)
 
-    n = model.n_threads
-    utilisation = np.ones(n)
-    rates = _solve_rates(model, utilisation, opts)
-    timings: Dict[int, _JobTiming] = {}
-    outer_iters = 1
+        n = model.n_threads
+        utilisation = np.ones(n)
+        rates = _solve_rates(model, utilisation, opts)
+        timings: Dict[int, _JobTiming] = {}
+        outer_iters = 1
 
-    foreground_jobs = [j for j, job in enumerate(jobs) if not job.background]
-    if foreground_jobs:
-        for outer_iters in range(1, opts.outer_max_iters + 1):
-            rates = _solve_rates(model, utilisation, opts)
-            new_util = utilisation.copy()
-            for j in foreground_jobs:
-                pos = positions[j]
-                timing = _job_timing(jobs[j].spec, rates[pos])
-                timings[j] = timing
-                new_util[pos] = timing.utilisation
-            change = float(np.max(np.abs(new_util - utilisation)))
-            utilisation = 0.5 * (utilisation + new_util)
-            if change < opts.outer_tolerance:
-                break
+        foreground_jobs = [j for j, job in enumerate(jobs) if not job.background]
+        if foreground_jobs:
+            with obs.span("sim.fixed_point", threads=n) as fp_span:
+                for outer_iters in range(1, opts.outer_max_iters + 1):
+                    rates = _solve_rates(model, utilisation, opts)
+                    new_util = utilisation.copy()
+                    for j in foreground_jobs:
+                        pos = positions[j]
+                        timing = _job_timing(jobs[j].spec, rates[pos])
+                        timings[j] = timing
+                        new_util[pos] = timing.utilisation
+                    change = float(np.max(np.abs(new_util - utilisation)))
+                    utilisation = 0.5 * (utilisation + new_util)
+                    if change < opts.outer_tolerance:
+                        break
+                if fp_span is not None:
+                    fp_span.attrs["outer_iterations"] = outer_iters
+                    obs.metrics().histogram("sim.outer_iterations").observe(
+                        outer_iters
+                    )
 
-    job_results = _collect_results(machine, jobs, model, positions, rates, utilisation, timings, opts)
+        with obs.span("sim.collect"):
+            job_results = _collect_results(
+                machine, jobs, model, positions, rates, utilisation, timings, opts
+            )
+        if sim_span is not None:
+            sim_span.attrs["outer_iterations"] = outer_iters
 
     loads = (utilisation * rates) @ model.coeffs if n else np.zeros(0)
     keys = model.resource_keys()

@@ -1,0 +1,19 @@
+"""Shared fixture: every obs test runs against clean, disabled state."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Isolate the process-wide tracer/metrics across tests."""
+    was_enabled = obs.enabled()
+    obs.disable()
+    obs.reset()
+    yield
+    obs.reset()
+    if was_enabled:
+        obs.enable()
+    else:
+        obs.disable()

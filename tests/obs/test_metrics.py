@@ -1,0 +1,133 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, Metrics
+
+
+class TestInstruments:
+    def test_counter_get_or_create_and_int_preservation(self):
+        m = Metrics()
+        c = m.counter("requests")
+        assert m.counter("requests") is c
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert isinstance(c.value, int)
+        c.inc(0.5)
+        assert isinstance(c.value, float)
+
+    def test_gauge_last_write_wins(self):
+        m = Metrics()
+        g = m.gauge("depth")
+        assert g.value is None
+        g.set(3.0)
+        g.set(1.0)
+        assert g.value == 1.0
+
+    def test_histogram_bucketing(self):
+        m = Metrics()
+        h = m.histogram("lat", buckets=(1, 10, 100))
+        h.observe_many([0.5, 1.0, 5, 50, 500, 5000])
+        assert h.counts == [2, 1, 1, 2]  # <=1, <=10, <=100, overflow
+        assert h.count == 6
+        assert h.vmin == 0.5
+        assert h.vmax == 5000
+        assert h.mean == pytest.approx(sum([0.5, 1.0, 5, 50, 500, 5000]) / 6)
+
+    def test_histogram_rejects_non_ascending_buckets(self):
+        m = Metrics()
+        with pytest.raises(ValueError):
+            m.histogram("bad", buckets=(1, 1, 2))
+        with pytest.raises(ValueError):
+            m.histogram("worse", buckets=())
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Metrics().histogram("h").mean == 0.0
+
+
+class TestMergeAndSnapshot:
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = Metrics(), Metrics()
+        a.counter("n").inc(2)
+        b.counter("n").inc(3)
+        a.histogram("h", buckets=(1, 2)).observe(1)
+        b.histogram("h", buckets=(1, 2)).observe(5)
+        b.gauge("g").set(7.0)
+        a.merge(b)
+        assert a.counter("n").value == 5
+        h = a.histogram("h", buckets=(1, 2))
+        assert h.count == 2
+        assert h.counts == [1, 0, 1]
+        assert a.gauge("g").value == 7.0
+        # b is untouched
+        assert b.counter("n").value == 3
+
+    def test_merge_accepts_plain_data_dict(self):
+        a, b = Metrics(), Metrics()
+        b.counter("n").inc()
+        a.merge(b.data())
+        assert a.counter("n").value == 1
+
+    def test_merge_rejects_mismatched_buckets(self):
+        a, b = Metrics(), Metrics()
+        a.histogram("h", buckets=(1, 2)).observe(1)
+        b.histogram("h", buckets=(1, 3)).observe(1)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_snapshot_is_independent(self):
+        m = Metrics()
+        m.counter("n").inc(1)
+        snap = m.snapshot()
+        m.counter("n").inc(10)
+        assert snap.counter("n").value == 1
+        assert m.counter("n").value == 11
+
+    def test_data_is_json_safe(self):
+        import json
+
+        m = Metrics()
+        m.counter("n").inc()
+        m.gauge("g").set(2.5)
+        m.histogram("h").observe(3)
+        payload = m.data()
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["counters"]["n"] == 1
+        assert decoded["histograms"]["h"]["count"] == 1
+
+    def test_empty_histogram_merge_keeps_sentinels(self):
+        a, b = Metrics(), Metrics()
+        a.histogram("h")
+        b.histogram("h")
+        a.merge(b)
+        h = a.histogram("h")
+        assert h.count == 0
+        assert h.vmin == math.inf and h.vmax == -math.inf
+
+
+class TestSummary:
+    def test_summary_lists_all_instrument_kinds(self):
+        m = Metrics()
+        m.counter("search.requests").inc(12)
+        m.gauge("pool.workers").set(4)
+        m.histogram("iters", buckets=DEFAULT_BUCKETS).observe_many([2, 3, 7])
+        text = m.summary(title="run metrics")
+        assert text.startswith("run metrics:")
+        assert "search.requests" in text
+        assert "pool.workers" in text
+        assert "iters: count=3" in text
+        assert "<=5: 1" in text  # 3 falls in the (2, 5] bucket
+
+    def test_empty_summary(self):
+        assert "(empty)" in Metrics().summary()
+
+    def test_clear_and_bool(self):
+        m = Metrics()
+        assert not m
+        m.counter("x")
+        assert m
+        m.clear()
+        assert not m

@@ -57,6 +57,35 @@ class TestOptimize:
         assert "best predicted" in out
         assert "right-sized" in out
 
+    def test_optimize_traced_writes_valid_trace_and_metrics(self, capsys, tmp_path):
+        from repro import obs
+        from repro.obs.export import validate_chrome_trace_file
+
+        trace_path = tmp_path / "trace.json"
+        try:
+            assert main([
+                "optimize", "TESTBOX", "Swim", "--max-placements", "60",
+                "--trace-out", str(trace_path), "--metrics",
+            ]) == 0
+        finally:
+            obs.disable()
+            obs.reset()
+        out = capsys.readouterr().out
+        assert "metrics summary:" in out
+        assert "search.requests" in out
+        assert "predictor.iterations" in out
+        counts = validate_chrome_trace_file(trace_path)
+        assert counts["spans"] > 0
+        import json
+
+        names = {
+            e["name"]
+            for e in json.loads(trace_path.read_text())["traceEvents"]
+        }
+        # The acceptance triad: predictor iteration, cache and strategy
+        # phases all present in one optimize trace.
+        assert {"predictor.iteration", "search.cache", "search.strategy"} <= names
+
 
 class TestCoschedule:
     def test_coschedule_two_workloads(self, capsys):

@@ -59,3 +59,71 @@ class TestDesignInventory:
         for token in ("Figure 1", "Figure 10", "Figure 11", "Figure 12",
                       "Figure 13", "Figure 14", "sweep", "Worked example"):
             assert token in text
+
+
+class TestObservabilityDocumented:
+    """docs/observability.md tracks what the instrumentation emits."""
+
+    SPANS = (
+        "predictor.predict",
+        "predictor.predict_batch",
+        "predictor.iteration",
+        "search.evaluate",
+        "search.cache",
+        "search.predict",
+        "search.chunk",
+        "search.strategy",
+        "sim.simulate",
+        "sim.fixed_point",
+        "rack.schedule",
+        "rack.refine",
+    )
+    HISTOGRAMS = (
+        "predictor.iterations",
+        "predictor.residual",
+        "predictor.batch.alive_rows",
+        "search.cache.lookup_us",
+        "sim.outer_iterations",
+    )
+
+    def test_every_emitted_span_name_is_documented(self):
+        text = (REPO / "docs" / "observability.md").read_text()
+        for name in self.SPANS + self.HISTOGRAMS:
+            assert name in text, f"{name!r} missing from docs/observability.md"
+
+    def test_enabling_paths_are_documented(self):
+        text = (REPO / "docs" / "observability.md").read_text()
+        for token in ("REPRO_TRACE", "--trace", "--trace-out", "--metrics",
+                      "obs.enable()"):
+            assert token in text
+
+    def test_cli_exposes_the_documented_flags(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions if a.__class__.__name__ == "_SubParsersAction"
+        )
+        for command in ("optimize", "experiment"):
+            option_strings = {
+                opt
+                for action in subparsers.choices[command]._actions
+                for opt in action.option_strings
+            }
+            for flag in ("--trace", "--trace-out", "--metrics"):
+                assert flag in option_strings, (
+                    f"{flag} missing from `pandia {command}`"
+                )
+
+    def test_api_and_model_docs_cross_link(self):
+        for doc in ("api.md", "model.md"):
+            text = (REPO / "docs" / doc).read_text()
+            assert "observability.md" in text, (
+                f"docs/{doc} does not link docs/observability.md"
+            )
+
+    def test_ci_validates_and_uploads_the_trace(self):
+        ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+        assert "--trace-out trace.json" in ci
+        assert "validate_chrome_trace_file" in ci
+        assert "path: trace.json" in ci
