@@ -1,0 +1,248 @@
+"""Online scheduling-service benchmark: contention-aware vs naive.
+
+Drives the event-driven service (:mod:`repro.online`) over a Poisson
+arrival trace on a heterogeneous four-node fleet (2x X3-2 "big",
+2x TESTBOX "small", 96 hardware threads total) and compares placement
+policies end to end.  Two parts:
+
+* pytest-benchmark microbenchmarks (full-run latency per policy) — run
+  via ``pytest benchmarks/bench_rack_online.py``;
+* a CLI racing ``first-fit``, ``load-balance`` and
+  ``predicted-slowdown`` on the same trace, plus the clairvoyant greedy
+  :class:`~repro.rack.timeline.TimelineScheduler` as a batch makespan
+  reference.  Asserts in-run that the contention-aware policy beats
+  first-fit on mean slowdown and that decision throughput is positive;
+  reports decisions/sec, decisions per simulated day, mean/p95
+  slowdown, utilisation and makespan.
+
+The headline run replays a 1000-job trace; ``--quick`` is the CI smoke
+(150 jobs).  Everything is seeded, so the JSON record is reproducible.
+
+Usage::
+
+    python benchmarks/bench_rack_online.py                  # 1000 jobs
+    python benchmarks/bench_rack_online.py --quick          # CI smoke
+    python benchmarks/bench_rack_online.py --json OUT.json  # perf record
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional, Sequence
+
+import pytest
+
+from repro.core.description import DemandVector, WorkloadDescription
+from repro.core.machine_desc import generate_machine_description
+from repro.hardware import machines
+from repro.online import OnlineScheduler, poisson_trace
+from repro.rack.model import Rack, RackMachine
+from repro.rack.timeline import TimelineScheduler
+from repro.sim.noise import NO_NOISE
+
+POLICIES = ("first-fit", "load-balance", "predicted-slowdown")
+ARRIVAL_RATE_PER_S = 1.5
+DECISIONS_PER_DAY_TARGET = 100_000
+
+
+def make_fleet() -> Rack:
+    """Two big X3-2 nodes plus two small TESTBOX nodes, 96 threads."""
+    big = machines.get("X3-2")
+    big_md = generate_machine_description(big, noise=NO_NOISE)
+    small = machines.get("TESTBOX")
+    small_md = generate_machine_description(small, noise=NO_NOISE)
+    return Rack(
+        machines=(
+            RackMachine("big-0", big, big_md),
+            RackMachine("big-1", big, big_md),
+            RackMachine("small-0", small, small_md),
+            RackMachine("small-1", small, small_md),
+        )
+    )
+
+
+def make_pool() -> list:
+    """Four workload classes spanning the contention spectrum."""
+
+    def wd(name, inst, dram, p, t1):
+        return WorkloadDescription(
+            name=name,
+            machine_name="X3-2",
+            t1=t1,
+            demands=DemandVector(
+                inst_rate=inst, cache_bw={"L1": 20.0}, dram_bw=dram
+            ),
+            parallel_fraction=p,
+            load_balance=0.8,
+        )
+
+    return [
+        wd("mem", inst=2.0, dram=18.0, p=0.98, t1=20.0),
+        wd("cpu", inst=6.0, dram=0.5, p=0.98, t1=8.0),
+        wd("mid", inst=4.0, dram=6.0, p=0.98, t1=14.0),
+        wd("wide", inst=4.0, dram=2.0, p=0.999, t1=30.0),
+    ]
+
+
+# -- pytest-benchmark microbenchmarks ----------------------------------------
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rack = make_fleet()
+    trace = poisson_trace(
+        make_pool(), n_jobs=60, rate_per_s=ARRIVAL_RATE_PER_S, seed=3
+    )
+    return rack, trace
+
+
+def test_online_first_fit_run(benchmark, setup):
+    rack, trace = setup
+    result = benchmark(OnlineScheduler(rack, policy="first-fit").run, trace)
+    assert len(result.completed) == len(trace.jobs)
+
+
+def test_online_predicted_slowdown_run(benchmark, setup):
+    rack, trace = setup
+    result = benchmark(
+        OnlineScheduler(rack, policy="predicted-slowdown").run, trace
+    )
+    assert len(result.completed) == len(trace.jobs)
+    assert result.decisions_per_s > 0
+
+
+# -- policy-race CLI ---------------------------------------------------------
+
+
+def _race_policy(rack: Rack, trace, policy: str) -> dict:
+    result = OnlineScheduler(rack, policy=policy).run(trace)
+    return {
+        "policy": policy,
+        "mean_slowdown": result.mean_slowdown,
+        "p95_slowdown": result.p95_slowdown,
+        "utilisation": result.utilisation,
+        "makespan_s": result.makespan_s,
+        "wall_time_s": result.wall_time_s,
+        "decisions": result.stats.decisions,
+        "decisions_per_s": result.decisions_per_s,
+        "decisions_per_sim_day": result.decisions_per_sim_day,
+        "deferrals": result.stats.deferrals,
+        "mean_decision_us": result.stats.mean_decision_us,
+    }
+
+
+def _batch_reference(rack: Rack, trace) -> dict:
+    """Clairvoyant greedy baseline: the PR 4 timeline scheduler."""
+    t0 = time.perf_counter()
+    timeline = TimelineScheduler(rack).run(
+        [job.as_request() for job in trace.jobs]
+    )
+    return {
+        "scheduler": "timeline-greedy",
+        "makespan_s": timeline.makespan_s,
+        "mean_queueing_delay_s": timeline.mean_queueing_delay_s,
+        "wall_time_s": time.perf_counter() - t0,
+    }
+
+
+def run(n_jobs: int, rate_per_s: float, seed: int) -> dict:
+    rack = make_fleet()
+    trace = poisson_trace(
+        make_pool(), n_jobs=n_jobs, rate_per_s=rate_per_s, seed=seed
+    )
+    record = {
+        "fleet": [m.name for m in rack.machines],
+        "total_hw_threads": rack.total_hw_threads,
+        "n_jobs": n_jobs,
+        "rate_per_s": rate_per_s,
+        "seed": seed,
+        "policies": [],
+    }
+
+    print(
+        f"fleet: {', '.join(record['fleet'])} "
+        f"({rack.total_hw_threads} threads)   "
+        f"trace: {n_jobs} jobs, poisson rate {rate_per_s}/s, seed {seed}"
+    )
+    by_policy = {}
+    for policy in POLICIES:
+        entry = _race_policy(rack, trace, policy)
+        by_policy[policy] = entry
+        record["policies"].append(entry)
+        print(
+            f"  {policy:>18}: mean_sd {entry['mean_slowdown']:6.2f}   "
+            f"p95_sd {entry['p95_slowdown']:7.2f}   "
+            f"util {entry['utilisation']:.2f}   "
+            f"makespan {entry['makespan_s']:7.1f}s   "
+            f"{entry['decisions_per_s']:6.0f} dec/s   "
+            f"{entry['decisions_per_sim_day'] / 1000:5.0f}k dec/sim-day"
+        )
+
+    reference = _batch_reference(rack, trace)
+    record["batch_reference"] = reference
+    print(
+        f"  {'timeline-greedy':>18}: makespan {reference['makespan_s']:7.1f}s   "
+        f"mean queue delay {reference['mean_queueing_delay_s']:.1f}s   "
+        f"(clairvoyant batch reference)"
+    )
+
+    # The point of the subsystem: contention-aware admission must beat
+    # naive first-fit on mean slowdown, at real decision throughput.
+    aware = by_policy["predicted-slowdown"]
+    naive = by_policy["first-fit"]
+    if aware["mean_slowdown"] >= naive["mean_slowdown"]:
+        raise AssertionError(
+            f"predicted-slowdown mean slowdown {aware['mean_slowdown']:.2f} "
+            f"did not beat first-fit {naive['mean_slowdown']:.2f}"
+        )
+    if aware["decisions_per_s"] <= 0:
+        raise AssertionError("no scheduling decisions per second recorded")
+    record["slowdown_improvement"] = (
+        naive["mean_slowdown"] / aware["mean_slowdown"]
+    )
+    print(
+        f"predicted-slowdown beats first-fit by "
+        f"{record['slowdown_improvement']:.2f}x on mean slowdown"
+    )
+    return record
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: 150-job trace")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="trace length (default 1000, quick 150)")
+    parser.add_argument("--rate", type=float, default=ARRIVAL_RATE_PER_S,
+                        help="Poisson arrival rate, jobs/s")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="trace seed")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the perf record to PATH")
+    args = parser.parse_args(argv)
+
+    n_jobs = args.jobs or (150 if args.quick else 1000)
+    record = run(n_jobs, args.rate, args.seed)
+
+    per_day = max(
+        p["decisions_per_sim_day"] for p in record["policies"]
+    )
+    if not args.quick and per_day < DECISIONS_PER_DAY_TARGET:
+        print(
+            f"WARNING: {per_day:.0f} decisions/sim-day below the "
+            f"{DECISIONS_PER_DAY_TARGET} target"
+        )
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"perf record written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

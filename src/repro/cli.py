@@ -316,6 +316,74 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_online(args: argparse.Namespace) -> int:
+    """Event-driven arrival stream on an N-node rack."""
+    import json as json_module
+
+    from repro.online import (
+        OnlineScheduler,
+        diurnal_trace,
+        policy_names,
+        poisson_trace,
+    )
+    from repro.rack import Rack, RackMachine
+
+    setup_tracing(args)
+    machine = machines.get(args.machine)
+    noise = _noise(args)
+    md = generate_machine_description(machine, noise=noise)
+    rack = Rack(
+        machines=tuple(
+            RackMachine(f"node-{i}", machine, md) for i in range(args.nodes)
+        )
+    )
+    generator = WorkloadDescriptionGenerator(machine, md, noise=noise)
+    pool = [generator.generate(catalog.get(n)) for n in args.workloads]
+    if args.pattern == "diurnal":
+        trace = diurnal_trace(
+            pool, n_jobs=args.jobs, mean_rate_per_s=args.rate,
+            period_s=args.period, seed=args.seed,
+        )
+    else:
+        trace = poisson_trace(
+            pool, n_jobs=args.jobs, rate_per_s=args.rate, seed=args.seed
+        )
+    if args.policy not in policy_names():
+        raise ReproError(
+            f"unknown policy {args.policy!r}; known: {', '.join(policy_names())}"
+        )
+    scheduler = OnlineScheduler(
+        rack, policy=args.policy, migrate=args.migrate,
+        hysteresis=args.hysteresis,
+    )
+    result = scheduler.run(trace)
+    print(result.summary())
+    print(result.stats.summary())
+    if args.json:
+        record = {
+            "machine": args.machine,
+            "nodes": args.nodes,
+            "pattern": args.pattern,
+            "policy": args.policy,
+            "seed": args.seed,
+            "n_jobs": args.jobs,
+            "rate_per_s": args.rate,
+            "mean_slowdown": result.mean_slowdown,
+            "p95_slowdown": result.p95_slowdown,
+            "utilisation": result.utilisation,
+            "makespan_s": result.makespan_s,
+            "decisions_per_s": result.decisions_per_s,
+            "decisions_per_sim_day": result.decisions_per_sim_day,
+            "stats": result.stats.metrics.data(),
+        }
+        with open(args.json, "w") as fh:
+            json_module.dump(record, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote run record to {args.json}")
+    finish_tracing(args, extra_metrics=result.stats.metrics)
+    return 0
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     """Measured-vs-predicted evaluation for one workload."""
     from repro.analysis.evaluation import evaluate_workload
@@ -470,6 +538,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stagger", type=float, default=0.0,
                    help="seconds between workload arrivals")
     p.set_defaults(func=cmd_timeline)
+
+    p = sub.add_parser(
+        "online", help="event-driven arrival stream on an N-node rack"
+    )
+    p.add_argument("machine")
+    p.add_argument("workloads", nargs="+",
+                   help="catalog workloads sampled by the trace generator")
+    p.add_argument("--nodes", type=int, default=2)
+    p.add_argument("--jobs", type=int, default=50, help="trace length")
+    p.add_argument("--rate", type=float, default=0.5,
+                   help="(mean) arrival rate, jobs/s")
+    p.add_argument("--pattern", choices=("poisson", "diurnal"),
+                   default="poisson", help="arrival process")
+    p.add_argument("--period", type=float, default=86400.0,
+                   help="diurnal period in seconds")
+    p.add_argument("--policy", default="predicted-slowdown",
+                   help="placement policy (see repro.online.policy_names)")
+    p.add_argument("--seed", type=int, default=0, help="trace seed")
+    p.add_argument("--migrate", action="store_true",
+                   help="re-auction the laggard after each departure")
+    p.add_argument("--hysteresis", type=float, default=0.1,
+                   help="minimum relative makespan gain to migrate")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the run record to PATH")
+    add_trace_flags(p)
+    p.set_defaults(func=cmd_online)
 
     p = sub.add_parser(
         "evaluate", help="measured-vs-predicted evaluation for one workload"

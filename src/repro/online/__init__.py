@@ -1,0 +1,76 @@
+"""`repro.online` — event-driven rack-scale scheduling over a job stream.
+
+The batch :class:`~repro.rack.scheduler.RackScheduler` answers the
+paper's Section-8 question for a *fixed* set of workloads; a production
+deployment sees jobs arrive and depart continuously.  This package is
+the online counterpart:
+
+* :mod:`repro.online.events` — a discrete-event loop (arrival /
+  departure / reschedule events over simulated time) with a replayable
+  event log;
+* :mod:`repro.online.trace` — reproducible arrival-trace generators
+  (Poisson, bursty/diurnal, replayed fixed traces; seeded RNG);
+* :mod:`repro.online.policies` — the pluggable admission/placement
+  policy interface with first-fit and load-balance baselines next to
+  the contention-sensitive predicted-slowdown policy;
+* :mod:`repro.online.service` — :class:`OnlineScheduler`, tying the
+  loop, the shared :class:`~repro.rack.occupancy.FleetOccupancy`
+  residency model and the :class:`~repro.rack.scheduler.RackScheduler`
+  decision core together, with departure re-prediction and optional
+  hysteresis-gated migration.
+
+A cold-start arrival batch (everything at ``t=0`` on an empty fleet)
+is scheduled *identically* to the offline batch scheduler — both run
+the same ``admit_batch`` core — which
+``tests/online/test_batch_equivalence.py`` pins down property-wise.
+
+See ``docs/online.md`` for the event model, policy interface and trace
+formats.
+"""
+
+from repro.online.events import Event, EventKind, EventLog, EventLoop
+from repro.online.policies import (
+    FirstFitPolicy,
+    LoadBalancePolicy,
+    PlacementPolicy,
+    PredictedSlowdownPolicy,
+    get_policy,
+    policy_names,
+)
+from repro.online.service import (
+    CompletedJob,
+    Decision,
+    OnlineResult,
+    OnlineScheduler,
+    OnlineStats,
+)
+from repro.online.trace import (
+    ArrivalTrace,
+    Job,
+    diurnal_trace,
+    poisson_trace,
+    replay_trace,
+)
+
+__all__ = [
+    "ArrivalTrace",
+    "CompletedJob",
+    "Decision",
+    "Event",
+    "EventKind",
+    "EventLog",
+    "EventLoop",
+    "FirstFitPolicy",
+    "Job",
+    "LoadBalancePolicy",
+    "OnlineResult",
+    "OnlineScheduler",
+    "OnlineStats",
+    "PlacementPolicy",
+    "PredictedSlowdownPolicy",
+    "diurnal_trace",
+    "get_policy",
+    "policy_names",
+    "poisson_trace",
+    "replay_trace",
+]

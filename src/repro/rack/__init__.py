@@ -13,16 +13,19 @@ schedule through the ground-truth simulator.
 """
 
 from repro.rack.model import Assignment, Rack, RackMachine, RackSchedule
+from repro.rack.occupancy import FleetOccupancy, Resident
 from repro.rack.scheduler import RackScheduler
 from repro.rack.timeline import Timeline, TimelineScheduler, WorkloadRequest
 from repro.rack.validate import validate_schedule, validate_timeline
 
 __all__ = [
     "Assignment",
+    "FleetOccupancy",
     "Rack",
     "RackMachine",
     "RackSchedule",
     "RackScheduler",
+    "Resident",
     "Timeline",
     "TimelineScheduler",
     "WorkloadRequest",

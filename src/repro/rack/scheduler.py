@@ -13,6 +13,15 @@ This uses exactly what the paper says makes Pandia suited to the job:
 it predicts resource consumption, so the scheduler can see that a
 second memory-bound workload on a socket will halve both, while a
 compute-bound neighbour is free.
+
+The decision core is deliberately reusable: ``admit_batch`` /
+``best_candidate`` operate on a
+:class:`~repro.rack.occupancy.FleetOccupancy` (empty for the offline
+batch problem, partially occupied for the event-driven
+:mod:`repro.online` service), so the online scheduler shares this exact
+logic rather than reimplementing it — a cold-start arrival batch is
+scheduled identically to an offline batch, which
+``tests/online/test_batch_equivalence.py`` pins down.
 """
 
 from __future__ import annotations
@@ -26,6 +35,8 @@ from repro.core.placement import Placement
 from repro.core.predictor import PandiaPredictor
 from repro.errors import ReproError
 from repro.rack.model import Assignment, Rack, RackMachine, RackSchedule
+from repro.rack.occupancy import FleetOccupancy
+from repro.search.canonical import workload_fingerprint
 from repro.search.engine import SearchEngine
 
 
@@ -34,8 +45,16 @@ def free_context_placement(
 ) -> Optional[Placement]:
     """*n* threads on free contexts: cores first, SMT siblings after.
 
-    Returns ``None`` when fewer than *n* contexts are free.
+    Returns ``None`` when fewer than *n* contexts are free.  Asking for
+    fewer than one thread is a caller bug and raises, naming the
+    machine (use :func:`candidate_thread_counts` to enumerate feasible
+    counts — it returns no candidates when nothing is free).
     """
+    if n_threads < 1:
+        raise ReproError(
+            f"machine {machine.name}: a placement needs at least one thread, "
+            f"got {n_threads}"
+        )
     topo = machine.spec.topology
     order: List[int] = []
     for way in range(topo.threads_per_core):
@@ -50,7 +69,17 @@ def free_context_placement(
 
 def candidate_thread_counts(free: int) -> List[int]:
     """The ladder of thread counts the scheduler tries: powers of two
-    up to the free-context count, plus the full free set."""
+    up to the free-context count, plus the full free set.
+
+    Degenerate inputs degrade cleanly: zero free contexts yield no
+    candidates (an empty list — the machine is simply skipped) and a
+    single free context yields the ``[1]`` ladder.  A negative count is
+    a caller accounting bug and raises.
+    """
+    if free < 0:
+        raise ReproError(f"free-context count cannot be negative, got {free}")
+    if free == 0:
+        return []
     counts = []
     n = 1
     while n < free:
@@ -61,7 +90,22 @@ def candidate_thread_counts(free: int) -> List[int]:
 
 
 class RackScheduler:
-    """Assigns a batch of profiled workloads to a rack."""
+    """Assigns a batch of profiled workloads to a rack.
+
+    Besides the offline :meth:`schedule` entry point, the scheduler
+    exposes its decision core — :meth:`solo_estimate`,
+    :meth:`best_candidate`, :meth:`admit_batch` and
+    :meth:`predict_machine` — over a caller-owned
+    :class:`FleetOccupancy`, so event-driven schedulers reuse the exact
+    same admission logic on a partially occupied fleet.
+    """
+
+    #: Relative tolerance under which two candidate fleet makespans are
+    #: considered equal in :meth:`best_candidate`.  The predictor is an
+    #: analytical model; differences this small are noise, and breaking
+    #: the tie on the workload's own completion time avoids starving
+    #: short jobs to protect an epsilon of makespan.
+    MAKESPAN_SLACK = 1e-3
 
     def __init__(self, rack: Rack) -> None:
         self.rack = rack
@@ -83,6 +127,10 @@ class RackScheduler:
             m.name: free_context_placement(m, set(), m.n_hw_threads // 2 or 1)
             for m in rack.machines
         }
+        # Arrival streams rename one profiled description per job
+        # (job names must be unique); predictions do not read the name,
+        # so solo estimates are memoised on the name-free fingerprint.
+        self._solo_estimates: Dict[Tuple, float] = {}
 
     # -- public API ------------------------------------------------------
 
@@ -110,56 +158,173 @@ class RackScheduler:
             workloads=len(workloads),
             machines=len(self.rack.machines),
         ):
-            schedule = RackSchedule(rack=self.rack)
-            with obs.span("rack.greedy") as greedy_span:
-                # Longest (predicted solo) first.
-                ordered = sorted(workloads, key=self._solo_estimate, reverse=True)
-                remaining = self.rack.total_hw_threads
-                for i, workload in enumerate(ordered):
-                    cap = max(1, remaining // (len(ordered) - i))
-                    assignment, predictions = self._best_candidate(
-                        schedule, workload, max_threads=cap
-                    )
-                    schedule.assignments.append(assignment)
-                    schedule.predicted_times.update(predictions)
-                    remaining -= assignment.placement.n_threads
-                    schedule._check_no_overlap()
-                if greedy_span is not None:
-                    greedy_span.attrs["free_threads_left"] = remaining
-
-            for round_no in range(refinement_rounds):
-                with obs.span("rack.refine", round=round_no + 1):
-                    for workload in ordered:
-                        self._replace(schedule, workload)
+            fleet = FleetOccupancy(self.rack)
+            predicted_times: Dict[str, float] = {}
+            self.admit_batch(
+                fleet,
+                predicted_times,
+                workloads,
+                refinement_rounds=refinement_rounds,
+                strict=True,
+            )
+        schedule = RackSchedule(
+            rack=self.rack,
+            assignments=[
+                Assignment(r.workload, r.machine_name, r.placement)
+                for r in fleet.residents()
+            ],
+            predicted_times=predicted_times,
+        )
         return schedule
 
-    def _replace(self, schedule: RackSchedule, workload: WorkloadDescription) -> None:
-        """Remove one workload and re-place it greedily (uncapped)."""
-        old = schedule.assignment_for(workload.name)
-        schedule.assignments.remove(old)
-        del schedule.predicted_times[workload.name]
-        self._repredict_machine(schedule, old.machine_name)
-        assignment, predictions = self._best_candidate(schedule, workload)
-        schedule.assignments.append(assignment)
-        schedule.predicted_times.update(predictions)
-        schedule._check_no_overlap()
+    # -- the shared decision core ----------------------------------------
 
-    def _repredict_machine(self, schedule: RackSchedule, machine_name: str) -> None:
-        """Refresh predictions for one machine's resident workloads."""
-        resident = [
-            CoScheduledWorkload(a.workload, a.placement)
-            for a in schedule.assignments_on(machine_name)
+    def admit_batch(
+        self,
+        fleet: FleetOccupancy,
+        predicted_times: Dict[str, float],
+        workloads: Sequence[WorkloadDescription],
+        refinement_rounds: int = 1,
+        strict: bool = True,
+    ) -> Tuple[List[Assignment], List[WorkloadDescription]]:
+        """Admit a batch of workloads onto a (possibly occupied) fleet.
+
+        LPT order, fair-share caps against the fleet's *free* contexts,
+        then ``refinement_rounds`` uncapped re-placement passes over the
+        batch (never over pre-existing residents).  With ``strict`` a
+        workload that fits nowhere raises; otherwise it is returned in
+        the skipped list and the rest of the batch proceeds.
+
+        Returns ``(placed, skipped)`` where *placed* holds the final
+        assignment of every admitted workload in batch order.
+        """
+        with obs.span("rack.greedy", batch=len(workloads)) as greedy_span:
+            ordered = sorted(workloads, key=self.solo_estimate, reverse=True)
+            remaining = fleet.total_free_contexts()
+            placed: List[WorkloadDescription] = []
+            skipped: List[WorkloadDescription] = []
+            skipped_names: Set[str] = set()
+            for i, workload in enumerate(ordered):
+                cap = max(1, remaining // (len(ordered) - i))
+                try:
+                    assignment, predictions = self.best_candidate(
+                        fleet, predicted_times, workload, max_threads=cap
+                    )
+                except ReproError:
+                    if strict:
+                        raise
+                    skipped.append(workload)
+                    skipped_names.add(workload.name)
+                    continue
+                fleet.place(workload, assignment.machine_name, assignment.placement)
+                predicted_times.update(predictions)
+                remaining -= assignment.placement.n_threads
+                placed.append(workload)
+            if greedy_span is not None:
+                greedy_span.attrs["free_threads_left"] = remaining
+
+        for round_no in range(refinement_rounds):
+            with obs.span("rack.refine", round=round_no + 1):
+                for workload in ordered:
+                    if workload.name in skipped_names:
+                        continue
+                    self._replace(fleet, predicted_times, workload)
+
+        assignments = [
+            Assignment(
+                w,
+                fleet.resident(w.name).machine_name,
+                fleet.resident(w.name).placement,
+            )
+            for w in workloads
+            if w.name not in skipped_names
         ]
-        if not resident:
-            return
-        joint = self._joint[machine_name].predict(resident)
-        for outcome in joint.outcomes:
-            schedule.predicted_times[outcome.workload_name] = outcome.predicted_time_s
+        return assignments, skipped
 
-    # -- internals -------------------------------------------------------
+    def best_candidate(
+        self,
+        fleet: FleetOccupancy,
+        predicted_times: Dict[str, float],
+        workload: WorkloadDescription,
+        max_threads: Optional[int] = None,
+    ) -> Tuple[Assignment, Dict[str, float]]:
+        """The makespan-minimising (machine, placement) for *workload*.
 
-    def _solo_estimate(self, workload: WorkloadDescription) -> float:
-        """Predicted solo time on the workload's best single machine."""
+        Enumerates the thread-count ladder on every machine's free
+        contexts and scores each candidate by re-predicting that
+        machine's co-schedule with the candidate added.  Selection is
+        two-phase: find the minimum predicted fleet makespan, then —
+        among candidates within ``MAKESPAN_SLACK`` (0.1%) of it — pick
+        the one minimising the workload's own predicted time, then
+        footprint.  The slack keeps a short job from sacrificing
+        itself onto a starved placement just to avoid delaying an
+        already-long co-runner by an epsilon the predictor cannot
+        resolve anyway.  Returns the winning assignment plus the joint
+        predictions of every workload on its machine.  Raises when no
+        machine can host the workload, naming it.
+        """
+        candidates: List[Tuple[float, float, int, Assignment, Dict[str, float]]] = []
+
+        for machine in self.rack.machines:
+            occupied = fleet.occupied(machine.name)
+            free = machine.n_hw_threads - len(occupied)
+            if max_threads is not None:
+                free = min(free, max_threads)
+            if free < 1:
+                continue
+            resident = fleet.co_scheduled(machine.name)
+            for n in candidate_thread_counts(free):
+                placement = free_context_placement(machine, occupied, n)
+                if placement is None:
+                    continue
+                jobs = resident + [CoScheduledWorkload(workload, placement)]
+                joint = self._joint[machine.name].predict(jobs)
+                predictions = {
+                    o.workload_name: self._remaining_in(
+                        fleet, o.workload_name, o.predicted_time_s
+                    )
+                    for o in joint.outcomes
+                }
+                makespan = self._makespan_with(predicted_times, predictions)
+                candidates.append(
+                    (
+                        makespan,
+                        predictions[workload.name],
+                        n,
+                        Assignment(workload, machine.name, placement),
+                        predictions,
+                    )
+                )
+
+        if not candidates:
+            raise ReproError(
+                f"workload {workload.name} does not fit on any rack machine"
+            )
+        floor = min(c[0] for c in candidates)
+        cutoff = floor * (1.0 + self.MAKESPAN_SLACK)
+        _, _, _, best_assignment, best_predictions = min(
+            (c for c in candidates if c[0] <= cutoff),
+            key=lambda c: (c[1], c[2], c[0]),
+        )
+        return best_assignment, best_predictions
+
+    def predict_machine(
+        self, machine_name: str, jobs: Sequence[CoScheduledWorkload]
+    ):
+        """Joint prediction of an explicit co-schedule on one machine."""
+        return self._joint[machine_name].predict(jobs)
+
+    def solo_estimate(self, workload: WorkloadDescription) -> float:
+        """Predicted solo time on the workload's best single machine.
+
+        Memoised on the name-free workload fingerprint: an arrival
+        stream of jobs cloned from one profiled description costs one
+        evaluation, not one per job.
+        """
+        memo_key = workload_fingerprint(workload)[1:]
+        cached = self._solo_estimates.get(memo_key)
+        if cached is not None:
+            return cached
         best = float("inf")
         for machine in self.rack.machines:
             placement = self._solo_placements[machine.name]
@@ -169,58 +334,68 @@ class RackScheduler:
             best = min(best, engine.best(workload, [placement]).predicted_time_s)
         if best == float("inf"):
             raise ReproError(f"workload {workload.name} fits on no rack machine")
+        self._solo_estimates[memo_key] = best
         return best
 
-    def _best_candidate(
+    # -- internals -------------------------------------------------------
+
+    def _replace(
         self,
-        schedule: RackSchedule,
+        fleet: FleetOccupancy,
+        predicted_times: Dict[str, float],
         workload: WorkloadDescription,
-        max_threads: Optional[int] = None,
-    ) -> Tuple[Assignment, Dict[str, float]]:
-        best_key: Optional[Tuple[float, float, int]] = None
-        best_assignment: Optional[Assignment] = None
-        best_predictions: Dict[str, float] = {}
+    ) -> None:
+        """Remove one workload and re-place it greedily (uncapped)."""
+        old = fleet.remove(workload.name)
+        del predicted_times[workload.name]
+        self._repredict_machine(fleet, predicted_times, old.machine_name)
+        assignment, predictions = self.best_candidate(
+            fleet, predicted_times, workload
+        )
+        fleet.place(workload, assignment.machine_name, assignment.placement)
+        predicted_times.update(predictions)
 
-        for machine in self.rack.machines:
-            occupied = schedule.occupied(machine.name)
-            free = machine.n_hw_threads - len(occupied)
-            if max_threads is not None:
-                free = min(free, max_threads)
-            if free < 1:
-                continue
-            resident = [
-                CoScheduledWorkload(a.workload, a.placement)
-                for a in schedule.assignments_on(machine.name)
-            ]
-            for n in candidate_thread_counts(free):
-                placement = free_context_placement(machine, occupied, n)
-                if placement is None:
-                    continue
-                jobs = resident + [CoScheduledWorkload(workload, placement)]
-                joint = self._joint[machine.name].predict(jobs)
-                predictions = {
-                    o.workload_name: o.predicted_time_s for o in joint.outcomes
-                }
-                makespan = self._makespan_with(schedule, machine.name, predictions)
-                key = (makespan, predictions[workload.name], n)
-                if best_key is None or key < best_key:
-                    best_key = key
-                    best_assignment = Assignment(workload, machine.name, placement)
-                    best_predictions = predictions
-
-        if best_assignment is None:
-            raise ReproError(
-                f"workload {workload.name} does not fit on any rack machine"
-            )
-        return best_assignment, best_predictions
-
-    def _makespan_with(
+    def _repredict_machine(
         self,
-        schedule: RackSchedule,
+        fleet: FleetOccupancy,
+        predicted_times: Dict[str, float],
         machine_name: str,
+    ) -> None:
+        """Refresh predictions for one machine's resident workloads."""
+        resident = fleet.co_scheduled(machine_name)
+        if not resident:
+            return
+        joint = self._joint[machine_name].predict(resident)
+        for outcome in joint.outcomes:
+            predicted_times[outcome.workload_name] = self._remaining_in(
+                fleet, outcome.workload_name, outcome.predicted_time_s
+            )
+
+    @staticmethod
+    def _remaining_in(
+        fleet: FleetOccupancy, name: str, predicted_total_s: float
+    ) -> float:
+        """A prediction in *remaining*-seconds units.
+
+        The decision core scores candidates by comparing times across
+        workloads, which is only meaningful if they share an origin: a
+        resident 90% through its run competes with its remaining tail,
+        not its full duration.  Residents are scaled by their done
+        fraction (time-driven callers advance it before admitting);
+        workloads not yet resident — batch candidates — pass through
+        unscaled, so for the offline scheduler (done == 0 everywhere)
+        this is the identity.
+        """
+        if name in fleet:
+            return (1.0 - fleet.resident(name).done_fraction) * predicted_total_s
+        return predicted_total_s
+
+    @staticmethod
+    def _makespan_with(
+        predicted_times: Dict[str, float],
         new_predictions: Dict[str, float],
     ) -> float:
-        """Predicted rack makespan if *machine_name* is re-predicted."""
-        times = dict(schedule.predicted_times)
+        """Predicted fleet makespan with one machine's times refreshed."""
+        times = dict(predicted_times)
         times.update(new_predictions)
         return max(times.values()) if times else 0.0

@@ -17,20 +17,25 @@ A workload's remaining work is tracked in normalised units so that a
 neighbour finishing early (shrinking contention) does not change its
 accounting — a deliberate simplification: re-predicting residual times
 at every event is possible but the placement decisions are what we
-study, and those only need relative comparisons.
+study, and those only need relative comparisons.  The richer
+:mod:`repro.online` service *does* re-predict at departures and can
+migrate; both schedulers share the
+:class:`~repro.rack.occupancy.FleetOccupancy` residency model, so
+their views of "what is running where" cannot drift apart.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.coscheduling import CoSchedulePredictor, CoScheduledWorkload
 from repro.core.description import WorkloadDescription
 from repro.core.placement import Placement
 from repro.errors import ReproError
 from repro.rack.model import Rack
+from repro.rack.occupancy import FleetOccupancy
 from repro.rack.scheduler import candidate_thread_counts, free_context_placement
 
 
@@ -106,14 +111,6 @@ class Timeline:
         return "\n".join(lines)
 
 
-@dataclass
-class _Running:
-    workload_name: str
-    machine_name: str
-    placement: Placement
-    end_s: float
-
-
 class TimelineScheduler:
     """Places queued workloads as machines free up.
 
@@ -134,7 +131,6 @@ class TimelineScheduler:
         self._joint = {
             m.name: CoSchedulePredictor(m.description) for m in rack.machines
         }
-        self._descriptions: Dict[str, WorkloadDescription] = {}
 
     # -- public API ------------------------------------------------------
 
@@ -150,12 +146,12 @@ class TimelineScheduler:
         for i, request in enumerate(sorted(requests, key=lambda r: r.arrival_s)):
             heapq.heappush(queue, (request.arrival_s, i, request))
 
-        running: List[_Running] = []
+        fleet = FleetOccupancy(self.rack)
         timeline = Timeline()
         now = 0.0
         pending: List[WorkloadRequest] = []
 
-        while queue or pending or running:
+        while queue or pending or len(fleet):
             # Admit everything that has arrived by `now`.
             while queue and queue[0][0] <= now:
                 pending.append(heapq.heappop(queue)[2])
@@ -163,12 +159,12 @@ class TimelineScheduler:
             # Try to start pending requests, FIFO.
             started = True
             while pending and started:
-                started = self._try_start(pending[0], running, timeline, now)
+                started = self._try_start(pending[0], fleet, timeline, now)
                 if started:
                     pending.pop(0)
 
             # Advance time to the next event.
-            next_completion = min((r.end_s for r in running), default=None)
+            next_completion = min((r.end_s for r in fleet), default=None)
             next_arrival = queue[0][0] if queue else None
             if next_completion is None and next_arrival is None:
                 if pending:
@@ -179,37 +175,27 @@ class TimelineScheduler:
                 break
             candidates = [t for t in (next_completion, next_arrival) if t is not None]
             now = min(candidates)
-            running[:] = [r for r in running if r.end_s > now]
+            for resident in [r for r in fleet if r.end_s <= now]:
+                fleet.remove(resident.name)
         return timeline
 
     # -- internals -------------------------------------------------------
 
-    def _occupied(self, running: List[_Running], machine_name: str) -> Set[int]:
-        out: Set[int] = set()
-        for r in running:
-            if r.machine_name == machine_name:
-                out.update(r.placement.hw_thread_ids)
-        return out
-
     def _try_start(
         self,
         request: WorkloadRequest,
-        running: List[_Running],
+        fleet: FleetOccupancy,
         timeline: Timeline,
         now: float,
     ) -> bool:
         best: Optional[Tuple[float, int]] = None
         chosen: Optional[Tuple[str, Placement, float]] = None
         for machine in self.rack.machines:
-            occupied = self._occupied(running, machine.name)
+            occupied = fleet.occupied(machine.name)
             free = machine.n_hw_threads - len(occupied)
             if free < self.min_threads:
                 continue
-            residents = [
-                CoScheduledWorkload(self._description_of(r, timeline), r.placement)
-                for r in running
-                if r.machine_name == machine.name
-            ]
+            residents = fleet.co_scheduled(machine.name)
             for n in candidate_thread_counts(free):
                 if n < self.min_threads:
                     continue
@@ -226,13 +212,13 @@ class TimelineScheduler:
         if chosen is None:
             return False
         machine_name, placement, duration = chosen
-        running.append(
-            _Running(
-                workload_name=request.description.name,
-                machine_name=machine_name,
-                placement=placement,
-                end_s=now + duration,
-            )
+        fleet.place(
+            request.description,
+            machine_name,
+            placement,
+            start_s=now,
+            end_s=now + duration,
+            predicted_total_s=duration,
         )
         timeline.entries.append(
             TimelineEntry(
@@ -244,13 +230,4 @@ class TimelineScheduler:
                 end_s=now + duration,
             )
         )
-        self._descriptions[request.description.name] = request.description
         return True
-
-    def _description_of(self, running: _Running, timeline: Timeline) -> WorkloadDescription:
-        try:
-            return self._descriptions[running.workload_name]
-        except KeyError:
-            raise ReproError(
-                f"lost the description of running workload {running.workload_name!r}"
-            ) from None

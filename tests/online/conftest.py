@@ -1,0 +1,45 @@
+"""Shared fixtures for the online-scheduler tests.
+
+The rack is two identical TESTBOX nodes — small enough that joint
+predictions stay fast, big enough that placement choices matter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.description import DemandVector, WorkloadDescription
+from repro.rack.model import Rack, RackMachine
+
+
+@pytest.fixture(scope="package")
+def rack(request):
+    testbox = request.getfixturevalue("testbox")
+    testbox_md = request.getfixturevalue("testbox_md")
+    return Rack(
+        machines=(
+            RackMachine("node-0", testbox, testbox_md),
+            RackMachine("node-1", testbox, testbox_md),
+        )
+    )
+
+
+def make_description(name, inst=4.0, dram=2.0, p=0.98, t1=20.0):
+    return WorkloadDescription(
+        name=name,
+        machine_name="TESTBOX",
+        t1=t1,
+        demands=DemandVector(inst_rate=inst, cache_bw={"L1": 20.0}, dram_bw=dram),
+        parallel_fraction=p,
+        load_balance=0.8,
+    )
+
+
+@pytest.fixture(scope="package")
+def pool():
+    """A small mixed pool: one DRAM hog, one compute job, one middle."""
+    return [
+        make_description("mem", inst=2.0, dram=18.0),
+        make_description("cpu", inst=6.0, dram=0.5, t1=8.0),
+        make_description("mid"),
+    ]

@@ -1,0 +1,154 @@
+"""Tests for the shared fleet occupancy/residency model."""
+
+import math
+
+import pytest
+
+from repro.core.description import DemandVector, WorkloadDescription
+from repro.errors import PlacementError, ReproError
+from repro.rack.model import Rack, RackMachine
+from repro.rack.occupancy import FleetOccupancy
+from repro.rack.scheduler import free_context_placement
+
+
+@pytest.fixture(scope="module")
+def rack(request):
+    testbox = request.getfixturevalue("testbox")
+    testbox_md = request.getfixturevalue("testbox_md")
+    return Rack(
+        machines=(
+            RackMachine("node-0", testbox, testbox_md),
+            RackMachine("node-1", testbox, testbox_md),
+        )
+    )
+
+
+def desc(name):
+    return WorkloadDescription(
+        name=name,
+        machine_name="TESTBOX",
+        t1=20.0,
+        demands=DemandVector(inst_rate=4.0, cache_bw={"L1": 20.0}, dram_bw=2.0),
+        parallel_fraction=0.98,
+        load_balance=0.8,
+    )
+
+
+def placement_on(rack, machine_name, occupied, n):
+    return free_context_placement(rack.machine(machine_name), occupied, n)
+
+
+class TestPlaceRemove:
+    def test_place_tracks_contexts(self, rack):
+        fleet = FleetOccupancy(rack)
+        placement = placement_on(rack, "node-0", set(), 4)
+        fleet.place(desc("w"), "node-0", placement)
+        assert fleet.occupied("node-0") == set(placement.hw_thread_ids)
+        assert fleet.free_contexts("node-0") == 12
+        assert fleet.total_free_contexts() == 28
+        assert fleet.occupied_total() == 4
+        assert fleet.utilisation() == pytest.approx(4 / 32)
+        assert "w" in fleet and len(fleet) == 1
+
+    def test_remove_frees_contexts(self, rack):
+        fleet = FleetOccupancy(rack)
+        fleet.place(desc("w"), "node-0", placement_on(rack, "node-0", set(), 4))
+        resident = fleet.remove("w")
+        assert resident.name == "w"
+        assert fleet.occupied("node-0") == set()
+        assert "w" not in fleet
+        with pytest.raises(ReproError, match="not resident"):
+            fleet.remove("w")
+
+    def test_duplicate_name_rejected(self, rack):
+        fleet = FleetOccupancy(rack)
+        fleet.place(desc("w"), "node-0", placement_on(rack, "node-0", set(), 2))
+        with pytest.raises(ReproError, match="already resident"):
+            fleet.place(
+                desc("w"), "node-1", placement_on(rack, "node-1", set(), 2)
+            )
+
+    def test_overlap_names_machine_and_threads(self, rack):
+        fleet = FleetOccupancy(rack)
+        placement = placement_on(rack, "node-0", set(), 2)
+        fleet.place(desc("a"), "node-0", placement)
+        with pytest.raises(PlacementError, match="node-0"):
+            fleet.place(desc("b"), "node-0", placement)
+
+    def test_restore_preserves_timing_fields(self, rack):
+        fleet = FleetOccupancy(rack)
+        placement = placement_on(rack, "node-0", set(), 2)
+        fleet.place(
+            desc("w"), "node-0", placement,
+            start_s=1.0, end_s=11.0, predicted_total_s=10.0,
+        )
+        removed = fleet.remove("w")
+        removed.advance_to(6.0)
+        fleet.restore(removed)
+        resident = fleet.resident("w")
+        assert resident.start_s == 1.0
+        assert resident.done_fraction == pytest.approx(0.5)
+        assert fleet.occupied("node-0") == set(placement.hw_thread_ids)
+
+
+class TestQueries:
+    def test_insertion_order_is_stable(self, rack):
+        fleet = FleetOccupancy(rack)
+        taken = set()
+        for i, name in enumerate(["c", "a", "b"]):
+            placement = placement_on(rack, "node-0", taken, 2)
+            fleet.place(desc(name), "node-0", placement)
+            taken |= set(placement.hw_thread_ids)
+        assert [r.name for r in fleet.residents()] == ["c", "a", "b"]
+        assert [r.name for r in fleet.residents_on("node-0")] == ["c", "a", "b"]
+        assert [c.description.name for c in fleet.co_scheduled("node-0")] == [
+            "c", "a", "b",
+        ]
+
+    def test_unknown_machine_rejected(self, rack):
+        fleet = FleetOccupancy(rack)
+        with pytest.raises(ReproError, match="no rack machine"):
+            fleet.residents_on("node-9")
+
+
+class TestResidentTiming:
+    def test_progress_accrues_under_prediction(self, rack):
+        fleet = FleetOccupancy(rack)
+        resident = fleet.place(
+            desc("w"), "node-0", placement_on(rack, "node-0", set(), 2),
+            start_s=0.0, end_s=10.0, predicted_total_s=10.0,
+        )
+        assert resident.progress_at(5.0) == pytest.approx(0.5)
+        resident.advance_to(5.0)
+        assert resident.done_fraction == pytest.approx(0.5)
+
+    def test_retime_preserves_progress_fraction(self, rack):
+        fleet = FleetOccupancy(rack)
+        resident = fleet.place(
+            desc("w"), "node-0", placement_on(rack, "node-0", set(), 2),
+            start_s=0.0, end_s=10.0, predicted_total_s=10.0,
+        )
+        # Half done at t=5; the new prediction says 4s total, so the
+        # remaining half takes 2s more.
+        resident.retime(5.0, 4.0)
+        assert resident.end_s == pytest.approx(7.0)
+
+    def test_time_cannot_go_backwards(self, rack):
+        fleet = FleetOccupancy(rack)
+        resident = fleet.place(
+            desc("w"), "node-0", placement_on(rack, "node-0", set(), 2),
+            start_s=5.0, end_s=15.0, predicted_total_s=10.0,
+        )
+        with pytest.raises(ReproError, match="backwards"):
+            resident.advance_to(1.0)
+        with pytest.raises(ReproError, match="positive"):
+            resident.retime(6.0, 0.0)
+
+    def test_batch_defaults_are_inert(self, rack):
+        fleet = FleetOccupancy(rack)
+        resident = fleet.place(
+            desc("w"), "node-0", placement_on(rack, "node-0", set(), 2)
+        )
+        assert resident.end_s == math.inf
+        resident.advance_to(100.0)  # infinite prediction: no progress
+        assert resident.done_fraction == 0.0

@@ -91,6 +91,21 @@ class TestFreeContextPlacement:
         assert candidate_thread_counts(5) == [1, 2, 4, 5]
         assert candidate_thread_counts(1) == [1]
 
+    def test_zero_free_contexts_yield_no_candidates(self):
+        """A full machine degrades to an empty ladder, not a crash."""
+        assert candidate_thread_counts(0) == []
+
+    def test_negative_free_count_is_a_caller_bug(self):
+        with pytest.raises(ReproError, match="negative"):
+            candidate_thread_counts(-1)
+
+    def test_placement_of_zero_threads_names_the_machine(self, rack):
+        machine = rack.machines[0]
+        with pytest.raises(ReproError, match="node-0.*at least one thread"):
+            free_context_placement(machine, occupied=set(), n_threads=0)
+        with pytest.raises(ReproError, match="node-0"):
+            free_context_placement(machine, occupied=set(), n_threads=-3)
+
 
 class TestScheduler:
     def test_two_workloads_spread_over_machines(self, rack):
@@ -157,15 +172,19 @@ class TestSchedulerInternals:
         )
 
     def test_repredict_after_removal_updates_residents(self, rack):
+        from repro.rack.occupancy import FleetOccupancy
+
         scheduler = RackScheduler(rack)
         a = make_description("ra", inst=2.0, dram=20.0)
         b = make_description("rb", inst=2.0, dram=20.0)
-        schedule = scheduler.schedule([a, b])
-        before = dict(schedule.predicted_times)
+        fleet = FleetOccupancy(rack)
+        predicted_times = {}
+        scheduler.admit_batch(fleet, predicted_times, [a, b])
+        before = dict(predicted_times)
         # Remove one workload: its machine's residents must be
         # re-predicted (less contention -> not slower).
-        scheduler._replace(schedule, a)
-        assert schedule.predicted_times["rb"] <= before["rb"] * 1.05
+        scheduler._replace(fleet, predicted_times, a)
+        assert predicted_times["rb"] <= before["rb"] * 1.05
 
 
 class TestValidation:

@@ -127,3 +127,71 @@ class TestObservabilityDocumented:
         assert "--trace-out trace.json" in ci
         assert "validate_chrome_trace_file" in ci
         assert "path: trace.json" in ci
+
+
+class TestOnlineDocumented:
+    """docs/online.md tracks the online scheduling service."""
+
+    SPANS = (
+        "online.run",
+        "online.admit",
+        "online.departure",
+        "online.migrate",
+    )
+    HISTOGRAMS = (
+        "online.decision_us",
+        "online.queue_depth",
+        "online.slowdown",
+    )
+
+    def test_emitted_names_are_documented(self):
+        online = (REPO / "docs" / "online.md").read_text()
+        observability = (REPO / "docs" / "observability.md").read_text()
+        for name in self.SPANS + self.HISTOGRAMS:
+            assert name in online, f"{name!r} missing from docs/online.md"
+            assert name in observability, (
+                f"{name!r} missing from docs/observability.md"
+            )
+
+    def test_every_policy_is_documented(self):
+        from repro.online import policy_names
+
+        text = (REPO / "docs" / "online.md").read_text()
+        for name in policy_names():
+            assert f"`{name}`" in text, (
+                f"policy {name!r} missing from docs/online.md"
+            )
+
+    def test_api_and_model_docs_cross_link(self):
+        for doc in ("api.md", "model.md"):
+            text = (REPO / "docs" / doc).read_text()
+            assert "online.md" in text, (
+                f"docs/{doc} does not link docs/online.md"
+            )
+
+    def test_readme_mentions_the_subsystem(self):
+        readme = (REPO / "README.md").read_text()
+        assert "online/" in readme
+        assert "pandia online" in readme
+
+    def test_cli_exposes_the_documented_flags(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions if a.__class__.__name__ == "_SubParsersAction"
+        )
+        option_strings = {
+            opt
+            for action in subparsers.choices["online"]._actions
+            for opt in action.option_strings
+        }
+        for flag in ("--jobs", "--rate", "--pattern", "--policy", "--seed",
+                     "--migrate", "--hysteresis", "--json", "--trace",
+                     "--trace-out", "--metrics"):
+            assert flag in option_strings, f"{flag} missing from `pandia online`"
+
+    def test_ci_runs_and_uploads_the_online_bench(self):
+        ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+        assert "bench_rack_online.py --quick" in ci
+        assert "BENCH_rack_online.json" in ci

@@ -36,6 +36,18 @@ class TestTopLevelImports:
             validate_schedule,
             validate_timeline,
         )
+        from repro.rack import FleetOccupancy, Resident
+        from repro.online import (
+            ArrivalTrace,
+            EventLoop,
+            OnlineScheduler,
+            PlacementPolicy,
+            diurnal_trace,
+            get_policy,
+            policy_names,
+            poisson_trace,
+            replay_trace,
+        )
         from repro.perf import parse_perf_stat, pinned_run_command
         from repro.fit import Observation, fit_workload_spec
         from repro.io import DescriptionStore
