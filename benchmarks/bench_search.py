@@ -14,15 +14,23 @@ multi-core hosts ``--workers N`` additionally fans misses out over a
 process pool.  Golden equivalence (identical best placement, times
 within 1e-12) is asserted on every run.
 
+A second section measures the **warm-start session**: a greedy
+hill-climb on X2-4 at fixed-point tolerance 1e-13 (the regime warm
+starts target), run cold and warm over MD and Art, comparing total
+fixed-point iterations.  ``--assert-warm-savings`` turns the measured
+saving into a hard gate (>= 30%, the ISSUE's acceptance bar) for CI.
+
 Usage::
 
     python benchmarks/bench_search.py            # full: X2-4, 3 workloads
     python benchmarks/bench_search.py --quick    # CI smoke: TESTBOX, 1 workload
+    python benchmarks/bench_search.py --warm-only --assert-warm-savings
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional, Sequence
@@ -39,11 +47,21 @@ from repro.core.sweep import packed_placement, spread_placement
 from repro.core.workload_desc import WorkloadDescriptionGenerator
 from repro.hardware import machines
 from repro.search import SearchEngine
+from repro.search.strategies import GreedyHillClimbStrategy
 from repro.sim.noise import NO_NOISE
 from repro.workloads import catalog
 
 TOLERANCES = (0.02, 0.05, 0.10)
 GOLDEN_TOL = 1e-12
+
+#: Warm-session configuration.  X2-4 × (MD, Art) at 1e-13: MD is the
+#: paper's headline workload, Art the memory-contended one where the
+#: settle is long and warm seeds pay off; at looser tolerances cold
+#: converges in a handful of iterations and there is nothing to save.
+WARM_MACHINE = "X2-4"
+WARM_WORKLOADS = ("MD", "Art")
+WARM_TOLERANCE = 1e-13
+WARM_SAVINGS_TARGET = 0.30
 
 
 def full_sweep(topology) -> List:
@@ -140,6 +158,65 @@ def run(machine_name: str, workload_names: Sequence[str], repeats: int,
     return worst_speedup
 
 
+def warm_run() -> Optional[dict]:
+    """Hill-climb sessions cold vs warm; returns the measurement record
+    or ``None`` when the warm/cold sessions disagree (a golden failure)."""
+    spec = machines.get(WARM_MACHINE)
+    md = generate_machine_description(spec, noise=NO_NOISE)
+    generator = WorkloadDescriptionGenerator(spec, md, noise=NO_NOISE)
+    print(
+        f"warm-start session: {WARM_MACHINE}, hill-climb at "
+        f"tolerance {WARM_TOLERANCE:g}, workloads {', '.join(WARM_WORKLOADS)}"
+    )
+    record = {"machine": WARM_MACHINE, "tolerance": WARM_TOLERANCE,
+              "workloads": {}}
+    totals = {False: 0, True: 0}
+    for name in WARM_WORKLOADS:
+        workload = generator.generate(catalog.get(name))
+        iters, elapsed, best = {}, {}, {}
+        for warm in (False, True):
+            predictor = PandiaPredictor(md, tolerance=WARM_TOLERANCE)
+            with SearchEngine(predictor, warm_start=warm) as engine:
+                t0 = time.perf_counter()
+                result = engine.search(workload, GreedyHillClimbStrategy())
+                elapsed[warm] = time.perf_counter() - t0
+                iters[warm] = engine.stats.fixed_point_iterations
+                best[warm] = result.best
+            totals[warm] += iters[warm]
+        if (
+            best[True].placement.canonical_key()
+            != best[False].placement.canonical_key()
+            or abs(
+                best[True].prediction.predicted_time_s
+                - best[False].prediction.predicted_time_s
+            )
+            > GOLDEN_TOL
+        ):
+            print(f"ERROR: {name}: warm session diverged from cold")
+            return None
+        saving = 1.0 - iters[True] / iters[False]
+        record["workloads"][name] = {
+            "cold_iterations": iters[False],
+            "warm_iterations": iters[True],
+            "saving": saving,
+        }
+        print(
+            f"  {name:6s} cold {iters[False]:5d} iters "
+            f"({elapsed[False] * 1e3:7.1f} ms)   "
+            f"warm {iters[True]:5d} iters ({elapsed[True] * 1e3:7.1f} ms)   "
+            f"saving {saving:5.1%}"
+        )
+    aggregate = 1.0 - totals[True] / totals[False]
+    record["cold_iterations"] = totals[False]
+    record["warm_iterations"] = totals[True]
+    record["saving"] = aggregate
+    print(
+        f"aggregate fixed-point iterations: cold {totals[False]}, "
+        f"warm {totals[True]}, saving {aggregate:.1%}"
+    )
+    return record
+
+
 def _timed(fn, *args):
     t0 = time.perf_counter()
     fn(*args)
@@ -166,6 +243,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="collect repro.obs spans during the engine "
                              "sessions and write a Chrome trace to FILE "
                              "(adds tracing overhead to reported timings)")
+    parser.add_argument("--warm-only", action="store_true",
+                        help="run only the warm-start session benchmark")
+    parser.add_argument("--assert-warm-savings", action="store_true",
+                        help="fail unless the warm-start session saves "
+                             f">= {WARM_SAVINGS_TARGET:.0%} of the cold "
+                             "session's fixed-point iterations")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="write the warm-session measurement record "
+                             "to FILE")
     args = parser.parse_args(argv)
 
     if args.trace_out:
@@ -180,9 +266,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         machine = args.machine or "X2-4"  # largest: 4 sockets, 80 hw threads
         workloads, repeats = ("MD", "CG", "Swim"), args.repeats or 3
 
-    worst = run(machine, workloads, repeats, args.workers or None)
-    if worst < 0:
-        return 1
+    worst = None
+    if not args.warm_only:
+        worst = run(machine, workloads, repeats, args.workers or None)
+        if worst < 0:
+            return 1
+
+    warm_record = None
+    if args.warm_only or args.assert_warm_savings or not args.quick:
+        warm_record = warm_run()
+        if warm_record is None:
+            return 1
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(warm_record, fh, indent=2)
+            print(f"wrote warm-session record to {args.json}")
+        if args.assert_warm_savings:
+            saving = warm_record["saving"]
+            if saving < WARM_SAVINGS_TARGET:
+                print(
+                    f"ERROR: warm-start saving {saving:.1%} below the "
+                    f"{WARM_SAVINGS_TARGET:.0%} target"
+                )
+                return 1
+            print(
+                f"warm-start saving {saving:.1%} meets the "
+                f"{WARM_SAVINGS_TARGET:.0%} target"
+            )
+    if worst is None:
+        return 0
     if args.trace_out:
         from repro import obs
         from repro.obs.export import validate_chrome_trace_file, write_chrome_trace

@@ -172,11 +172,18 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         strategy = GreedyHillClimbStrategy()
     else:
         strategy = ExhaustiveStrategy(sample=args.max_placements, seed=0)
+    store = None
+    if args.store:
+        from repro.io import PredictionStore
+
+        store = PredictionStore(args.store)
     with SearchEngine(
         predictor,
         max_workers=args.workers if args.workers > 1 else None,
         executor="process" if args.workers > 1 else "thread",
         chunk_size=args.chunk_size,
+        warm_start=args.warm_start,
+        store=store,
     ) as engine:
         result = engine.search(wd, strategy)
         placements = [r.placement for r in result.ranked]  # all cache hits below
@@ -352,9 +359,14 @@ def cmd_online(args: argparse.Namespace) -> int:
         raise ReproError(
             f"unknown policy {args.policy!r}; known: {', '.join(policy_names())}"
         )
+    store = None
+    if args.store:
+        from repro.io import PredictionStore
+
+        store = PredictionStore(args.store)
     scheduler = OnlineScheduler(
         rack, policy=args.policy, migrate=args.migrate,
-        hysteresis=args.hysteresis,
+        hysteresis=args.hysteresis, store=store,
     )
     result = scheduler.run(trace)
     print(result.summary())
@@ -490,6 +502,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="placements per pool work unit")
     p.add_argument("--stats", action="store_true",
                    help="print search-engine cache/dedup statistics")
+    p.add_argument("--warm-start", action="store_true",
+                   help="warm-start refine rounds from the best placement's "
+                        "converged state (same results, fewer iterations)")
+    p.add_argument("--store", metavar="DIR",
+                   help="persist predictions under DIR and reuse them on "
+                        "later runs (reported as store hits in --stats)")
     add_trace_flags(p)
     p.set_defaults(func=cmd_optimize)
 
@@ -562,6 +580,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="minimum relative makespan gain to migrate")
     p.add_argument("--json", metavar="PATH",
                    help="write the run record to PATH")
+    p.add_argument("--store", metavar="DIR",
+                   help="persist joint predictions under DIR and reuse them "
+                        "across runs (identical results, fewer predictions)")
     add_trace_flags(p)
     p.set_defaults(func=cmd_online)
 

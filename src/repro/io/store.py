@@ -28,6 +28,23 @@ from repro.io.serialization import (
 )
 
 
+def _read_description(path: Path, parse: Callable[[str], object]):
+    """Parse one stored description, naming the file on any failure.
+
+    A corrupt or truncated file raises :class:`ModelError` with the
+    offending path — never a bare ``json`` decode error — so a user can
+    tell *which* file to delete and regenerate.
+    """
+    try:
+        return parse(path.read_text())
+    except ModelError as exc:
+        raise ModelError(f"corrupt description at {path}: {exc}") from exc
+    except (ValueError, KeyError, TypeError, AttributeError) as exc:
+        # AttributeError covers a well-formed JSON document of the
+        # wrong shape (e.g. a list where an object is expected).
+        raise ModelError(f"corrupt description at {path}: {exc}") from exc
+
+
 def _safe_name(name: str) -> str:
     """File-system-safe version of a machine or workload name."""
     cleaned = "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
@@ -67,7 +84,7 @@ class DescriptionStore:
         path = self.machine_path(machine_name)
         if not path.exists():
             raise ModelError(f"no stored machine description at {path}")
-        return machine_description_from_json(path.read_text())
+        return _read_description(path, machine_description_from_json)
 
     def get_or_measure(
         self, machine_name: str, measure: Callable[[], MachineDescription]
@@ -75,7 +92,7 @@ class DescriptionStore:
         """Load the stored description, or measure and store it."""
         path = self.machine_path(machine_name)
         if path.exists():
-            return machine_description_from_json(path.read_text())
+            return _read_description(path, machine_description_from_json)
         md = measure()
         if md.machine_name != machine_name:
             raise ModelError(
@@ -97,7 +114,7 @@ class DescriptionStore:
         path = self.workload_path(machine_name, workload_name)
         if not path.exists():
             raise ModelError(f"no stored workload description at {path}")
-        return description_from_json(path.read_text())
+        return _read_description(path, description_from_json)
 
     def get_or_profile(
         self,
@@ -108,7 +125,7 @@ class DescriptionStore:
         """Load the stored description, or profile and store it."""
         path = self.workload_path(machine_name, workload_name)
         if path.exists():
-            return description_from_json(path.read_text())
+            return _read_description(path, description_from_json)
         wd = profile()
         if wd.name != workload_name or wd.machine_name != machine_name:
             raise ModelError(

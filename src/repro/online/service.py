@@ -319,6 +319,12 @@ class OnlineScheduler:
         Minimum *relative* predicted-makespan improvement before a
         migration commits (0.1 = move only for a >10% win).  Guards
         against churn from prediction jitter.
+    store:
+        Optional :class:`repro.io.PredictionStore` shared with the
+        decision core: departure re-predictions and candidate scoring
+        reuse joint predictions across events and across sessions.
+        Results are identical with a warm or cold store — the store
+        returns exactly what the predictor computed.
     """
 
     def __init__(
@@ -327,11 +333,12 @@ class OnlineScheduler:
         policy: Union[str, PlacementPolicy] = "predicted-slowdown",
         migrate: bool = False,
         hysteresis: float = 0.1,
+        store=None,
     ) -> None:
         if hysteresis < 0:
             raise ReproError("hysteresis cannot be negative")
         self.rack = rack
-        self.core = RackScheduler(rack)
+        self.core = RackScheduler(rack, store=store)
         self.policy = get_policy(policy) if isinstance(policy, str) else policy
         self.policy.bind(self.core)
         self.migrate = migrate
@@ -412,6 +419,7 @@ class OnlineScheduler:
 
         wall_time = time.perf_counter() - wall_start
         stats.inc("wall_time_s", wall_time)
+        self.core.flush_store()
         makespan = max((e.end_s for e in timeline.entries), default=0.0)
         utilisation = (
             busy_thread_seconds / (self.rack.total_hw_threads * makespan)

@@ -29,11 +29,17 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
-from repro.core.coscheduling import CoSchedulePredictor, CoScheduledWorkload
+from repro.core.coscheduling import (
+    CoSchedulePrediction,
+    CoSchedulePredictor,
+    CoScheduledWorkload,
+    WorkloadOutcome,
+)
 from repro.core.description import WorkloadDescription
 from repro.core.placement import Placement
 from repro.core.predictor import PandiaPredictor
 from repro.errors import ReproError
+from repro.io.prediction_store import fingerprint_digest, machine_digest
 from repro.rack.model import Assignment, Rack, RackMachine, RackSchedule
 from repro.rack.occupancy import FleetOccupancy
 from repro.search.canonical import workload_fingerprint
@@ -107,8 +113,9 @@ class RackScheduler:
     #: short jobs to protect an epsilon of makespan.
     MAKESPAN_SLACK = 1e-3
 
-    def __init__(self, rack: Rack) -> None:
+    def __init__(self, rack: Rack, *, store=None, warm_start: bool = False) -> None:
         self.rack = rack
+        self.store = store
         self._joint = {
             m.name: CoSchedulePredictor(m.description) for m in rack.machines
         }
@@ -117,10 +124,20 @@ class RackScheduler:
         }
         # Solo estimates go through search engines: racks of identical
         # nodes and repeated schedule() calls re-ask for the same
-        # (workload, shape) predictions, which the cache absorbs.
+        # (workload, shape) predictions, which the cache absorbs.  The
+        # shared store (if any) carries them across sessions, and
+        # ``warm_start`` lets refine-style evaluations seed from
+        # converged neighbours.
         self._solo_search = {
-            name: SearchEngine(predictor) for name, predictor in self._solo.items()
+            name: SearchEngine(predictor, store=store, warm_start=warm_start)
+            for name, predictor in self._solo.items()
         }
+        # Store digests, built lazily: machine digests hash the model
+        # content (a re-measured node invalidates its records), joint
+        # workload digests are name-free so renamed arrival-stream
+        # clones share records.
+        self._machine_digests: Dict[str, str] = {}
+        self._joint_w_digests: Dict[Tuple, str] = {}
         # The solo reference placement depends only on the machine, so
         # build it once per machine instead of once per estimate.
         self._solo_placements = {
@@ -175,6 +192,7 @@ class RackScheduler:
             ],
             predicted_times=predicted_times,
         )
+        self.flush_store()
         return schedule
 
     # -- the shared decision core ----------------------------------------
@@ -278,7 +296,7 @@ class RackScheduler:
                 if placement is None:
                     continue
                 jobs = resident + [CoScheduledWorkload(workload, placement)]
-                joint = self._joint[machine.name].predict(jobs)
+                joint = self._joint_predict(machine.name, jobs)
                 predictions = {
                     o.workload_name: self._remaining_in(
                         fleet, o.workload_name, o.predicted_time_s
@@ -312,7 +330,7 @@ class RackScheduler:
         self, machine_name: str, jobs: Sequence[CoScheduledWorkload]
     ):
         """Joint prediction of an explicit co-schedule on one machine."""
-        return self._joint[machine_name].predict(jobs)
+        return self._joint_predict(machine_name, jobs)
 
     def solo_estimate(self, workload: WorkloadDescription) -> float:
         """Predicted solo time on the workload's best single machine.
@@ -337,7 +355,71 @@ class RackScheduler:
         self._solo_estimates[memo_key] = best
         return best
 
+    def flush_store(self) -> None:
+        """Persist pending store records (no-op without a store)."""
+        if self.store is not None:
+            self.store.flush()
+
     # -- internals -------------------------------------------------------
+
+    def _joint_predict(
+        self, machine_name: str, jobs: Sequence[CoScheduledWorkload]
+    ) -> CoSchedulePrediction:
+        """One machine's joint prediction, through the store when set.
+
+        Records are keyed name-free — each job contributes its
+        fingerprint digest (name stripped, so arrival-stream clones of
+        one profiled description share records) plus its concrete
+        thread ids — and outcomes are re-labelled with the requesting
+        jobs' names on a hit.  Without a store this is exactly
+        ``CoSchedulePredictor.predict``.
+        """
+        if self.store is None:
+            return self._joint[machine_name].predict(jobs)
+        m_digest = self._machine_digests.get(machine_name)
+        if m_digest is None:
+            m_digest = self._machine_digests[machine_name] = machine_digest(
+                self.rack.machine(machine_name).description
+            )
+        w_digests = []
+        for job in jobs:
+            nameless = workload_fingerprint(job.description)[1:]
+            digest = self._joint_w_digests.get(nameless)
+            if digest is None:
+                digest = self._joint_w_digests[nameless] = fingerprint_digest(
+                    nameless
+                )
+            w_digests.append(digest)
+        entries = sorted(
+            range(len(jobs)),
+            key=lambda i: (w_digests[i], jobs[i].placement.hw_thread_ids),
+        )
+        key = tuple(
+            (w_digests[i], tuple(jobs[i].placement.hw_thread_ids))
+            for i in entries
+        )
+        stored = self.store.get_joint(m_digest, key)
+        if stored is not None:
+            outcomes: List[Optional[WorkloadOutcome]] = [None] * len(jobs)
+            for pos, i in enumerate(entries):
+                o = stored.outcomes[pos]
+                outcomes[i] = WorkloadOutcome(
+                    workload_name=jobs[i].description.name,
+                    amdahl=o.amdahl,
+                    speedup=o.speedup,
+                    predicted_time_s=o.predicted_time_s,
+                    slowdowns=o.slowdowns,
+                )
+            return CoSchedulePrediction(
+                outcomes=outcomes,
+                iterations=stored.iterations,
+                converged=stored.converged,
+                resource_loads=stored.resource_loads,
+                resource_capacities=stored.resource_capacities,
+            )
+        prediction = self._joint[machine_name].predict(jobs)
+        self.store.put_joint(m_digest, key, prediction, entries)
+        return prediction
 
     def _replace(
         self,
@@ -365,7 +447,7 @@ class RackScheduler:
         resident = fleet.co_scheduled(machine_name)
         if not resident:
             return
-        joint = self._joint[machine_name].predict(resident)
+        joint = self._joint_predict(machine_name, resident)
         for outcome in joint.outcomes:
             predicted_times[outcome.workload_name] = self._remaining_in(
                 fleet, outcome.workload_name, outcome.predicted_time_s

@@ -50,7 +50,12 @@ from repro import obs
 
 from repro.core.description import WorkloadDescription
 from repro.core.placement import Placement
-from repro.core.predictor import PandiaPredictor, Prediction
+from repro.core.predictor import (
+    WARM_MIN_SEED_ITERATIONS,
+    PandiaPredictor,
+    Prediction,
+    SeedState,
+)
 from repro.errors import PredictionError
 from repro.search.cache import PredictionCache
 from repro.search.canonical import canonical_key, workload_fingerprint
@@ -73,21 +78,30 @@ def _process_worker_init(md, max_iterations: int, tolerance: float) -> None:
 
 
 def _chunk_predictions(
-    predictor, workload: WorkloadDescription, placements: Sequence[Placement]
+    predictor,
+    workload: WorkloadDescription,
+    placements: Sequence[Placement],
+    seed: Optional[SeedState] = None,
 ) -> List[Prediction]:
     """Predict a chunk, through the batch kernel when available.
 
     Duck-typed so the engine still accepts any object with a scalar
     ``predict``; the real :class:`PandiaPredictor` exposes
     ``predict_batch``, which runs the whole chunk as one vectorised
-    fixed point and matches the scalar path to 1e-12.
+    fixed point and matches the scalar path to 1e-12.  *seed*
+    warm-starts the whole chunk; it is only forwarded when set, so
+    duck-typed predictors without the parameter keep working cold.
     """
     batch = getattr(predictor, "predict_batch", None)
     if batch is not None:
         # Even single-placement chunks go through the kernel: its
         # results are bit-identical regardless of chunk composition,
         # so every pool/chunk configuration returns the same floats.
+        if seed is not None:
+            return batch(workload, placements, seed=seed)
         return batch(workload, placements)
+    if seed is not None:
+        return [predictor.predict(workload, p, seed=seed) for p in placements]
     return [predictor.predict(workload, p) for p in placements]
 
 
@@ -95,6 +109,7 @@ def _process_worker_chunk(
     workload: WorkloadDescription,
     placements: Sequence[Placement],
     obs_parent: Optional[str] = None,
+    seed: Optional[SeedState] = None,
 ):
     """Pool-worker task: predict one chunk, optionally under tracing.
 
@@ -106,7 +121,7 @@ def _process_worker_chunk(
     """
     assert _WORKER_PREDICTOR is not None, "worker initializer did not run"
     if obs_parent is None:
-        return _chunk_predictions(_WORKER_PREDICTOR, workload, placements)
+        return _chunk_predictions(_WORKER_PREDICTOR, workload, placements, seed)
     obs.begin_worker()
     with obs.span(
         "search.chunk",
@@ -114,7 +129,9 @@ def _process_worker_chunk(
         placements=len(placements),
         worker_pid=os.getpid(),
     ):
-        predictions = _chunk_predictions(_WORKER_PREDICTOR, workload, placements)
+        predictions = _chunk_predictions(
+            _WORKER_PREDICTOR, workload, placements, seed
+        )
     return predictions, obs.collect_worker()
 
 
@@ -123,10 +140,11 @@ def _traced_chunk(
     workload: WorkloadDescription,
     placements: Sequence[Placement],
     obs_parent: Optional[str],
+    seed: Optional[SeedState] = None,
 ) -> List[Prediction]:
     """Thread-pool task wrapper: same chunk, spanned under *obs_parent*."""
     with obs.span("search.chunk", parent=obs_parent, placements=len(placements)):
-        return _chunk_predictions(predictor, workload, placements)
+        return _chunk_predictions(predictor, workload, placements, seed)
 
 
 @dataclass
@@ -182,6 +200,24 @@ class SearchEngine:
         Number of placements per pool work unit.
     cache_size:
         LRU capacity in predictions.
+    warm_start:
+        When true, refine-round evaluations warm-start from the current
+        best placement's converged :class:`SeedState` (and callers may
+        pass seeds to :meth:`evaluate` explicitly).  Results match cold
+        runs within the predictor's equivalence tolerance; only the
+        iteration count changes.  Off by default.
+    store:
+        An optional :class:`repro.io.PredictionStore`.  Cache misses
+        probe the store before running the predictor, and fresh
+        predictions are written back (flushed on :meth:`close` and
+        after every :meth:`search`), so searches survive across
+        sessions.  Store hits count as cache hits plus ``store_hits``
+        in :class:`~repro.search.stats.SearchStats`.
+    warm_min_iterations:
+        Seeds whose source converged in fewer iterations are ignored —
+        warm-starting cannot beat a fixed point that already stops in
+        ~2 iterations (the first iteration is always paid to reproduce
+        the cold slowdown cap).
     """
 
     #: Shared per-predictor engines handed out by :meth:`shared`, so the
@@ -196,6 +232,9 @@ class SearchEngine:
         executor: str = "thread",
         chunk_size: int = 16,
         cache_size: int = 65536,
+        warm_start: bool = False,
+        store=None,
+        warm_min_iterations: int = WARM_MIN_SEED_ITERATIONS,
     ) -> None:
         if executor not in ("thread", "process"):
             raise PredictionError(f"unknown executor kind {executor!r}")
@@ -209,6 +248,11 @@ class SearchEngine:
         self.chunk_size = chunk_size
         self.cache: PredictionCache[Prediction] = PredictionCache(cache_size)
         self.stats = SearchStats()
+        self.warm_start = warm_start
+        self.warm_min_iterations = warm_min_iterations
+        self.store = store
+        self._machine_digest: Optional[str] = None
+        self._w_digests: Dict[Tuple[Hashable, ...], str] = {}
         self._pool = None
         self._pool_broken = False
 
@@ -241,22 +285,33 @@ class SearchEngine:
         self,
         workload: WorkloadDescription,
         placements: Sequence[Placement],
+        seed: Optional[SeedState] = None,
     ) -> List[RankedPlacement]:
         """Predict every placement, in input order.
 
         Symmetric duplicates within *placements* share one prediction
         (the one computed for the first concrete placement of the
-        class), as do repeats across calls via the cache.
+        class), as do repeats across calls via the cache.  With
+        ``warm_start`` enabled, *seed* warm-starts whatever still needs
+        the predictor — ignored unless its source converged slowly
+        enough (``warm_min_iterations``) for seeding to pay off.
         """
         t0 = time.perf_counter()
         obs_on = obs.enabled()
+        if (
+            seed is None
+            or not self.warm_start
+            or seed.iterations < self.warm_min_iterations
+        ):
+            seed = None
         with obs.span(
             "search.evaluate", workload=workload.name, placements=len(placements)
         ) as ev_span:
             fingerprint = workload_fingerprint(workload)
             self.stats.inc("requests", len(placements))
+            store_ids = self._store_ids(fingerprint)
 
-            hits = misses = 0
+            hits = misses = store_hits = 0
             lookup_hist = (
                 obs.metrics().histogram("search.cache.lookup_us") if obs_on else None
             )
@@ -265,7 +320,8 @@ class SearchEngine:
             pending: "OrderedDict[Hashable, Placement]" = OrderedDict()
             with obs.span("search.cache") as cache_span:
                 for placement in placements:
-                    key = (fingerprint, canonical_key(placement))
+                    ckey = canonical_key(placement)
+                    key = (fingerprint, ckey)
                     keys.append(key)
                     if key in found or key in pending:
                         hits += 1
@@ -276,6 +332,13 @@ class SearchEngine:
                         lookup_hist.observe((time.perf_counter_ns() - t_probe) / 1e3)
                     else:
                         cached = self.cache.get(key)
+                    if cached is None and store_ids is not None:
+                        cached = self.store.get_prediction(
+                            store_ids[0], store_ids[1], ckey, placement
+                        )
+                        if cached is not None:
+                            store_hits += 1
+                            self.cache.put(key, cached)
                     if cached is not None:
                         hits += 1
                         found[key] = cached
@@ -283,19 +346,35 @@ class SearchEngine:
                         misses += 1
                         pending[key] = placement
                 if cache_span is not None:
-                    cache_span.attrs.update(hits=hits, misses=misses)
+                    cache_span.attrs.update(
+                        hits=hits, misses=misses, store_hits=store_hits
+                    )
             self.stats.inc("cache_hits", hits)
             self.stats.inc("cache_misses", misses)
+            if store_hits:
+                self.stats.inc("store_hits", store_hits)
 
             if pending:
-                with obs.span("search.predict", misses=len(pending)):
+                with obs.span(
+                    "search.predict", misses=len(pending), seeded=seed is not None
+                ):
                     predictions = self._predict_batch(
-                        workload, list(pending.values())
+                        workload, list(pending.values()), seed=seed
                     )
                 self.stats.inc("evaluations", len(predictions))
+                self.stats.inc(
+                    "fixed_point_iterations",
+                    sum(p.iterations for p in predictions),
+                )
+                if seed is not None:
+                    self.stats.inc("warm_seeded", len(predictions))
                 for key, prediction in zip(pending, predictions):
                     found[key] = prediction
                     self.cache.put(key, prediction)
+                    if store_ids is not None:
+                        self.store.put_prediction(
+                            store_ids[0], store_ids[1], key[1], prediction
+                        )
 
             results = [
                 RankedPlacement(placement, found[key])
@@ -352,15 +431,20 @@ class SearchEngine:
                     f"strategy {type(strategy).__name__} proposed no candidates"
                 )
             rounds = 0
+            seed: Optional[SeedState] = None
             while candidates:
                 rounds += 1
                 self.stats.inc("rounds")
                 with obs.span(
                     "search.round", round=rounds, candidates=len(candidates)
                 ):
-                    for ranked in self.evaluate(workload, candidates):
+                    for ranked in self.evaluate(workload, candidates, seed=seed):
                         seen.setdefault(canonical_key(ranked.placement), ranked)
                     best = min(seen.values(), key=lambda r: r.predicted_time_s)
+                    if self.warm_start:
+                        # Refine rounds explore this best's neighbours —
+                        # warm-start them from its converged state.
+                        seed = best.prediction.seed_state()
                     with obs.span("search.strategy", phase="refine", round=rounds):
                         proposed = strategy.refine(topology, best, seen)
                     candidates = [
@@ -374,6 +458,8 @@ class SearchEngine:
         # wall_time_s + strategy_time_s sum to the observed wall time.
         evaluate_time = self.stats.wall_time_s - evaluate_before
         self.stats.inc("strategy_time_s", max(0.0, wall_time - evaluate_time))
+        if self.store is not None:
+            self.store.flush()
         return SearchResult(
             best=ranked_all[0],
             ranked=ranked_all,
@@ -385,10 +471,12 @@ class SearchEngine:
     # -- lifecycle -------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the worker pool, if one was started."""
+        """Shut down the worker pool and flush the store, if any."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self.store is not None:
+            self.store.flush()
 
     def __enter__(self) -> "SearchEngine":
         return self
@@ -407,12 +495,40 @@ class SearchEngine:
             )
         return topology
 
+    def _store_ids(
+        self, fingerprint: Tuple[Hashable, ...]
+    ) -> Optional[Tuple[str, str]]:
+        """(machine digest, workload digest) for store keys, memoised;
+        ``None`` without a store or machine description."""
+        if self.store is None:
+            return None
+        # Imported here, not at module level: repro.io pulls in
+        # repro.core, whose optimizer imports this module — a top-level
+        # import of repro.io.prediction_store makes `import repro.io`
+        # (as the first repro import of a process) circular.
+        from repro.io.prediction_store import fingerprint_digest, machine_digest
+
+        if self._machine_digest is None:
+            md = getattr(self.predictor, "md", None)
+            if md is None:
+                return None
+            self._machine_digest = machine_digest(md)
+        w_digest = self._w_digests.get(fingerprint)
+        if w_digest is None:
+            w_digest = self._w_digests[fingerprint] = fingerprint_digest(
+                fingerprint
+            )
+        return self._machine_digest, w_digest
+
     def _predict_batch(
-        self, workload: WorkloadDescription, placements: List[Placement]
+        self,
+        workload: WorkloadDescription,
+        placements: List[Placement],
+        seed: Optional[SeedState] = None,
     ) -> List[Prediction]:
         pool = self._ensure_pool() if self._parallel_wanted(placements) else None
         if pool is None:
-            return _chunk_predictions(self.predictor, workload, placements)
+            return _chunk_predictions(self.predictor, workload, placements, seed)
         obs_on = obs.enabled()
         # Capture the submitting side's span id once: worker threads and
         # processes parent their chunk spans under it explicitly, since
@@ -428,25 +544,31 @@ class SearchEngine:
                 merge_payloads = True
                 futures = [
                     pool.submit(
-                        _process_worker_chunk, workload, chunk, obs_parent or ""
+                        _process_worker_chunk,
+                        workload,
+                        chunk,
+                        obs_parent or "",
+                        seed,
                     )
                     for chunk in chunks
                 ]
             else:
                 futures = [
-                    pool.submit(_process_worker_chunk, workload, chunk)
+                    pool.submit(_process_worker_chunk, workload, chunk, None, seed)
                     for chunk in chunks
                 ]
         else:
             predictor = self.predictor
             if obs_on:
                 futures = [
-                    pool.submit(_traced_chunk, predictor, workload, chunk, obs_parent)
+                    pool.submit(
+                        _traced_chunk, predictor, workload, chunk, obs_parent, seed
+                    )
                     for chunk in chunks
                 ]
             else:
                 futures = [
-                    pool.submit(_chunk_predictions, predictor, workload, chunk)
+                    pool.submit(_chunk_predictions, predictor, workload, chunk, seed)
                     for chunk in chunks
                 ]
         results: List[Prediction] = []

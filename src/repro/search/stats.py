@@ -30,7 +30,16 @@ from typing import Optional, Union
 from repro.obs.metrics import Metrics
 
 #: Integer event counters, in summary order.
-_COUNTER_FIELDS = ("requests", "cache_hits", "cache_misses", "evaluations", "rounds")
+_COUNTER_FIELDS = (
+    "requests",
+    "cache_hits",
+    "cache_misses",
+    "store_hits",
+    "evaluations",
+    "warm_seeded",
+    "fixed_point_iterations",
+    "rounds",
+)
 #: Accumulated-seconds counters.
 _TIME_FIELDS = ("wall_time_s", "strategy_time_s")
 
@@ -71,8 +80,20 @@ class SearchStats:
         return self._value("cache_misses")
 
     @property
+    def store_hits(self) -> int:  # answered from the persistent store
+        return self._value("store_hits")
+
+    @property
     def evaluations(self) -> int:  # predictor calls actually performed
         return self._value("evaluations")
+
+    @property
+    def warm_seeded(self) -> int:  # evaluations that ran warm-started
+        return self._value("warm_seeded")
+
+    @property
+    def fixed_point_iterations(self) -> int:  # total iterations across evaluations
+        return self._value("fixed_point_iterations")
 
     @property
     def rounds(self) -> int:  # strategy rounds driven by search()
@@ -99,6 +120,13 @@ class SearchStats:
             return 0.0
         return self.cache_hits / self.requests
 
+    @property
+    def warm_rate(self) -> float:
+        """Fraction of predictor evaluations that ran warm-started."""
+        if self.evaluations == 0:
+            return 0.0
+        return self.warm_seeded / self.evaluations
+
     def snapshot(self) -> "SearchStats":
         """An independent copy (e.g. to freeze into a SearchResult)."""
         return SearchStats(self.metrics.snapshot())
@@ -110,8 +138,11 @@ class SearchStats:
                 "search stats:",
                 f"  requests:    {self.requests}",
                 f"  cache hits:  {self.cache_hits} ({self.hit_rate:.0%})",
+                f"  store hits:  {self.store_hits}",
                 f"  evaluations: {self.evaluations} "
                 f"(dedup ratio {self.dedup_ratio:.0%})",
+                f"  warm seeded: {self.warm_seeded} ({self.warm_rate:.0%})"
+                f" over {self.fixed_point_iterations} fixed-point iterations",
                 f"  rounds:      {self.rounds}",
                 f"  wall time:   {self.wall_time_s:.3f} s"
                 f" (+ {self.strategy_time_s:.3f} s strategy overhead)",

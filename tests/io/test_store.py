@@ -97,3 +97,39 @@ class TestWorkloadStore:
         odd_path = store.save_workload(odd)
         assert "/" not in odd_path.name
         assert store.load_workload("TESTBOX", "a/b c").name == "a/b c"
+
+
+class TestCorruptDescriptions:
+    """Corrupt or truncated description files raise a ModelError that
+    names the offending path — never a bare JSON decode error."""
+
+    @pytest.mark.parametrize("payload", ["{ not json", '{"half": ', "[]"])
+    def test_corrupt_machine_names_path(self, store, testbox_md, payload):
+        path = store.save_machine(testbox_md)
+        path.write_text(payload)
+        with pytest.raises(ModelError, match="corrupt description at") as excinfo:
+            store.load_machine("TESTBOX")
+        assert str(path) in str(excinfo.value)
+
+    @pytest.mark.parametrize("payload", ["{ not json", '{"half": ', "[]"])
+    def test_corrupt_workload_names_path(self, store, payload):
+        path = store.save_workload(make_workload())
+        path.write_text(payload)
+        with pytest.raises(ModelError, match="corrupt description at") as excinfo:
+            store.load_workload("TESTBOX", "stored")
+        assert str(path) in str(excinfo.value)
+
+    def test_get_or_measure_does_not_mask_corruption(self, store, testbox_md):
+        path = store.save_machine(testbox_md)
+        path.write_text("{ truncated")
+        # A corrupt file must NOT silently fall through to re-measuring:
+        # that would hide data loss behind fresh (possibly different) data.
+        with pytest.raises(ModelError, match=str(path)):
+            store.get_or_measure("TESTBOX", lambda: testbox_md)
+
+    def test_get_or_profile_does_not_mask_corruption(self, store):
+        wd = make_workload()
+        path = store.save_workload(wd)
+        path.write_text("{ truncated")
+        with pytest.raises(ModelError, match=str(path)):
+            store.get_or_profile("TESTBOX", "stored", lambda: wd)

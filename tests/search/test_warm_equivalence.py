@@ -1,0 +1,168 @@
+"""Golden equivalence: warm-started prediction equals the cold reference.
+
+The headline contract of warm-starting (docs/model.md, "Warm-start &
+delta prediction"): a seeded run reproduces the cold path's Section-5.4
+slowdown cap from the same uniform first iteration and applies the
+identical stopping rule, so it converges to the *same* fixed point —
+the seed and the Aitken-accelerated settle only change how many
+iterations it takes to get there.
+
+Pinned here for every catalog machine × MD/CG/EP over random chains of
+single-thread-move placements (hypothesis-driven):
+
+* warm matches cold within 1e-12 on predicted time, slowdowns and
+  utilisations, and reports ``converged`` identically;
+* the batch kernel under the same seed matches the cold scalar path to
+  the same tolerance;
+* repeating a warm run with the same seed is bit-identical.
+
+Chains run at tolerance 1e-13: both runs then stop within 1e-13 of the
+shared attractor, so their mutual gap is comfortably inside the 1e-12
+contract.  (At looser tolerances the *stopping points* differ by up to
+the tolerance itself — the fixed point, not the protocol, bounds the
+agreement.)
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.machine_desc import generate_machine_description
+from repro.core.predictor import PandiaPredictor
+from repro.core.sweep import sweep_placements
+from repro.core.workload_desc import WorkloadDescriptionGenerator
+from repro.hardware import machines
+from repro.search.strategies import neighbour_placements
+from repro.sim.noise import NO_NOISE
+from repro.workloads import catalog
+
+MACHINES = machines.names()
+WORKLOADS = ("MD", "CG", "EP")
+TOLERANCE = 1e-12
+#: Fixed-point tolerance for the equivalence runs (see module docstring).
+FP_TOLERANCE = 1e-13
+
+_CACHE = {}
+
+
+def _setup(machine_name):
+    if machine_name not in _CACHE:
+        spec = machines.get(machine_name)
+        md = generate_machine_description(spec, noise=NO_NOISE)
+        gen = WorkloadDescriptionGenerator(spec, md, noise=NO_NOISE)
+        descriptions = {w: gen.generate(catalog.get(w)) for w in WORKLOADS}
+        predictor = PandiaPredictor(md, tolerance=FP_TOLERANCE)
+        _CACHE[machine_name] = (spec, predictor, descriptions)
+    return _CACHE[machine_name]
+
+
+def _move_chain(spec, rng, length):
+    """A chain of placements, each one thread move from its parent."""
+    sweeps = sweep_placements(spec.topology)
+    chain = [sweeps[rng.randrange(len(sweeps))]]
+    for _ in range(length):
+        neighbours = neighbour_placements(spec.topology, chain[-1])
+        if not neighbours:
+            break
+        chain.append(neighbours[rng.randrange(len(neighbours))])
+    return chain
+
+
+def _assert_close(warm, cold, ctx):
+    assert warm.converged is cold.converged, ctx
+    assert abs(warm.predicted_time_s - cold.predicted_time_s) <= TOLERANCE, ctx
+    # speedup = t1 / time amplifies absolute error by ~t1; bound it relatively
+    assert abs(warm.speedup - cold.speedup) <= TOLERANCE * max(1.0, cold.speedup), ctx
+    assert len(warm.slowdowns) == len(cold.slowdowns), ctx
+    for a, b in zip(warm.slowdowns, cold.slowdowns):
+        assert abs(a - b) <= TOLERANCE, ctx
+    for a, b in zip(warm.utilisations, cold.utilisations):
+        assert abs(a - b) <= TOLERANCE, ctx
+
+
+@pytest.mark.parametrize("machine_name", MACHINES)
+@pytest.mark.parametrize("workload_name", WORKLOADS)
+class TestWarmMatchesCold:
+    """Warm ≡ cold along single-move chains, scalar and batch."""
+
+    @settings(max_examples=3, deadline=None)
+    @given(chain_seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_single_move_chain(self, machine_name, workload_name, chain_seed):
+        spec, predictor, descriptions = _setup(machine_name)
+        workload = descriptions[workload_name]
+        rng = random.Random(chain_seed)
+        chain = _move_chain(spec, rng, length=3)
+
+        parent = predictor.predict(workload, chain[0])
+        seed = parent.seed_state()
+        assert seed is not None
+        for placement in chain[1:]:
+            cold = predictor.predict(workload, placement)
+            warm = predictor.predict(workload, placement, seed=seed)
+            ctx = f"{machine_name}/{workload_name}/{placement.sort_key()}"
+            _assert_close(warm, cold, ctx)
+            # The chain warm-starts each link from its predecessor.
+            seed = warm.seed_state()
+
+    def test_batch_seeded_matches_cold_scalar(self, machine_name, workload_name):
+        spec, predictor, descriptions = _setup(machine_name)
+        workload = descriptions[workload_name]
+        rng = random.Random(7)
+        chain = _move_chain(spec, rng, length=4)
+        seed = predictor.predict(workload, chain[0]).seed_state()
+
+        batched = predictor.predict_batch(workload, chain[1:], seed=seed)
+        for placement, warm in zip(chain[1:], batched):
+            cold = predictor.predict(workload, placement)
+            ctx = f"batch {machine_name}/{workload_name}/{placement.sort_key()}"
+            _assert_close(warm, cold, ctx)
+
+    def test_same_seed_is_bit_identical(self, machine_name, workload_name):
+        spec, predictor, descriptions = _setup(machine_name)
+        workload = descriptions[workload_name]
+        rng = random.Random(11)
+        chain = _move_chain(spec, rng, length=1)
+        seed = predictor.predict(workload, chain[0]).seed_state()
+        target = chain[-1]
+
+        first = predictor.predict(workload, target, seed=seed)
+        second = predictor.predict(workload, target, seed=seed)
+        assert first.predicted_time_s == second.predicted_time_s
+        assert first.slowdowns == second.slowdowns
+        assert first.utilisations == second.utilisations
+        assert first.iterations == second.iterations
+        assert first.converged is second.converged
+        assert first.final_f_norm == second.final_f_norm
+
+
+class TestSeedIsAdvisory:
+    """Any seed — however wrong — still reaches the cold fixed point."""
+
+    def test_garbage_seed_converges_to_cold_result(self):
+        from repro.core.predictor import SeedState
+
+        spec, predictor, descriptions = _setup("TESTBOX")
+        workload = descriptions["MD"]
+        placement = sweep_placements(spec.topology)[-1]
+        cold = predictor.predict(workload, placement)
+
+        garbage = SeedState(
+            classes=(),
+            mean=(0.5, 123.0),  # absurd overall, mid-range utilisation
+            iterations=99,
+            n_threads=1,
+        )
+        warm = predictor.predict(workload, placement, seed=garbage)
+        _assert_close(warm, cold, "garbage seed on TESTBOX/MD")
+
+    def test_cross_workload_seed_still_correct(self):
+        spec, predictor, descriptions = _setup("TESTBOX")
+        placement = sweep_placements(spec.topology)[-1]
+        seed = predictor.predict(descriptions["CG"], placement).seed_state()
+        cold = predictor.predict(descriptions["MD"], placement)
+        warm = predictor.predict(descriptions["MD"], placement, seed=seed)
+        _assert_close(warm, cold, "cross-workload seed on TESTBOX")
