@@ -20,11 +20,22 @@ starts target), run cold and warm over MD and Art, comparing total
 fixed-point iterations.  ``--assert-warm-savings`` turns the measured
 saving into a hard gate (>= 30%, the ISSUE's acceptance bar) for CI.
 
+A third section (``--surrogate``) measures the **surrogate-guided
+search**: a ridge surrogate trained on three catalog machines ranks
+each search space in one vectorised pass and the engine exact-verifies
+only the adaptive top-k.  Exact exhaustive search over the same
+precomputed space is the reference; both timers exclude space
+enumeration.  Hard gates: >= 10x speedup on the X2-4 smoke space and
+>= 25x on the full X5-2 canonical space, each with <= 1% regret
+against the exact best.  The measurement record lands in
+``BENCH_surrogate.json`` via ``--json``.
+
 Usage::
 
     python benchmarks/bench_search.py            # full: X2-4, 3 workloads
     python benchmarks/bench_search.py --quick    # CI smoke: TESTBOX, 1 workload
     python benchmarks/bench_search.py --warm-only --assert-warm-savings
+    python benchmarks/bench_search.py --surrogate --json BENCH_surrogate.json
 """
 
 from __future__ import annotations
@@ -62,6 +73,18 @@ WARM_MACHINE = "X2-4"
 WARM_WORKLOADS = ("MD", "Art")
 WARM_TOLERANCE = 1e-13
 WARM_SAVINGS_TARGET = 0.30
+
+#: Surrogate-session configuration.  The smoke space is a 6000-placement
+#: deterministic sample of the 4-socket X2-4 (big enough that the exact
+#: reference dominates the surrogate's fixed ~224 verifications); the
+#: headline space is the *full* 18 144-placement X5-2 canonical space —
+#: the paper's largest machine, where exhaustive search hurts most.
+SURROGATE_WORKLOADS = ("MD", "CG", "EP")
+SURROGATE_MAX_REGRET = 0.01
+SURROGATE_SECTIONS = (
+    {"machine": "X2-4", "sample": 6000, "seed": 1, "min_speedup": 10.0},
+    {"machine": "X5-2", "sample": None, "seed": 0, "min_speedup": 25.0},
+)
 
 
 def full_sweep(topology) -> List:
@@ -217,6 +240,155 @@ def warm_run() -> Optional[dict]:
     return record
 
 
+class _FixedSpaceStrategy:
+    """Exact exhaustive search over a precomputed placement list.
+
+    The benchmark enumerates each space once, outside both timers, so
+    the exact-vs-surrogate comparison measures search work only — not
+    placement construction.
+    """
+
+    def __init__(self, space) -> None:
+        self.space = list(space)
+
+    def initial_candidates(self, topology) -> List:
+        return list(self.space)
+
+    def refine(self, topology, best, seen) -> None:
+        return None
+
+
+def surrogate_run(quick: bool) -> Optional[dict]:
+    """Surrogate-guided vs exact exhaustive search; returns the
+    measurement record or ``None`` on a gate failure (speedup below
+    target, regret above the cap, or an unverified result)."""
+    from repro.core.placement import enumerate_canonical, sample_canonical
+    from repro.search import SurrogateStrategy
+    from repro.surrogate import (
+        DEFAULT_TRAIN_MACHINES,
+        DEFAULT_TRAIN_WORKLOADS,
+        train_surrogate,
+    )
+
+    t0 = time.perf_counter()
+    model = train_surrogate(
+        DEFAULT_TRAIN_MACHINES,
+        DEFAULT_TRAIN_WORKLOADS,
+        kind="ridge",
+        sample=300,
+        seed=0,
+        noise=NO_NOISE,
+    )
+    train_s = time.perf_counter() - t0
+    print(
+        f"surrogate: trained {model.kind} on "
+        f"{', '.join(DEFAULT_TRAIN_MACHINES)} x "
+        f"{', '.join(DEFAULT_TRAIN_WORKLOADS)} "
+        f"({model.meta['n_samples']} samples, R^2 {model.train_r2:.3f}, "
+        f"{train_s:.1f} s)"
+    )
+    record = {
+        "model": {
+            "kind": model.kind,
+            "train_r2": model.train_r2,
+            "machines": list(DEFAULT_TRAIN_MACHINES),
+            "workloads": list(DEFAULT_TRAIN_WORKLOADS),
+            "n_samples": model.meta["n_samples"],
+            "train_seconds": train_s,
+        },
+        "max_regret_target": SURROGATE_MAX_REGRET,
+        "sections": {},
+    }
+    sections = SURROGATE_SECTIONS[:1] if quick else SURROGATE_SECTIONS
+    ok = True
+    for section in sections:
+        spec = machines.get(section["machine"])
+        topology = spec.topology
+        md = generate_machine_description(spec, noise=NO_NOISE)
+        generator = WorkloadDescriptionGenerator(spec, md, noise=NO_NOISE)
+        if section["sample"] is not None:
+            space = sample_canonical(
+                topology, section["sample"], seed=section["seed"]
+            )
+        else:
+            space = enumerate_canonical(topology)
+        print(
+            f"surrogate session: {section['machine']}, {len(space)} "
+            f"placements, workloads {', '.join(SURROGATE_WORKLOADS)}"
+        )
+        section_rec = {
+            "placements": len(space),
+            "min_speedup": section["min_speedup"],
+            "workloads": {},
+        }
+        exact_total = surro_total = 0.0
+        worst_regret = 0.0
+        for name in SURROGATE_WORKLOADS:
+            workload = generator.generate(catalog.get(name))
+
+            with SearchEngine(PandiaPredictor(md)) as engine:
+                exact_s, exact = _timed_r(
+                    engine.search, workload, _FixedSpaceStrategy(space)
+                )
+            strategy = SurrogateStrategy(model=model, space=space)
+            with SearchEngine(PandiaPredictor(md)) as engine:
+                surro_s, surro = _timed_r(engine.search, workload, strategy)
+                if strategy.fallback_reason is not None:
+                    print(
+                        f"ERROR: {name}: surrogate fell back "
+                        f"({strategy.fallback_reason})"
+                    )
+                    return None
+                regret = (
+                    surro.best_prediction.predicted_time_s
+                    / exact.best_prediction.predicted_time_s
+                    - 1.0
+                )
+                engine.stats.note_surrogate_regret(regret)
+                stats = engine.stats.snapshot()
+            worst_regret = max(worst_regret, regret)
+            exact_total += exact_s
+            surro_total += surro_s
+            section_rec["workloads"][name] = {
+                "exact_seconds": exact_s,
+                "surrogate_seconds": surro_s,
+                "regret": regret,
+                "scored": stats.surrogate_scored,
+                "verified": stats.surrogate_verified,
+            }
+            print(
+                f"  {name:6s} exact {exact_s * 1e3:8.1f} ms   "
+                f"surrogate {surro_s * 1e3:8.1f} ms   "
+                f"({stats.surrogate_verified}/{stats.surrogate_scored} "
+                f"verified, regret {regret:.3%})"
+            )
+        speedup = exact_total / surro_total
+        section_rec["exact_seconds"] = exact_total
+        section_rec["surrogate_seconds"] = surro_total
+        section_rec["speedup"] = speedup
+        section_rec["max_regret"] = worst_regret
+        record["sections"][section["machine"]] = section_rec
+        print(
+            f"  total exact {exact_total:.2f} s, surrogate "
+            f"{surro_total:.2f} s: speedup {speedup:.1f}x "
+            f"(target {section['min_speedup']:.0f}x), worst regret "
+            f"{worst_regret:.3%} (cap {SURROGATE_MAX_REGRET:.0%})"
+        )
+        if worst_regret > SURROGATE_MAX_REGRET:
+            print(
+                f"ERROR: {section['machine']}: regret {worst_regret:.3%} "
+                f"above the {SURROGATE_MAX_REGRET:.0%} cap"
+            )
+            ok = False
+        if speedup < section["min_speedup"]:
+            print(
+                f"ERROR: {section['machine']}: speedup {speedup:.1f}x "
+                f"below the {section['min_speedup']:.0f}x target"
+            )
+            ok = False
+    return record if ok else None
+
+
 def _timed(fn, *args):
     t0 = time.perf_counter()
     fn(*args)
@@ -245,6 +417,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "(adds tracing overhead to reported timings)")
     parser.add_argument("--warm-only", action="store_true",
                         help="run only the warm-start session benchmark")
+    parser.add_argument("--surrogate", action="store_true",
+                        help="run only the surrogate-guided search benchmark "
+                             "(with --quick: the X2-4 smoke section alone)")
     parser.add_argument("--assert-warm-savings", action="store_true",
                         help="fail unless the warm-start session saves "
                              f">= {WARM_SAVINGS_TARGET:.0%} of the cold "
@@ -258,6 +433,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro import obs
 
         obs.enable()
+
+    if args.surrogate:
+        record = surrogate_run(quick=args.quick)
+        if record is None:
+            return 1
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(record, fh, indent=2)
+            print(f"wrote surrogate measurement record to {args.json}")
+        return 0
 
     if args.quick:
         machine = args.machine or "TESTBOX"

@@ -86,15 +86,7 @@ def search_stats_section(stats, title: str = "Placement search") -> str:
     """
     rows = "".join(
         f"<div>{escape(label)} = {escape(str(value))}</div>"
-        for label, value in [
-            ("requests", stats.requests),
-            ("cache hits", stats.cache_hits),
-            ("evaluations", stats.evaluations),
-            ("dedup ratio", f"{stats.dedup_ratio:.0%}"),
-            ("rounds", stats.rounds),
-            ("wall time (s)", f"{stats.wall_time_s:.3f}"),
-            ("strategy time (s)", f"{stats.strategy_time_s:.3f}"),
-        ]
+        for label, value in stats.report()
     )
     return (
         f"<div class='headline'><strong>{escape(title)}</strong>{rows}</div>"

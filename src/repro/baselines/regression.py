@@ -60,8 +60,36 @@ def fit_regression_baseline(
     training_counts: Sequence[int] = (1, 2, 3, 4),
     noise: Optional[NoiseModel] = None,
 ) -> RegressionModel:
-    """Time the workload at small spread counts and fit the curve."""
-    counts = sorted(set(training_counts))
+    """Time the workload at small spread counts and fit the curve.
+
+    ``training_counts`` must be duplicate-free, all at least 1, and all
+    placeable on *machine* — a duplicate run adds no information but
+    double-weights its point, and an over-capacity count cannot be
+    timed at all.  Violations raise :class:`~repro.errors.ReproError`
+    naming the machine and the offending counts instead of fitting a
+    silently garbage curve.
+    """
+    counts = list(training_counts)
+    duplicates = sorted({n for n in counts if counts.count(n) > 1})
+    if duplicates:
+        raise ReproError(
+            f"regression baseline on {machine.name}: duplicate training "
+            f"counts {duplicates} in {tuple(training_counts)}"
+        )
+    too_small = sorted(n for n in counts if n < 1)
+    if too_small:
+        raise ReproError(
+            f"regression baseline on {machine.name}: training counts must "
+            f"be >= 1, got {too_small} in {tuple(training_counts)}"
+        )
+    capacity = machine.topology.n_hw_threads
+    too_big = sorted(n for n in counts if n > capacity)
+    if too_big:
+        raise ReproError(
+            f"regression baseline on {machine.name}: training counts "
+            f"{too_big} exceed the machine's {capacity} hardware threads"
+        )
+    counts = sorted(counts)
     if len(counts) < 3:
         raise ReproError("regression baseline needs at least three counts")
     if counts[0] != 1:

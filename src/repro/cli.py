@@ -11,7 +11,11 @@ Subcommands mirror the library's workflow:
 * ``predict X5-2 MD --threads 16`` — predict performance for a
   placement (spread or packed shape at a given thread count).
 * ``optimize X5-2 MD`` — search the canonical placements for the
-  predicted-best and right-sized placements.
+  predicted-best and right-sized placements (``--strategy surrogate
+  --surrogate-model m.json`` ranks the space with a learned pre-filter
+  and exact-verifies only the top candidates).
+* ``surrogate train --out m.json`` — fit the placement surrogate from
+  catalog machines × workloads.
 * ``experiment fig1 --scale quick`` — reproduce a paper artifact.
 """
 
@@ -160,6 +164,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         ExhaustiveStrategy,
         GreedyHillClimbStrategy,
         SearchEngine,
+        SurrogateStrategy,
         SweepStrategy,
     )
 
@@ -170,6 +175,17 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         strategy = SweepStrategy()
     elif args.strategy == "greedy":
         strategy = GreedyHillClimbStrategy()
+    elif args.strategy == "surrogate":
+        if not args.surrogate_model:
+            raise ReproError(
+                "--strategy surrogate needs --surrogate-model "
+                "(train one with: pandia surrogate train)"
+            )
+        strategy = SurrogateStrategy(
+            model_path=args.surrogate_model,
+            sample=args.max_placements,
+            seed=0,
+        )
     else:
         strategy = ExhaustiveStrategy(sample=args.max_placements, seed=0)
     store = None
@@ -195,6 +211,9 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         print(f"  speedup {best_pred.speedup:.2f}, time {best_pred.predicted_time_s:.3f} s")
         print(f"right-sized (within {args.tolerance:.0%}): {small}")
         print(f"  speedup {small_pred.speedup:.2f}, time {small_pred.predicted_time_s:.3f} s")
+        fallback = getattr(strategy, "fallback_reason", None)
+        if fallback:
+            print(f"surrogate fell back to exact search: {fallback}")
         if args.stats:
             print(engine.stats.summary())
         # Fold the engine's search.* counters into the global registry so
@@ -367,6 +386,7 @@ def cmd_online(args: argparse.Namespace) -> int:
     scheduler = OnlineScheduler(
         rack, policy=args.policy, migrate=args.migrate,
         hysteresis=args.hysteresis, store=store,
+        surrogate=args.surrogate_model,
     )
     result = scheduler.run(trace)
     print(result.summary())
@@ -424,6 +444,30 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         with open(args.svg, "w") as handle:
             handle.write(evaluation_figure(evaluation))
         print(f"  wrote scatter to {args.svg}")
+    return 0
+
+
+def cmd_surrogate_train(args: argparse.Namespace) -> int:
+    """Train the placement surrogate from catalog machines × workloads."""
+    from repro.io.surrogate import save_surrogate
+    from repro.surrogate import train_surrogate
+
+    model = train_surrogate(
+        args.machines,
+        args.workloads,
+        kind=args.kind,
+        sample=args.sample,
+        seed=args.seed,
+        noise=_noise(args),
+    )
+    save_surrogate(model, args.out)
+    meta = model.meta
+    print(
+        f"trained {model.kind} surrogate on {meta['n_samples']} placements "
+        f"({', '.join(args.machines)} x {', '.join(args.workloads)})"
+    )
+    print(f"  train R^2: {model.train_r2:.4f}")
+    print(f"wrote model to {args.out}")
     return 0
 
 
@@ -493,9 +537,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-placements", type=int, default=400)
     p.add_argument("--tolerance", type=float, default=0.05)
     p.add_argument(
-        "--strategy", choices=("exhaustive", "sweep", "greedy"), default="exhaustive",
+        "--strategy",
+        choices=("exhaustive", "sweep", "greedy", "surrogate"),
+        default="exhaustive",
         help="placement-search strategy (default: exhaustive sample)",
     )
+    p.add_argument("--surrogate-model", metavar="PATH",
+                   help="trained surrogate model for --strategy surrogate "
+                        "(see: pandia surrogate train)")
     p.add_argument("--workers", type=int, default=0,
                    help="process-pool workers for prediction fan-out (0 = serial)")
     p.add_argument("--chunk-size", type=int, default=16,
@@ -583,8 +632,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--store", metavar="DIR",
                    help="persist joint predictions under DIR and reuse them "
                         "across runs (identical results, fewer predictions)")
+    p.add_argument("--surrogate-model", metavar="PATH",
+                   help="surrogate model used to pre-filter solo estimates "
+                        "(estimates stay exact-verified)")
     add_trace_flags(p)
     p.set_defaults(func=cmd_online)
+
+    p = sub.add_parser(
+        "surrogate", help="train and manage the placement surrogate"
+    )
+    surrogate_sub = p.add_subparsers(dest="surrogate_command", required=True)
+    p = surrogate_sub.add_parser(
+        "train", help="fit the surrogate from catalog machines x workloads"
+    )
+    from repro.surrogate import DEFAULT_TRAIN_MACHINES, DEFAULT_TRAIN_WORKLOADS
+
+    p.add_argument("--machines", nargs="+", default=list(DEFAULT_TRAIN_MACHINES),
+                   help="catalog machines to measure training placements on")
+    p.add_argument("--workloads", nargs="+", default=list(DEFAULT_TRAIN_WORKLOADS),
+                   help="catalog workloads to train against")
+    p.add_argument("--kind", choices=("ridge", "stumps"), default="ridge",
+                   help="model family (default: ridge)")
+    p.add_argument("--sample", type=int, default=300,
+                   help="canonical placements sampled per machine")
+    p.add_argument("--seed", type=int, default=0, help="placement-sample seed")
+    p.add_argument("--out", required=True, metavar="PATH",
+                   help="write the trained model to PATH (JSON)")
+    p.set_defaults(func=cmd_surrogate_train)
 
     p = sub.add_parser(
         "evaluate", help="measured-vs-predicted evaluation for one workload"

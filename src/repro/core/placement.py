@@ -129,7 +129,18 @@ def from_shapes(
             tids.extend(topology.core(c).hw_thread_ids[:2])
         for c in core_ids[twos : twos + ones]:
             tids.append(topology.core(c).hw_thread_ids[0])
-    return Placement(topology, tuple(tids))
+    placement = Placement(topology, tuple(tids))
+    # The canonical key is already known — it is the sorted shape tuple
+    # this placement was built from.  Stamping the memo here saves a
+    # per-placement threads_per_core pass when whole canonical spaces
+    # are enumerated and immediately keyed (search cache, surrogate
+    # featurizer).
+    object.__setattr__(
+        placement,
+        "_canonical_key",
+        tuple(sorted(((int(o), int(t)) for o, t in shapes), reverse=True)),
+    )
+    return placement
 
 
 def _socket_shape_options(topology: MachineTopology) -> List[SocketShape]:

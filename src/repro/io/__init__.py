@@ -22,6 +22,7 @@ from repro.io.prediction_store import (
     machine_digest,
 )
 from repro.io.store import DescriptionStore
+from repro.io.surrogate import load_surrogate, save_surrogate
 
 __all__ = [
     "description_from_json",
@@ -32,4 +33,6 @@ __all__ = [
     "PredictionStore",
     "fingerprint_digest",
     "machine_digest",
+    "load_surrogate",
+    "save_surrogate",
 ]

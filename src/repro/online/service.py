@@ -325,6 +325,13 @@ class OnlineScheduler:
         reuse joint predictions across events and across sessions.
         Results are identical with a warm or cold store — the store
         returns exactly what the predictor computed.
+    surrogate:
+        Optional trained :class:`repro.surrogate.SurrogateModel` (or a
+        path to one saved with :func:`repro.io.save_surrogate`), passed
+        through to the decision core: each admission's solo-reference
+        estimate then exact-verifies only the machine the surrogate
+        ranks fastest instead of the whole fleet.  Estimates stay
+        exact-verified; only the candidate order is learned.
     """
 
     def __init__(
@@ -334,11 +341,12 @@ class OnlineScheduler:
         migrate: bool = False,
         hysteresis: float = 0.1,
         store=None,
+        surrogate=None,
     ) -> None:
         if hysteresis < 0:
             raise ReproError("hysteresis cannot be negative")
         self.rack = rack
-        self.core = RackScheduler(rack, store=store)
+        self.core = RackScheduler(rack, store=store, surrogate=surrogate)
         self.policy = get_policy(policy) if isinstance(policy, str) else policy
         self.policy.bind(self.core)
         self.migrate = migrate

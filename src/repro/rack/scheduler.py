@@ -26,6 +26,7 @@ scheduled identically to an offline batch, which
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
@@ -113,9 +114,25 @@ class RackScheduler:
     #: short jobs to protect an epsilon of makespan.
     MAKESPAN_SLACK = 1e-3
 
-    def __init__(self, rack: Rack, *, store=None, warm_start: bool = False) -> None:
+    def __init__(
+        self,
+        rack: Rack,
+        *,
+        store=None,
+        warm_start: bool = False,
+        surrogate=None,
+    ) -> None:
         self.rack = rack
         self.store = store
+        # A trained repro.surrogate model (or a path to one) pre-ranks
+        # the fleet's machines in solo_estimate so only the likely-best
+        # machine pays the exact fixed point; the estimate returned is
+        # always exact-verified.
+        if isinstance(surrogate, (str, os.PathLike)):
+            from repro.io.surrogate import load_surrogate
+
+            surrogate = load_surrogate(surrogate)
+        self.surrogate = surrogate
         self._joint = {
             m.name: CoSchedulePredictor(m.description) for m in rack.machines
         }
@@ -343,17 +360,55 @@ class RackScheduler:
         cached = self._solo_estimates.get(memo_key)
         if cached is not None:
             return cached
+        candidates = [
+            machine
+            for machine in self.rack.machines
+            if self._solo_placements[machine.name] is not None
+        ]
+        if not candidates:
+            raise ReproError(f"workload {workload.name} fits on no rack machine")
+        if self.surrogate is not None and len(candidates) > 1:
+            candidates = self._surrogate_solo_prefilter(workload, candidates)
         best = float("inf")
-        for machine in self.rack.machines:
+        for machine in candidates:
             placement = self._solo_placements[machine.name]
-            if placement is None:
-                continue
             engine = self._solo_search[machine.name]
             best = min(best, engine.best(workload, [placement]).predicted_time_s)
-        if best == float("inf"):
-            raise ReproError(f"workload {workload.name} fits on no rack machine")
         self._solo_estimates[memo_key] = best
         return best
+
+    def _surrogate_solo_prefilter(
+        self, workload: WorkloadDescription, candidates: List[RackMachine]
+    ) -> List[RackMachine]:
+        """The machine the surrogate expects to host *workload* fastest.
+
+        Each machine's solo reference placement is scored by the
+        surrogate; only the leader pays the exact fixed point.  If any
+        machine's features fall outside the model's confidence envelope
+        the whole fleet is exact-verified instead (counted as a
+        ``surrogate_fallbacks`` on its engine's stats) — the estimate a
+        caller sees is exact-verified either way.
+        """
+        from repro.surrogate.features import PlacementFeaturizer
+
+        scores: List[Tuple[float, int]] = []
+        for i, machine in enumerate(candidates):
+            placement = self._solo_placements[machine.name]
+            featurizer = PlacementFeaturizer(machine.description, workload)
+            X = featurizer.matrix([placement])
+            engine = self._solo_search[machine.name]
+            if self.surrogate.confidence(X) < 0.3:
+                engine.stats.inc("surrogate_fallbacks")
+                return candidates
+            engine.stats.inc("surrogate_scored")
+            scores.append((float(self.surrogate.rank_scores(X)[0]), i))
+        # Scores are log *relative* times; the workload's t1 is the
+        # same description object on every machine, so relative order
+        # equals predicted-seconds order.
+        best_i = min(scores)[1]
+        leader = candidates[best_i]
+        self._solo_search[leader.name].stats.inc("surrogate_verified")
+        return [leader]
 
     def flush_store(self) -> None:
         """Persist pending store records (no-op without a store)."""

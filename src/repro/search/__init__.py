@@ -17,7 +17,9 @@ that evaluation scale:
   fallback when no pool is requested or available
   (:class:`repro.search.engine.SearchEngine`);
 * **strategies** — exhaustive enumeration, the packed/spread sweep,
-  and a greedy hill-climb over neighbour moves share one API
+  a greedy hill-climb over neighbour moves, and a surrogate-guided
+  top-k search (a trained :mod:`repro.surrogate` model ranks the whole
+  space, the exact fixed point verifies the leaders) share one API
   (:mod:`repro.search.strategies`).
 
 The fast path is *prediction-equivalent* to the naive serial loop: the
@@ -37,6 +39,7 @@ from repro.search.stats import SearchStats
 from repro.search.strategies import (
     ExhaustiveStrategy,
     GreedyHillClimbStrategy,
+    SurrogateStrategy,
     SweepStrategy,
 )
 
@@ -51,5 +54,6 @@ __all__ = [
     "SearchStats",
     "ExhaustiveStrategy",
     "GreedyHillClimbStrategy",
+    "SurrogateStrategy",
     "SweepStrategy",
 ]

@@ -424,6 +424,12 @@ class SearchEngine:
         ) as s_span:
             topology = self._topology()
             seen: Dict[Tuple, RankedPlacement] = {}
+            # Strategies that pre-rank candidates (SurrogateStrategy)
+            # need the engine's machine description and stats before
+            # their first round; plain strategies have no bind().
+            binder = getattr(strategy, "bind", None)
+            if binder is not None:
+                binder(self, workload)
             with obs.span("search.strategy", phase="initial"):
                 candidates = list(strategy.initial_candidates(topology))
             if not candidates:

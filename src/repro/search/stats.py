@@ -25,7 +25,7 @@ result assembly).
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.obs.metrics import Metrics
 
@@ -39,9 +39,16 @@ _COUNTER_FIELDS = (
     "warm_seeded",
     "fixed_point_iterations",
     "rounds",
+    "surrogate_scored",
+    "surrogate_verified",
+    "surrogate_fallbacks",
 )
 #: Accumulated-seconds counters.
 _TIME_FIELDS = ("wall_time_s", "strategy_time_s")
+
+#: Gauge recording measured surrogate regret (set only when a caller
+#: has an exact reference to compare against — benchmarks, tests).
+_REGRET_GAUGE = "search.surrogate_regret"
 
 
 class SearchStats:
@@ -100,6 +107,34 @@ class SearchStats:
         return self._value("rounds")
 
     @property
+    def surrogate_scored(self) -> int:  # placements ranked by the surrogate
+        return self._value("surrogate_scored")
+
+    @property
+    def surrogate_verified(self) -> int:  # top-k placements exact-verified
+        return self._value("surrogate_verified")
+
+    @property
+    def surrogate_fallbacks(self) -> int:  # searches that fell back to exact
+        return self._value("surrogate_fallbacks")
+
+    @property
+    def surrogate_regret(self) -> Optional[float]:
+        """Measured regret vs. an exact reference; ``None`` until noted."""
+        return self.metrics.gauge(_REGRET_GAUGE).value
+
+    def note_surrogate_regret(self, regret: float) -> None:
+        """Record measured regret (callers with an exact reference)."""
+        self.metrics.gauge(_REGRET_GAUGE).set(float(regret))
+
+    @property
+    def surrogate_verify_rate(self) -> float:
+        """Fraction of surrogate-scored placements that were exact-verified."""
+        if self.surrogate_scored == 0:
+            return 0.0
+        return self.surrogate_verified / self.surrogate_scored
+
+    @property
     def wall_time_s(self) -> float:  # time spent inside evaluate()
         return float(self._value("wall_time_s"))
 
@@ -127,26 +162,67 @@ class SearchStats:
             return 0.0
         return self.warm_seeded / self.evaluations
 
+    @property
+    def mean_iterations(self) -> float:
+        """Fixed-point iterations per predictor evaluation (0 when none ran).
+
+        Guarded so zero-evaluation runs — everything answered by the
+        cache, the store or surrogate fallback paths — render 0, never
+        a divide-by-zero NaN.
+        """
+        if self.evaluations == 0:
+            return 0.0
+        return self.fixed_point_iterations / self.evaluations
+
     def snapshot(self) -> "SearchStats":
         """An independent copy (e.g. to freeze into a SearchResult)."""
         return SearchStats(self.metrics.snapshot())
 
+    def report(self) -> List[Tuple[str, str]]:
+        """(label, value) rows for text and HTML rendering.
+
+        Every rate is zero-guarded: a run with no requests or no
+        evaluations (pure store/surrogate hits) renders finite values
+        throughout — never NaN.
+        """
+        regret = self.surrogate_regret
+        return [
+            ("requests", str(self.requests)),
+            ("cache hits", f"{self.cache_hits} ({self.hit_rate:.0%})"),
+            ("store hits", str(self.store_hits)),
+            (
+                "evaluations",
+                f"{self.evaluations} (dedup ratio {self.dedup_ratio:.0%}, "
+                f"mean {self.mean_iterations:.1f} iterations)",
+            ),
+            (
+                "warm seeded",
+                f"{self.warm_seeded} ({self.warm_rate:.0%}) over "
+                f"{self.fixed_point_iterations} fixed-point iterations",
+            ),
+            (
+                "surrogate",
+                f"{self.surrogate_scored} scored / "
+                f"{self.surrogate_verified} verified "
+                f"({self.surrogate_verify_rate:.1%}) / "
+                f"{self.surrogate_fallbacks} fallbacks, regret "
+                + (f"{regret:.3%}" if regret is not None else "n/a"),
+            ),
+            ("rounds", str(self.rounds)),
+            (
+                "wall time",
+                f"{self.wall_time_s:.3f} s "
+                f"(+ {self.strategy_time_s:.3f} s strategy overhead)",
+            ),
+        ]
+
     def summary(self) -> str:
         """Human-readable report (CLI / report output)."""
+        rows = self.report()
+        width = max(len(label) for label, _ in rows) + 1
         return "\n".join(
-            [
-                "search stats:",
-                f"  requests:    {self.requests}",
-                f"  cache hits:  {self.cache_hits} ({self.hit_rate:.0%})",
-                f"  store hits:  {self.store_hits}",
-                f"  evaluations: {self.evaluations} "
-                f"(dedup ratio {self.dedup_ratio:.0%})",
-                f"  warm seeded: {self.warm_seeded} ({self.warm_rate:.0%})"
-                f" over {self.fixed_point_iterations} fixed-point iterations",
-                f"  rounds:      {self.rounds}",
-                f"  wall time:   {self.wall_time_s:.3f} s"
-                f" (+ {self.strategy_time_s:.3f} s strategy overhead)",
-            ]
+            ["search stats:"]
+            + [f"  {label + ':':<{width}} {value}" for label, value in rows]
         )
 
     def __repr__(self) -> str:

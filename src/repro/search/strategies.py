@@ -22,8 +22,10 @@ the kernel.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.placement import (
     Placement,
     SocketShape,
@@ -32,6 +34,7 @@ from repro.core.placement import (
     sample_canonical,
 )
 from repro.core.sweep import packed_placement, spread_placement, sweep_placements
+from repro.errors import PredictionError
 from repro.hardware.topology import MachineTopology
 
 
@@ -121,6 +124,179 @@ class GreedyHillClimbStrategy:
             return None
         self._last_best_key = best_key
         return neighbour_placements(topology, best.placement)
+
+
+class SurrogateStrategy:
+    """Surrogate-ranked search: score everything, exact-verify the top-k.
+
+    The whole canonical space (or *space*, or a deterministic sample)
+    is scored in one vectorised pass by a trained
+    :class:`repro.surrogate.SurrogateModel`; only the leading *k*
+    placements reach the exact fixed point through the engine.  *k*
+    adapts: each refine round widens the verified prefix by the growth
+    factor until the exact-verified best has been stable for
+    ``stable_rounds`` consecutive widenings (or the space is
+    exhausted).  Every answer the search returns is therefore
+    exact-verified — the surrogate only chooses the evaluation order.
+
+    Fallback: with no model, no engine binding, or model confidence
+    below ``min_confidence`` on this space (out-of-envelope features,
+    poor training fit), the strategy degrades to exact exhaustive
+    search over the same space and counts a ``surrogate_fallbacks``
+    in :class:`~repro.search.stats.SearchStats`.
+
+    The engine calls :meth:`bind` before the first round, handing the
+    strategy its machine description (for featurization) and stats.
+    Like every strategy, instances carry per-search state — use a
+    fresh one per :meth:`~repro.search.engine.SearchEngine.search`.
+    """
+
+    def __init__(
+        self,
+        model=None,
+        *,
+        model_path: Optional[str] = None,
+        space: Optional[Sequence[Placement]] = None,
+        initial_k: int = 32,
+        growth: float = 2.0,
+        stable_rounds: int = 2,
+        min_confidence: float = 0.3,
+        max_threads: Optional[int] = None,
+        max_sockets: Optional[int] = None,
+        max_cores: Optional[int] = None,
+        sample: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if initial_k < 1:
+            raise PredictionError("surrogate initial_k must be >= 1")
+        if growth <= 1.0:
+            raise PredictionError("surrogate growth factor must be > 1")
+        if stable_rounds < 1:
+            raise PredictionError("surrogate stable_rounds must be >= 1")
+        self.model = model
+        self.model_path = model_path
+        self.space = space
+        self.initial_k = initial_k
+        self.growth = growth
+        self.stable_rounds = stable_rounds
+        self.min_confidence = min_confidence
+        self.max_threads = max_threads
+        self.max_sockets = max_sockets
+        self.max_cores = max_cores
+        self.sample = sample
+        self.seed = seed
+        self.fallback_reason: Optional[str] = None
+        self._engine = None
+        self._workload = None
+        self._ranked: Optional[List[Placement]] = None
+        self._cursor = 0
+        self._step = initial_k
+        self._stable = 0
+        self._last_best_key: Optional[Tuple[SocketShape, ...]] = None
+
+    # -- engine integration ----------------------------------------------
+
+    def bind(self, engine, workload) -> None:
+        """Receive the engine and workload before the first round."""
+        self._engine = engine
+        self._workload = workload
+        if self.model is None and self.model_path is not None:
+            # Imported lazily: repro.io imports repro.core, whose
+            # optimizer imports the engine module next door.
+            from repro.io.surrogate import load_surrogate
+
+            self.model = load_surrogate(self.model_path)
+
+    def _stats_inc(self, name: str, amount: int = 1) -> None:
+        if self._engine is not None:
+            self._engine.stats.inc(name, amount)
+
+    def _space(self, topology: MachineTopology) -> List[Placement]:
+        if self.space is not None:
+            return list(self.space)
+        filters = dict(
+            max_threads=self.max_threads,
+            max_sockets=self.max_sockets,
+            max_cores=self.max_cores,
+        )
+        if self.sample is not None:
+            return sample_canonical(topology, self.sample, seed=self.seed, **filters)
+        return enumerate_canonical(topology, **filters)
+
+    def _fall_back(self, reason: str, space: List[Placement]) -> List[Placement]:
+        self.fallback_reason = reason
+        self._ranked = None
+        self._stats_inc("surrogate_fallbacks")
+        return space
+
+    # -- strategy API -----------------------------------------------------
+
+    def initial_candidates(self, topology: MachineTopology) -> List[Placement]:
+        space = self._space(topology)
+        if self.model is None:
+            return self._fall_back("no surrogate model", space)
+        md = getattr(getattr(self._engine, "predictor", None), "md", None)
+        if md is None or self._workload is None:
+            return self._fall_back("strategy not bound to an engine", space)
+
+        from repro.surrogate.features import PlacementFeaturizer
+
+        with obs.span(
+            "search.surrogate", placements=len(space), workload=self._workload.name
+        ) as span:
+            t0 = time.perf_counter_ns()
+            X = PlacementFeaturizer(md, self._workload).matrix(space)
+            confidence = self.model.confidence(X)
+            if confidence < self.min_confidence:
+                if span is not None:
+                    span.attrs.update(confidence=confidence, fallback=True)
+                return self._fall_back(
+                    f"model confidence {confidence:.2f} below "
+                    f"{self.min_confidence:.2f}",
+                    space,
+                )
+            scores = self.model.rank_scores(X)
+            order = _stable_argsort(scores)
+            if obs.enabled():
+                obs.metrics().histogram("search.surrogate.score_us").observe(
+                    (time.perf_counter_ns() - t0) / 1e3
+                )
+            if span is not None:
+                span.attrs.update(confidence=confidence, fallback=False)
+        self._stats_inc("surrogate_scored", len(space))
+        self._ranked = [space[i] for i in order]
+        self._cursor = min(self.initial_k, len(self._ranked))
+        self._step = self.initial_k
+        batch = self._ranked[: self._cursor]
+        self._stats_inc("surrogate_verified", len(batch))
+        return batch
+
+    def refine(self, topology, best, seen) -> Optional[Sequence[Placement]]:
+        if self._ranked is None:  # fallback: single exhaustive round
+            return None
+        best_key = best.placement.canonical_key()
+        if best_key == self._last_best_key:
+            self._stable += 1
+            if self._stable >= self.stable_rounds:
+                return None
+        else:
+            self._stable = 0
+            self._last_best_key = best_key
+        if self._cursor >= len(self._ranked):
+            return None
+        self._step = max(self._step + 1, int(self._step * self.growth))
+        end = min(self._cursor + self._step, len(self._ranked))
+        batch = self._ranked[self._cursor : end]
+        self._cursor = end
+        self._stats_inc("surrogate_verified", len(batch))
+        return batch
+
+
+def _stable_argsort(scores) -> List[int]:
+    """Ascending order with ties kept in input (enumeration) order."""
+    import numpy as np
+
+    return list(np.argsort(np.asarray(scores), kind="stable"))
 
 
 def neighbour_placements(

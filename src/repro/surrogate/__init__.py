@@ -1,0 +1,43 @@
+"""Learned surrogate pre-filter for placement search (ISSUE 8).
+
+The exact Pandia fixed point is the golden reference — and the search
+bottleneck on large machines.  This package provides the cheap learned
+ranker in front of it:
+
+* **featurization** — a deterministic, canonicalisation-stable feature
+  vector per placement, computed vectorised over whole spaces
+  (:mod:`repro.surrogate.features`);
+* **models** — ridge regression and gradient-boosted stumps in pure
+  NumPy, bit-deterministic fits, self-reported confidence
+  (:mod:`repro.surrogate.model`);
+* **training** — tables from exact batch-kernel output over catalog
+  machines × workloads (:mod:`repro.surrogate.train`).
+
+The consumer is :class:`repro.search.strategies.SurrogateStrategy`:
+score the whole canonical space with one surrogate pass, run the exact
+fixed point only on an adaptively-widened top-k, and fall back to exact
+search when the model is missing or unconfident.  The surrogate never
+*answers* a search — every returned placement is exact-verified.
+Persistence lives in :mod:`repro.io.surrogate`.
+"""
+
+from repro.surrogate.features import FEATURE_NAMES, PlacementFeaturizer
+from repro.surrogate.model import SurrogateModel, fit_ridge, fit_stumps
+from repro.surrogate.train import (
+    DEFAULT_TRAIN_MACHINES,
+    DEFAULT_TRAIN_WORKLOADS,
+    train_surrogate,
+    training_table,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "PlacementFeaturizer",
+    "SurrogateModel",
+    "fit_ridge",
+    "fit_stumps",
+    "DEFAULT_TRAIN_MACHINES",
+    "DEFAULT_TRAIN_WORKLOADS",
+    "train_surrogate",
+    "training_table",
+]

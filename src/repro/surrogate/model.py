@@ -1,0 +1,319 @@
+"""The trainable surrogate: ridge or gradient-boosted stumps, pure NumPy.
+
+Both model kinds predict the *log contention excess*
+
+    y = log(relative_time) - log(amdahl_relative_time)
+
+i.e. how much slower the exact fixed point says a placement runs than
+Amdahl's law alone would.  Ranking scores add the Amdahl term back
+(:meth:`SurrogateModel.rank_scores`), so a model that predicts zero
+degrades gracefully to the Amdahl baseline rather than to nonsense.
+
+Fitting is bit-deterministic: ridge is a closed-form solve; the boosted
+stumps scan features in index order over a fixed quantile threshold
+grid and break ties toward the lowest feature/threshold index, so the
+same training matrix and hyper-parameters always produce the same
+trees.  There is no randomness anywhere in the fit — the ``seed``
+recorded in :attr:`SurrogateModel.meta` identifies the *training-data
+sample*, not a fit-time RNG.
+
+A model knows how far it can be trusted: it carries its training R²
+and the per-feature envelope of the training matrix, and
+:meth:`SurrogateModel.confidence` discounts the R² by the fraction of
+query rows that fall outside that envelope.  The search strategy falls
+back to exact search below a confidence floor
+(:class:`repro.search.strategies.SurrogateStrategy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.surrogate.features import FEATURE_NAMES
+
+#: One boosted stump: (feature index, threshold, value if x <= threshold,
+#: value otherwise).  Contributions are scaled by the learning rate at
+#: fit time, so prediction is a plain sum.
+Stump = Tuple[int, float, float, float]
+
+#: Envelope slack: rows within this fraction of the training range
+#: outside the min/max still count as in-distribution.
+ENVELOPE_SLACK = 0.05
+
+
+@dataclass
+class SurrogateModel:
+    """A fitted placement-slowdown surrogate (see module docstring)."""
+
+    kind: str                                  # "ridge" | "stumps"
+    feature_names: Tuple[str, ...]
+    base: float                                # mean of training targets
+    train_r2: float
+    feature_min: np.ndarray                    # (F,) training envelope
+    feature_max: np.ndarray                    # (F,)
+    coef: Optional[np.ndarray] = None          # ridge: (F,) on standardised X
+    x_mean: Optional[np.ndarray] = None        # ridge standardisation
+    x_scale: Optional[np.ndarray] = None
+    stumps: List[Stump] = field(default_factory=list)
+    meta: Dict = field(default_factory=dict)   # machines, workloads, seed, ...
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ridge", "stumps"):
+            raise ModelError(f"unknown surrogate kind {self.kind!r}")
+        if tuple(self.feature_names) != FEATURE_NAMES:
+            raise ModelError(
+                "surrogate model was trained on a different feature layout; "
+                "retrain it (pandia surrogate train)"
+            )
+
+    # -- scoring ----------------------------------------------------------
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted log contention excess for each row of *X*."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != len(self.feature_names):
+            raise ModelError(
+                f"feature matrix must be (N, {len(self.feature_names)}), "
+                f"got {X.shape}"
+            )
+        y = np.full(X.shape[0], self.base, dtype=np.float64)
+        if self.kind == "ridge":
+            z = (X - self.x_mean) / self.x_scale
+            y += z @ self.coef
+        else:
+            for f, thr, left, right in self.stumps:
+                y += np.where(X[:, f] <= thr, left, right)
+        return y
+
+    def rank_scores(self, X: np.ndarray) -> np.ndarray:
+        """Scores whose ascending order approximates fastest-first.
+
+        The Amdahl term is a feature column, so the full predicted
+        log relative time is ``excess + log_amdahl_rel``.
+        """
+        amdahl_col = self.feature_names.index("log_amdahl_rel")
+        return self.predict(X) + np.asarray(X, dtype=np.float64)[:, amdahl_col]
+
+    def confidence(self, X: np.ndarray) -> float:
+        """Trustworthiness of scoring *X* with this model, in [0, 1].
+
+        Training R² discounted by the fraction of rows inside the
+        (slack-padded) training envelope — a model queried far outside
+        what it saw reports low confidence and triggers exact fallback.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.size == 0:
+            return 0.0
+        span = self.feature_max - self.feature_min
+        lo = self.feature_min - ENVELOPE_SLACK * span - 1e-12
+        hi = self.feature_max + ENVELOPE_SLACK * span + 1e-12
+        inside = np.all((X >= lo) & (X <= hi), axis=1)
+        return float(max(0.0, self.train_r2) * inside.mean())
+
+    # -- serialisation (consumed by repro.io.surrogate) -------------------
+
+    def to_dict(self) -> Dict:
+        data = {
+            "kind": self.kind,
+            "feature_names": list(self.feature_names),
+            "base": float(self.base),
+            "train_r2": float(self.train_r2),
+            "feature_min": [float(v) for v in self.feature_min],
+            "feature_max": [float(v) for v in self.feature_max],
+            "meta": dict(self.meta),
+        }
+        if self.kind == "ridge":
+            data["coef"] = [float(v) for v in self.coef]
+            data["x_mean"] = [float(v) for v in self.x_mean]
+            data["x_scale"] = [float(v) for v in self.x_scale]
+        else:
+            data["stumps"] = [
+                [int(f), float(t), float(l), float(r)]
+                for f, t, l, r in self.stumps
+            ]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SurrogateModel":
+        try:
+            kind = data["kind"]
+            model = cls(
+                kind=kind,
+                feature_names=tuple(data["feature_names"]),
+                base=float(data["base"]),
+                train_r2=float(data["train_r2"]),
+                feature_min=np.asarray(data["feature_min"], dtype=np.float64),
+                feature_max=np.asarray(data["feature_max"], dtype=np.float64),
+                coef=(
+                    np.asarray(data["coef"], dtype=np.float64)
+                    if kind == "ridge"
+                    else None
+                ),
+                x_mean=(
+                    np.asarray(data["x_mean"], dtype=np.float64)
+                    if kind == "ridge"
+                    else None
+                ),
+                x_scale=(
+                    np.asarray(data["x_scale"], dtype=np.float64)
+                    if kind == "ridge"
+                    else None
+                ),
+                stumps=[
+                    (int(f), float(t), float(l), float(r))
+                    for f, t, l, r in data.get("stumps", [])
+                ],
+                meta=dict(data.get("meta", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ModelError(f"malformed surrogate model data: {exc}") from exc
+        return model
+
+
+def _r_squared(y: np.ndarray, y_hat: np.ndarray) -> float:
+    ss_res = float(np.sum((y - y_hat) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    if ss_tot <= 0.0:
+        return 1.0 if ss_res <= 1e-18 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_ridge(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    alpha: float = 1.0,
+    meta: Optional[Dict] = None,
+) -> SurrogateModel:
+    """Closed-form ridge regression on standardised features."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    _check_training(X, y)
+    x_mean = X.mean(axis=0)
+    x_scale = X.std(axis=0)
+    x_scale = np.where(x_scale > 1e-12, x_scale, 1.0)   # constant columns
+    z = (X - x_mean) / x_scale
+    base = float(y.mean())
+    gram = z.T @ z + alpha * np.eye(z.shape[1])
+    coef = np.linalg.solve(gram, z.T @ (y - base))
+    y_hat = base + z @ coef
+    return SurrogateModel(
+        kind="ridge",
+        feature_names=FEATURE_NAMES,
+        base=base,
+        train_r2=_r_squared(y, y_hat),
+        feature_min=X.min(axis=0),
+        feature_max=X.max(axis=0),
+        coef=coef,
+        x_mean=x_mean,
+        x_scale=x_scale,
+        meta=dict(meta or {}),
+    )
+
+
+def fit_stumps(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    n_rounds: int = 160,
+    learning_rate: float = 0.125,
+    n_bins: int = 16,
+    meta: Optional[Dict] = None,
+) -> SurrogateModel:
+    """Gradient-boosted depth-1 regression trees on a quantile grid.
+
+    Per round, every (feature, threshold) split is scored in one
+    ``bincount`` per feature over precomputed threshold buckets; the
+    best SSE reduction wins, ties resolving to the lowest feature then
+    threshold index, so fitting is exactly reproducible.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    _check_training(X, y)
+    n, F = X.shape
+
+    # Candidate thresholds per feature: unique interior quantiles.
+    grid = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
+    thresholds: List[np.ndarray] = []
+    bins: List[np.ndarray] = []
+    for f in range(F):
+        cand = np.unique(np.quantile(X[:, f], grid))
+        cand = cand[(cand >= X[:, f].min()) & (cand < X[:, f].max())]
+        thresholds.append(cand)
+        # bucket b = number of thresholds < x, so (x <= thr[j]) == (b <= j)
+        bins.append(np.searchsorted(cand, X[:, f], side="left"))
+
+    base = float(y.mean())
+    pred = np.full(n, base, dtype=np.float64)
+    stumps: List[Stump] = []
+    counts_by_f = [
+        np.bincount(bins[f], minlength=len(thresholds[f]) + 1) for f in range(F)
+    ]
+    for _ in range(n_rounds):
+        residual = y - pred
+        best = None   # (gain, f, j, left_mean, right_mean)
+        total = residual.sum()
+        for f in range(F):
+            if len(thresholds[f]) == 0:
+                continue
+            sums = np.bincount(
+                bins[f], weights=residual, minlength=len(thresholds[f]) + 1
+            )
+            left_sum = np.cumsum(sums)[:-1]
+            left_cnt = np.cumsum(counts_by_f[f])[:-1]
+            right_sum = total - left_sum
+            right_cnt = n - left_cnt
+            valid = (left_cnt > 0) & (right_cnt > 0)
+            if not valid.any():
+                continue
+            with np.errstate(divide="ignore", invalid="ignore"):
+                gain = np.where(
+                    valid,
+                    left_sum**2 / np.maximum(left_cnt, 1)
+                    + right_sum**2 / np.maximum(right_cnt, 1),
+                    -np.inf,
+                )
+            j = int(np.argmax(gain))    # first max: lowest threshold index
+            if best is None or gain[j] > best[0] + 1e-15:
+                best = (
+                    float(gain[j]),
+                    f,
+                    j,
+                    float(left_sum[j] / left_cnt[j]),
+                    float(right_sum[j] / right_cnt[j]),
+                )
+        if best is None:
+            break
+        _, f, j, left_mean, right_mean = best
+        left = learning_rate * left_mean
+        right = learning_rate * right_mean
+        stumps.append((f, float(thresholds[f][j]), left, right))
+        pred += np.where(bins[f] <= j, left, right)
+
+    return SurrogateModel(
+        kind="stumps",
+        feature_names=FEATURE_NAMES,
+        base=base,
+        train_r2=_r_squared(y, pred),
+        feature_min=X.min(axis=0),
+        feature_max=X.max(axis=0),
+        stumps=stumps,
+        meta=dict(meta or {}),
+    )
+
+
+def _check_training(X: np.ndarray, y: np.ndarray) -> None:
+    if X.ndim != 2 or X.shape[1] != len(FEATURE_NAMES):
+        raise ModelError(
+            f"training matrix must be (N, {len(FEATURE_NAMES)}), got {X.shape}"
+        )
+    if y.shape != (X.shape[0],):
+        raise ModelError(f"targets must be ({X.shape[0]},), got {y.shape}")
+    if X.shape[0] < 2:
+        raise ModelError("surrogate training needs at least two samples")
+    if not (np.isfinite(X).all() and np.isfinite(y).all()):
+        raise ModelError("training data contains non-finite values")

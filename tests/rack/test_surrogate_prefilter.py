@@ -1,0 +1,114 @@
+"""Surrogate pre-filter on the rack scheduler's solo estimates.
+
+The surrogate only picks which machine's solo reference placement pays
+the exact fixed point; the estimate returned must equal the unfiltered
+(every-machine) one, and a low-confidence model must widen back to
+verifying the whole fleet.
+"""
+
+import pytest
+
+from repro.core.machine_desc import generate_machine_description
+from repro.core.workload_desc import WorkloadDescriptionGenerator
+from repro.hardware import machines
+from repro.rack import Rack, RackMachine, RackScheduler
+from repro.sim.noise import NO_NOISE
+from repro.surrogate import train_surrogate
+from repro.workloads import catalog
+
+TRAIN = ("X3-2", "X4-2")
+
+
+@pytest.fixture(scope="module")
+def setups():
+    """{catalog name: (spec, md, {workload: description})}.
+
+    The scheduler scores ONE profiled description against every fleet
+    machine, so the fleet surrogate trains each machine against that
+    same description (the deployment distribution) — not a per-machine
+    re-profile.
+    """
+    out = {}
+    shared = None
+    for name in TRAIN:
+        spec = machines.get(name)
+        md = generate_machine_description(spec, noise=NO_NOISE)
+        if shared is None:
+            gen = WorkloadDescriptionGenerator(spec, md, noise=NO_NOISE)
+            shared = gen.generate(catalog.get("MD"))
+        out[name] = (spec, md, {"MD": shared})
+    return out
+
+
+@pytest.fixture(scope="module")
+def rack(setups):
+    return Rack(
+        machines=tuple(
+            RackMachine(f"node-{name}", spec, md)
+            for name, (spec, md, _) in setups.items()
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def model(setups):
+    descriptions = {name: (md, wds) for name, (_, md, wds) in setups.items()}
+    return train_surrogate(
+        TRAIN, ("MD",), kind="ridge", sample=150, seed=0,
+        descriptions=descriptions,
+    )
+
+
+def _surrogate_counters(scheduler):
+    totals = {"surrogate_scored": 0, "surrogate_verified": 0,
+              "surrogate_fallbacks": 0}
+    for engine in scheduler._solo_search.values():
+        stats = engine.stats
+        for key in totals:
+            totals[key] += getattr(stats, key)
+    return totals
+
+
+class TestSoloPrefilter:
+    def test_prefiltered_estimate_is_exact(self, rack, setups, model):
+        workload = setups["X3-2"][2]["MD"]
+        reference = RackScheduler(rack).solo_estimate(workload)
+        filtered = RackScheduler(rack, surrogate=model)
+        assert filtered.solo_estimate(workload) == reference
+
+    def test_only_the_leader_pays_the_fixed_point(self, rack, setups, model):
+        scheduler = RackScheduler(rack, surrogate=model)
+        scheduler.solo_estimate(setups["X3-2"][2]["MD"])
+        counters = _surrogate_counters(scheduler)
+        assert counters["surrogate_scored"] == len(rack.machines)
+        assert counters["surrogate_verified"] == 1
+        assert counters["surrogate_fallbacks"] == 0
+
+    def test_low_confidence_widens_to_the_whole_fleet(self, rack, setups):
+        """A model trained on the FIG3 toy machine cannot score these
+        machines confidently: every candidate must be exact-verified."""
+        fig3 = machines.get("FIG3")
+        md = generate_machine_description(fig3, noise=NO_NOISE)
+        gen = WorkloadDescriptionGenerator(fig3, md, noise=NO_NOISE)
+        toy_model = train_surrogate(
+            ("FIG3",), ("MD",), kind="ridge", sample=20, seed=0,
+            descriptions={"FIG3": (md, {"MD": gen.generate(catalog.get("MD"))})},
+        )
+        workload = setups["X3-2"][2]["MD"]
+        reference = RackScheduler(rack).solo_estimate(workload)
+        scheduler = RackScheduler(rack, surrogate=toy_model)
+        assert scheduler.solo_estimate(workload) == reference
+        counters = _surrogate_counters(scheduler)
+        assert counters["surrogate_fallbacks"] >= 1
+        assert counters["surrogate_verified"] == 0
+
+    def test_path_is_loaded_lazily(self, rack, setups, model, tmp_path):
+        from repro.io import save_surrogate
+
+        path = tmp_path / "m.json"
+        save_surrogate(model, path)
+        scheduler = RackScheduler(rack, surrogate=path)
+        workload = setups["X3-2"][2]["MD"]
+        assert scheduler.solo_estimate(workload) == RackScheduler(
+            rack
+        ).solo_estimate(workload)

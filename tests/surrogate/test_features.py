@@ -1,0 +1,78 @@
+"""Featurizer: deterministic, symmetry-stable, fixed-width."""
+
+import numpy as np
+import pytest
+
+from repro.core.placement import Placement, from_shapes
+from repro.errors import ModelError
+from repro.surrogate import FEATURE_NAMES, PlacementFeaturizer
+
+
+@pytest.fixture(scope="module")
+def featurizer(testbox_md, testbox_gen, md_spec):
+    return PlacementFeaturizer(testbox_md, testbox_gen.generate(md_spec))
+
+
+class TestLayout:
+    def test_matrix_width_matches_feature_names(self, featurizer, testbox):
+        space = [from_shapes(testbox.topology, [(2, 1), (1, 0)])]
+        X = featurizer.matrix(space)
+        assert X.shape == (1, len(FEATURE_NAMES))
+        assert X.dtype == np.float64
+        assert np.isfinite(X).all()
+
+    def test_vector_equals_matrix_row(self, featurizer, testbox):
+        placement = from_shapes(testbox.topology, [(0, 2), (3, 0)])
+        assert np.array_equal(
+            featurizer.vector(placement), featurizer.matrix([placement])[0]
+        )
+
+    def test_feature_names_are_unique(self):
+        assert len(set(FEATURE_NAMES)) == len(FEATURE_NAMES)
+
+
+class TestSymmetryStability:
+    """Every member of a symmetry class maps to the identical vector."""
+
+    def test_socket_permutation_is_invisible(self, featurizer, testbox):
+        topo = testbox.topology
+        a = from_shapes(topo, [(2, 1), (0, 0)])
+        b = from_shapes(topo, [(0, 0), (2, 1)])
+        assert a.canonical_key() == b.canonical_key()
+        assert a.hw_thread_ids != b.hw_thread_ids
+        assert np.array_equal(featurizer.vector(a), featurizer.vector(b))
+
+    def test_concrete_thread_ids_are_invisible(self, featurizer, testbox):
+        topo = testbox.topology
+        a = from_shapes(topo, [(2, 0), (1, 0)])
+        # Same shape on different concrete cores of each socket.
+        b = Placement(
+            topo,
+            tuple(
+                topo.core(c).hw_thread_ids[0]
+                for c in (topo.socket(0).core_ids[-2:] + topo.socket(1).core_ids[-1:])
+            ),
+        )
+        assert a.canonical_key() == b.canonical_key()
+        assert np.array_equal(featurizer.vector(a), featurizer.vector(b))
+
+    def test_raw_canonical_keys_are_accepted(self, featurizer, testbox):
+        placement = from_shapes(testbox.topology, [(1, 2), (4, 0)])
+        assert np.array_equal(
+            featurizer.matrix([placement]),
+            featurizer.matrix([placement.canonical_key()]),
+        )
+
+
+class TestValidation:
+    def test_socket_count_mismatch_rejected(self, featurizer):
+        with pytest.raises(ModelError, match="sockets"):
+            featurizer.matrix([((2, 1),)])  # one socket, machine has two
+
+    def test_distinct_shapes_get_distinct_vectors(self, featurizer, testbox):
+        topo = testbox.topology
+        packed = from_shapes(topo, [(0, 2), (0, 0)])
+        spread = from_shapes(topo, [(2, 0), (2, 0)])
+        assert not np.array_equal(
+            featurizer.vector(packed), featurizer.vector(spread)
+        )

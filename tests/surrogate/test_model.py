@@ -1,0 +1,175 @@
+"""Surrogate models: deterministic fits, confidence, persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.placement import enumerate_canonical
+from repro.errors import ModelError
+from repro.io import load_surrogate, save_surrogate
+from repro.surrogate import (
+    FEATURE_NAMES,
+    SurrogateModel,
+    fit_ridge,
+    fit_stumps,
+    train_surrogate,
+    training_table,
+)
+
+
+@pytest.fixture(scope="module")
+def table(testbox, testbox_md, testbox_gen, md_spec):
+    """(X, y) over the full TESTBOX canonical space for MD."""
+    workload = testbox_gen.generate(md_spec)
+    space = enumerate_canonical(testbox.topology)
+    return training_table(testbox_md, workload, space)
+
+
+@pytest.fixture(scope="module")
+def descriptions(testbox, testbox_md, testbox_gen):
+    from repro.workloads import catalog
+
+    wds = {w: testbox_gen.generate(catalog.get(w)) for w in ("MD", "EP")}
+    return {"TESTBOX": (testbox_md, wds)}
+
+
+class TestDeterminism:
+    """Same data (and same seed) must give a bit-identical model."""
+
+    def test_ridge_is_bit_identical(self, table):
+        X, y = table
+        a, b = fit_ridge(X, y), fit_ridge(X, y)
+        assert np.array_equal(a.coef, b.coef)
+        assert a.base == b.base
+        assert a.train_r2 == b.train_r2
+
+    def test_stumps_are_bit_identical(self, table):
+        X, y = table
+        a, b = fit_stumps(X, y), fit_stumps(X, y)
+        assert a.stumps == b.stumps
+        assert a.base == b.base
+        assert a.train_r2 == b.train_r2
+
+    def test_full_training_pipeline_is_deterministic(self, descriptions):
+        kwargs = dict(
+            machine_names=("TESTBOX",),
+            workload_names=("MD", "EP"),
+            kind="ridge",
+            sample=40,
+            seed=7,
+            descriptions=descriptions,
+        )
+        a = train_surrogate(**kwargs)
+        b = train_surrogate(**kwargs)
+        assert a.to_dict() == b.to_dict()
+
+
+class TestFitQuality:
+    def test_both_kinds_fit_the_training_set(self, table):
+        X, y = table
+        for fit in (fit_ridge, fit_stumps):
+            model = fit(X, y)
+            assert model.train_r2 > 0.8
+            assert model.predict(X).shape == y.shape
+
+    def test_rank_scores_add_the_amdahl_column(self, table):
+        X, y = table
+        model = fit_ridge(X, y)
+        amdahl = X[:, FEATURE_NAMES.index("log_amdahl_rel")]
+        assert np.allclose(model.rank_scores(X), model.predict(X) + amdahl)
+
+    def test_training_inputs_validated(self, table):
+        X, y = table
+        with pytest.raises(ModelError):
+            fit_ridge(X[:1], y[:1])  # fewer than two samples
+        with pytest.raises(ModelError):
+            fit_ridge(X, y[:-1])  # shape mismatch
+        bad = y.copy()
+        bad[0] = np.nan
+        with pytest.raises(ModelError):
+            fit_stumps(X, bad)
+
+
+class TestConfidence:
+    def test_in_envelope_data_scores_high(self, table):
+        X, y = table
+        model = fit_ridge(X, y)
+        assert model.confidence(X) == pytest.approx(max(0.0, model.train_r2))
+
+    def test_out_of_envelope_data_scores_zero(self, table):
+        X, y = table
+        model = fit_ridge(X, y)
+        assert model.confidence(X + 100.0) == 0.0
+
+
+class TestSerialization:
+    def test_round_trip_predicts_identically(self, table):
+        X, y = table
+        for fit in (fit_ridge, fit_stumps):
+            model = fit(X, y, meta={"origin": "unit"})
+            clone = SurrogateModel.from_dict(model.to_dict())
+            assert np.array_equal(model.predict(X), clone.predict(X))
+            assert clone.meta == {"origin": "unit"}
+
+    def test_unknown_kind_rejected(self, table):
+        X, y = table
+        payload = fit_ridge(X, y).to_dict()
+        payload["kind"] = "forest"
+        with pytest.raises(ModelError, match="forest"):
+            SurrogateModel.from_dict(payload)
+
+    def test_foreign_feature_layout_rejected(self, table):
+        X, y = table
+        payload = fit_ridge(X, y).to_dict()
+        payload["feature_names"] = list(payload["feature_names"])[:-1] + ["mystery"]
+        with pytest.raises(ModelError, match="retrain"):
+            SurrogateModel.from_dict(payload)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, table, tmp_path):
+        X, y = table
+        model = fit_stumps(X, y)
+        path = tmp_path / "surrogate.json"
+        save_surrogate(model, path)
+        loaded = load_surrogate(path)
+        assert np.array_equal(model.predict(X), loaded.predict(X))
+        assert loaded.kind == "stumps"
+
+    def test_missing_file_names_the_path(self, tmp_path):
+        path = tmp_path / "absent.json"
+        with pytest.raises(ModelError, match="absent.json"):
+            load_surrogate(path)
+
+    def test_corrupt_file_names_the_path(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json")
+        with pytest.raises(ModelError, match="corrupt.json"):
+            load_surrogate(path)
+
+    def test_version_mismatch_asks_for_retraining(self, table, tmp_path):
+        X, y = table
+        path = tmp_path / "old.json"
+        save_surrogate(fit_ridge(X, y), path)
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ModelError, match="retrain"):
+            load_surrogate(path)
+
+
+class TestTrainingPipelineValidation:
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ModelError):
+            train_surrogate(machine_names=(), workload_names=("MD",))
+
+    def test_unknown_kind_rejected(self, descriptions):
+        with pytest.raises(ModelError, match="forest"):
+            train_surrogate(
+                machine_names=("TESTBOX",),
+                workload_names=("MD",),
+                kind="forest",
+                sample=10,
+                descriptions=descriptions,
+            )

@@ -87,6 +87,38 @@ class TestFitRegression:
         with pytest.raises(ReproError, match="single-thread"):
             fit_regression_baseline(testbox, spec, training_counts=(2, 3, 4))
 
+    def test_duplicate_counts_rejected(self, testbox, spec):
+        """A duplicate run adds no information but double-weights its
+        point; the error names the machine and the offending counts."""
+        with pytest.raises(ReproError) as exc:
+            fit_regression_baseline(
+                testbox, spec, training_counts=(1, 2, 2, 4, 4)
+            )
+        message = str(exc.value)
+        assert "TESTBOX" in message
+        assert "duplicate" in message
+        assert "[2, 4]" in message
+
+    def test_sub_one_counts_rejected(self, testbox, spec):
+        with pytest.raises(ReproError) as exc:
+            fit_regression_baseline(
+                testbox, spec, training_counts=(0, 1, 2, 3)
+            )
+        message = str(exc.value)
+        assert "TESTBOX" in message
+        assert ">= 1" in message and "[0]" in message
+
+    def test_over_capacity_counts_rejected(self, testbox, spec):
+        capacity = testbox.topology.n_hw_threads
+        with pytest.raises(ReproError) as exc:
+            fit_regression_baseline(
+                testbox, spec, training_counts=(1, 2, capacity + 1)
+            )
+        message = str(exc.value)
+        assert "TESTBOX" in message
+        assert str(capacity) in message
+        assert str(capacity + 1) in message
+
     def test_blind_to_placement_effects(self, testbox):
         """The baseline's defining weakness: it cannot tell placements
         of the same thread count apart."""

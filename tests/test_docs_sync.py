@@ -267,3 +267,91 @@ class TestWarmStartDocumented:
     def test_ci_asserts_the_warm_bench(self):
         ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
         assert "--assert-warm-savings" in ci
+
+
+class TestSurrogateDocumented:
+    """docs track the surrogate pre-filter end to end."""
+
+    API_TOKENS = (
+        "SurrogateStrategy",
+        "train_surrogate",
+        "save_surrogate",
+        "load_surrogate",
+        "PlacementFeaturizer",
+        "FEATURE_NAMES",
+        "fallback_reason",
+        "pandia surrogate train",
+        "--surrogate-model",
+        "BENCH_surrogate.json",
+    )
+    MODEL_TOKENS = (
+        "Surrogate pre-filter",
+        "top-k",
+        "canonical key",
+        "min_confidence",
+        "stable_rounds",
+        "log_amdahl_rel",
+    )
+
+    def test_api_doc_covers_the_surface(self):
+        text = (REPO / "docs" / "api.md").read_text()
+        for token in self.API_TOKENS:
+            assert token in text, f"{token!r} missing from docs/api.md"
+
+    def test_model_doc_explains_the_protocol(self):
+        text = (REPO / "docs" / "model.md").read_text()
+        for token in self.MODEL_TOKENS:
+            assert token in text, f"{token!r} missing from docs/model.md"
+
+    def test_readme_cross_links(self):
+        readme = (REPO / "README.md").read_text()
+        assert "pandia surrogate train" in readme
+        assert "--surrogate-model" in readme
+        assert "surrogate/" in readme
+
+    def test_telemetry_names_are_documented(self):
+        text = (REPO / "docs" / "observability.md").read_text()
+        for name in ("search.surrogate", "search.surrogate.score_us"):
+            assert name in text, f"{name!r} missing from docs/observability.md"
+
+    def test_cli_exposes_the_documented_flags(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions if a.__class__.__name__ == "_SubParsersAction"
+        )
+        assert "surrogate" in subparsers.choices
+        for command in ("optimize", "online"):
+            option_strings = {
+                opt
+                for action in subparsers.choices[command]._actions
+                for opt in action.option_strings
+            }
+            assert "--surrogate-model" in option_strings, (
+                f"--surrogate-model missing from `pandia {command}`"
+            )
+        strategy_action = next(
+            a
+            for a in subparsers.choices["optimize"]._actions
+            if "--strategy" in a.option_strings
+        )
+        assert "surrogate" in strategy_action.choices
+
+    def test_stats_surface_the_telemetry(self):
+        from repro.search.stats import SearchStats
+
+        stats = SearchStats()
+        for field in ("surrogate_scored", "surrogate_verified",
+                      "surrogate_fallbacks", "surrogate_regret",
+                      "surrogate_verify_rate", "note_surrogate_regret"):
+            assert hasattr(stats, field)
+        text = (REPO / "docs" / "api.md").read_text()
+        for field in ("surrogate_scored", "surrogate_verified",
+                      "surrogate_fallbacks"):
+            assert field in text, f"{field!r} missing from docs/api.md"
+
+    def test_ci_runs_and_uploads_the_surrogate_bench(self):
+        ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+        assert "bench_search.py --surrogate" in ci
+        assert "BENCH_surrogate.json" in ci

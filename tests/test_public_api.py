@@ -50,8 +50,15 @@ class TestTopLevelImports:
         )
         from repro.perf import parse_perf_stat, pinned_run_command
         from repro.fit import Observation, fit_workload_spec
-        from repro.io import DescriptionStore
+        from repro.io import DescriptionStore, load_surrogate, save_surrogate
         from repro.baselines import os_packed_choice, regression_choice
+        from repro.search import SurrogateStrategy
+        from repro.surrogate import (
+            FEATURE_NAMES,
+            PlacementFeaturizer,
+            SurrogateModel,
+            train_surrogate,
+        )
 
     def test_version(self):
         import repro
