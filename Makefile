@@ -25,6 +25,12 @@ full:
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
 
+# Invariant checker (docs/lint.md): fails on findings not in the
+# committed lint-baseline.json.  Run from the repo root — baseline
+# keys embed repo-relative paths.
+lint:
+	python -m repro.cli lint src/repro
+
 clean:
 	rm -rf .pytest_cache .hypothesis .benchmarks
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -17,6 +17,9 @@ Subcommands mirror the library's workflow:
 * ``surrogate train --out m.json`` — fit the placement surrogate from
   catalog machines × workloads.
 * ``experiment fig1 --scale quick`` — reproduce a paper artifact.
+* ``lint src/repro`` — statically check the codebase's determinism,
+  golden-purity, pool-safety and observability contracts against the
+  committed baseline (see ``docs/lint.md``).
 """
 
 from __future__ import annotations
@@ -497,6 +500,40 @@ def cmd_fit(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        Baseline,
+        format_json,
+        format_text,
+        run_lint,
+    )
+
+    setup_tracing(args)
+    select = None
+    if args.select:
+        select = [part for chunk in args.select for part in chunk.split(",")]
+    baseline = None
+    if not args.no_baseline:
+        baseline = Baseline.load(args.baseline)
+    report = run_lint(args.paths, select=select, baseline=baseline)
+    finish_tracing(args)
+    if args.write_baseline:
+        # Regenerate from everything currently found: adds the new
+        # findings deliberately and drops the expired entries.
+        Baseline.from_findings(report.new + report.baselined).save(args.baseline)
+        print(
+            f"wrote {args.baseline}: {len(report.new) + len(report.baselined)} "
+            f"accepted finding(s), {len(report.expired)} expired entr"
+            f"{'y' if len(report.expired) == 1 else 'ies'} dropped"
+        )
+        return 0
+    if args.format == "json":
+        print(format_json(report))
+    else:
+        print(format_text(report, verbose_baselined=args.show_baselined))
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="pandia",
@@ -659,6 +696,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True, metavar="PATH",
                    help="write the trained model to PATH (JSON)")
     p.set_defaults(func=cmd_surrogate_train)
+
+    p = sub.add_parser(
+        "lint",
+        help="statically check determinism/golden/pool/obs invariants",
+    )
+    p.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is the CI artifact contract)",
+    )
+    p.add_argument(
+        "--select", action="append", metavar="RULES",
+        help="comma-separated rule ids to run (default: all); repeatable",
+    )
+    p.add_argument(
+        "--baseline", metavar="FILE", default="lint-baseline.json",
+        help="accepted-findings file (default: lint-baseline.json; "
+             "missing file = empty baseline)",
+    )
+    p.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    p.add_argument(
+        "--write-baseline", action="store_true",
+        help="regenerate the baseline from the current findings and exit 0",
+    )
+    p.add_argument(
+        "--show-baselined", action="store_true",
+        help="also list accepted (baselined) findings in the text report",
+    )
+    add_trace_flags(p)
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser(
         "evaluate", help="measured-vs-predicted evaluation for one workload"

@@ -48,6 +48,7 @@ from repro.core.placement import Placement
 from repro.errors import PredictionError
 from repro.numa import dram_shares
 from repro.obs.records import ConvergenceRecord
+from repro.units import near_zero
 
 ResourceKey = Tuple[str, Hashable]
 
@@ -367,7 +368,7 @@ class Prediction:
         ratios: Dict[ResourceKey, float] = {}
         for key in self.resource_loads:
             capacity = self.resource_capacities.get(key, 0.0)
-            if capacity == 0.0:
+            if near_zero(capacity):
                 raise PredictionError(
                     f"resource {key!r} has zero capacity; "
                     "cannot compute its utilisation"

@@ -39,3 +39,12 @@ class PredictionError(ReproError):
 
 class ConvergenceError(PredictionError):
     """An iterative fixed point failed to converge within its budget."""
+
+
+class LintError(ReproError):
+    """The static invariant checker was misconfigured or cannot run.
+
+    Raised for unknown rule selections, unreadable/malformed baseline
+    files and unparseable source — *not* for findings, which are data,
+    not exceptions.
+    """

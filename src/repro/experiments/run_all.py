@@ -88,14 +88,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     chunks: List[str] = []
     reports: List[ExperimentReport] = []
     for experiment_id in args.ids or list(REGISTRY):
-        start = time.time()
+        start = time.perf_counter()
         with obs.span("experiment.run", experiment=experiment_id, scale=scale.name):
             report = run_experiments([experiment_id], context=context)[0]
         reports.append(report)
         text = report.render()
         chunks.append(text)
         print(text)
-        print(f"[{experiment_id} took {time.time() - start:.1f}s]\n")
+        print(f"[{experiment_id} took {time.perf_counter() - start:.1f}s]\n")
     if args.out:
         with open(args.out, "w") as handle:
             handle.write("\n\n".join(chunks) + "\n")

@@ -1,0 +1,117 @@
+"""The committed findings baseline.
+
+The baseline lets the linter land on a codebase with pre-existing
+findings without blocking CI: known findings are recorded in a JSON
+file (committed at the repo root as ``lint-baseline.json``) and only
+*new* findings fail the run.  Entries are keyed by
+:meth:`~repro.lint.findings.Finding.baseline_key` — rule id, path and
+message, line-independent — with a count per key so two identical
+violations in one file need two baseline slots.
+
+The file is a ratchet, not a dumping ground: ``--write-baseline``
+regenerates it from the current findings, which both *adds* new
+entries (deliberate) and *expires* entries whose finding has been
+fixed (automatic).  Expired entries are reported on every run so the
+shrink is visible in review.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import LintError
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline", "BASELINE_VERSION", "DEFAULT_BASELINE_NAME"]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+class Baseline:
+    """Counted multiset of accepted findings."""
+
+    def __init__(self, counts: Dict[str, int] | None = None) -> None:
+        self.counts: Dict[str, int] = dict(counts or {})
+
+    # -- persistence ------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read *path*; a missing file is an empty baseline."""
+        if not os.path.exists(path):
+            return cls()
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise LintError(f"cannot read lint baseline {path}: {exc}") from exc
+        if not isinstance(data, dict) or "entries" not in data:
+            raise LintError(
+                f"lint baseline {path} is malformed: expected an object "
+                "with an 'entries' list"
+            )
+        version = data.get("version")
+        if version != BASELINE_VERSION:
+            raise LintError(
+                f"lint baseline {path} has version {version!r}; this "
+                f"linter reads version {BASELINE_VERSION} — regenerate it "
+                "with --write-baseline"
+            )
+        counts: Dict[str, int] = {}
+        for entry in data["entries"]:
+            key = f"{entry['rule']}::{entry['path']}::{entry['message']}"
+            counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+        return cls(counts)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts: Dict[str, int] = {}
+        for finding in findings:
+            key = finding.baseline_key()
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    def save(self, path: str) -> None:
+        entries: List[Dict[str, object]] = []
+        for key in sorted(self.counts):
+            rule, file_path, message = key.split("::", 2)
+            entry: Dict[str, object] = {
+                "rule": rule,
+                "path": file_path,
+                "message": message,
+            }
+            if self.counts[key] != 1:
+                entry["count"] = self.counts[key]
+            entries.append(entry)
+        payload = {"version": BASELINE_VERSION, "entries": entries}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    # -- matching ---------------------------------------------------------
+
+    def partition(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[str]]:
+        """Split *findings* into (new, baselined) and list expired keys.
+
+        Matching consumes baseline slots: a key baselined once but
+        found twice yields one baselined and one new finding.  Keys
+        left unconsumed are *expired* — their finding has been fixed
+        and the entry should be dropped via ``--write-baseline``.
+        """
+        remaining = dict(self.counts)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in sorted(findings):
+            key = finding.baseline_key()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        expired = sorted(key for key, count in remaining.items() if count > 0)
+        return new, baselined, expired

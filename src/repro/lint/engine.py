@@ -1,0 +1,201 @@
+"""The lint engine: walk files, parse once, run every active rule.
+
+One :class:`ModuleContext` is built per file — source, parsed tree,
+lazily cached parent map and import map — and handed to each rule, so
+the file is read and parsed exactly once regardless of how many rules
+run.  Findings then flow through two filters:
+
+1. **pragmas** — ``# pandia: lint-ok[RULE-ID] reason`` on the finding's
+   line silences it (counted, not dropped silently);
+2. **baseline** — known findings recorded in the committed baseline
+   are reported separately and do not fail the run.
+
+When :mod:`repro.obs` is enabled the run is wrapped in a ``lint.run``
+span and per-rule ``lint.findings.<RULE-ID>`` counters (plus
+``lint.files``) are emitted — the same one-hoisted-branch discipline
+the linter itself enforces (PD-OBS).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro import obs
+from repro.errors import LintError
+from repro.lint.astutil import ImportMap, build_parents
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding
+from repro.lint.pragmas import Suppressions, parse_pragmas
+from repro.lint.registry import LintRule, select_rules
+
+__all__ = ["LintReport", "ModuleContext", "iter_python_files", "run_lint"]
+
+
+class ModuleContext:
+    """Everything the rules need to know about one source file."""
+
+    def __init__(self, path: str, display_path: str, source: str) -> None:
+        self.path = path
+        self.display_path = display_path
+        self.source = source
+        self.lines = source.splitlines()
+        try:
+            self.tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            raise LintError(
+                f"cannot lint {display_path}: syntax error at line "
+                f"{exc.lineno}: {exc.msg}"
+            ) from exc
+        self.module_name = _module_name(path)
+        self.suppressions = Suppressions(parse_pragmas(source))
+        self._parents: Optional[Dict[int, ast.AST]] = None
+        self._imports: Optional[ImportMap] = None
+
+    @property
+    def parents(self) -> Dict[int, ast.AST]:
+        if self._parents is None:
+            self._parents = build_parents(self.tree)
+        return self._parents
+
+    @property
+    def imports(self) -> ImportMap:
+        if self._imports is None:
+            self._imports = ImportMap(self.tree)
+        return self._imports
+
+
+def _module_name(path: str) -> str:
+    """Dotted module name, walking up through ``__init__.py`` packages.
+
+    ``src/repro/core/predictor.py`` -> ``repro.core.predictor``; a file
+    outside any package is just its stem.
+    """
+    directory, filename = os.path.split(os.path.abspath(path))
+    stem = os.path.splitext(filename)[0]
+    parts = [] if stem == "__init__" else [stem]
+    while os.path.exists(os.path.join(directory, "__init__.py")):
+        directory, package = os.path.split(directory)
+        parts.append(package)
+    return ".".join(reversed(parts))
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if not d.startswith(".") and d != "__pycache__"
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        files.append(os.path.join(dirpath, filename))
+        else:
+            raise LintError(f"lint path does not exist: {path}")
+    return sorted(dict.fromkeys(files))
+
+
+def _display_path(path: str) -> str:
+    """Repo-relative forward-slash path when under the cwd, else as-is.
+
+    Baseline keys embed this, so baselines are portable as long as the
+    linter runs from the repository root (which ``make lint``, CI and
+    the self-lint test all do).
+    """
+    absolute = os.path.abspath(path)
+    relative = os.path.relpath(absolute, os.getcwd())
+    chosen = absolute if relative.startswith("..") else relative
+    return chosen.replace(os.sep, "/")
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    expired: List[str] = field(default_factory=list)
+    suppressed: int = 0
+    files_scanned: int = 0
+    rules: List[str] = field(default_factory=list)
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing new was found (expired entries only warn)."""
+        return not self.new
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "rules": list(self.rules),
+            "suppressed": self.suppressed,
+            "duration_s": round(self.duration_s, 6),
+            "new": [finding.to_dict() for finding in self.new],
+            "baselined": [finding.to_dict() for finding in self.baselined],
+            "expired_baseline_entries": list(self.expired),
+        }
+
+
+def lint_file(path: str, rules: Sequence[LintRule]) -> List[Finding]:
+    """All raw findings for one file (pragma filtering included)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        raise LintError(f"cannot read {path}: {exc}") from exc
+    ctx = ModuleContext(path, _display_path(path), source)
+    kept: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if ctx.suppressions.covers(finding.rule_id, finding.line):
+                continue
+            kept.append(finding)
+    return kept
+
+
+def run_lint(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintReport:
+    """Lint *paths* and partition findings against *baseline*."""
+    started = time.perf_counter()
+    rules = select_rules(select)
+    files = iter_python_files(paths)
+    report = LintReport(rules=[rule.rule_id for rule in rules])
+    all_findings: List[Finding] = []
+    with obs.span("lint.run", files=len(files), rules=len(rules)):
+        for path in files:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            ctx = ModuleContext(path, _display_path(path), source)
+            for rule in rules:
+                for finding in rule.check(ctx):
+                    if ctx.suppressions.covers(finding.rule_id, finding.line):
+                        report.suppressed += 1
+                    else:
+                        all_findings.append(finding)
+    report.files_scanned = len(files)
+    if baseline is None:
+        baseline = Baseline()
+    report.new, report.baselined, report.expired = baseline.partition(all_findings)
+    report.duration_s = time.perf_counter() - started
+    if obs.enabled():
+        registry = obs.metrics()
+        registry.counter("lint.files").inc(len(files))
+        per_rule: Dict[str, int] = {}
+        for finding in all_findings:
+            per_rule[finding.rule_id] = per_rule.get(finding.rule_id, 0) + 1
+        for rule_id in sorted(per_rule):
+            registry.counter(f"lint.findings.{rule_id}").inc(per_rule[rule_id])
+    return report

@@ -1,0 +1,93 @@
+"""The :class:`Finding` record every lint rule emits.
+
+A finding is one violation of one invariant at one source location.
+Findings order by (path, line, col, rule) so reports are stable across
+runs and operating systems, and they serialise to plain dicts for the
+JSON report and the committed baseline.
+
+The baseline matches findings by :meth:`Finding.baseline_key` — rule id,
+repo-relative path and message, deliberately *excluding* the line
+number so unrelated edits above a baselined finding do not un-baseline
+it.  Two identical violations in one file share a key; the baseline
+stores a count per key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["Finding", "SEVERITIES"]
+
+#: Valid severities, most severe first.  ``error`` findings are
+#: contract violations; ``warning`` findings are strong conventions.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, order=False)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suggestion: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"finding {self.rule_id} at {self.path}:{self.line} has "
+                f"unknown severity {self.severity!r}"
+            )
+
+    # -- ordering ---------------------------------------------------------
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def __lt__(self, other: "Finding") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    # -- identity for the baseline ---------------------------------------
+
+    def baseline_key(self) -> str:
+        """Line-independent identity used by the committed baseline."""
+        return f"{self.rule_id}::{self.path}::{self.message}"
+
+    # -- serialisation ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+        if self.suggestion:
+            data["suggestion"] = self.suggestion
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Finding":
+        return cls(
+            rule_id=str(data["rule"]),
+            severity=str(data["severity"]),
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            col=int(data.get("col", 0)),  # type: ignore[arg-type]
+            message=str(data["message"]),
+            suggestion=(
+                str(data["suggestion"]) if data.get("suggestion") else None
+            ),
+        )
+
+    def __str__(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        if self.suggestion:
+            text += f" [{self.suggestion}]"
+        return text

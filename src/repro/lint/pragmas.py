@@ -1,0 +1,71 @@
+"""Inline suppressions: ``# pandia: lint-ok[RULE-ID] reason``.
+
+A pragma on a physical line silences findings that rule reports *on
+that line*.  Several ids separated by commas share one pragma; the
+trailing free-text reason is required — a suppression without a
+recorded justification is itself a finding (``PD-PRAGMA``), because an
+unexplained exception to a correctness contract is how contracts rot.
+
+Pragmas are recognised only in real ``#`` comment tokens (via
+:mod:`tokenize`), so docstrings and string literals that merely *talk
+about* the syntax — like this one — are never parsed as suppressions.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["PRAGMA_RE", "Pragma", "Suppressions", "parse_pragmas"]
+
+PRAGMA_RE = re.compile(
+    r"#\s*pandia:\s*lint-ok\[(?P<rules>[A-Za-z0-9_,\- ]*)\]\s*(?P<reason>.*)$"
+)
+
+
+class Pragma:
+    """One parsed suppression comment."""
+
+    __slots__ = ("line", "rule_ids", "reason")
+
+    def __init__(self, line: int, rule_ids: Tuple[str, ...], reason: str) -> None:
+        self.line = line
+        self.rule_ids = rule_ids
+        self.reason = reason
+
+
+def parse_pragmas(source: str) -> List[Pragma]:
+    """All pragmas in *source* (1-based line numbers).
+
+    *source* must already be known to parse — the engine builds the AST
+    first — so tokenisation cannot fail on anything the rules will see.
+    """
+    pragmas: List[Pragma] = []
+    for token in tokenize.generate_tokens(io.StringIO(source).readline):
+        if token.type != tokenize.COMMENT:
+            continue
+        match = PRAGMA_RE.search(token.string)
+        if match is None:
+            continue
+        rule_ids = tuple(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        pragmas.append(Pragma(token.start[0], rule_ids, match.group("reason").strip()))
+    return pragmas
+
+
+class Suppressions:
+    """Fast line/rule lookup over a file's pragmas."""
+
+    def __init__(self, pragmas: Iterable[Pragma]) -> None:
+        self._by_line: Dict[int, Tuple[str, ...]] = {}
+        self.pragmas: List[Pragma] = list(pragmas)
+        for pragma in self.pragmas:
+            existing = self._by_line.get(pragma.line, ())
+            self._by_line[pragma.line] = existing + pragma.rule_ids
+
+    def covers(self, rule_id: str, line: int) -> bool:
+        """Is *rule_id* suppressed on *line*?"""
+        return rule_id in self._by_line.get(line, ())

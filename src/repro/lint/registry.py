@@ -1,0 +1,114 @@
+"""The pluggable rule registry.
+
+A rule is a stateless object with a ``rule_id``, a ``severity``, a
+one-line ``summary`` and a ``check(ctx)`` generator yielding
+:class:`~repro.lint.findings.Finding` objects.  Rules register
+themselves at import time via :func:`register`; the engine imports
+:mod:`repro.lint.rules` once and asks the registry for the active set.
+
+``--select`` narrows the run to a comma-separated subset of ids —
+unknown ids raise :class:`~repro.errors.LintError` naming the id, so a
+typo in CI fails loudly instead of silently checking nothing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import LintError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.engine import ModuleContext
+    from repro.lint.findings import Finding
+
+__all__ = ["LintRule", "register", "all_rules", "select_rules", "rule_ids"]
+
+
+class LintRule:
+    """Base class for one statically checkable invariant."""
+
+    #: Stable identifier, e.g. ``PD-DET``; appears in reports, pragmas
+    #: and the baseline.
+    rule_id: str = ""
+    #: ``error`` or ``warning`` (see :data:`repro.lint.findings.SEVERITIES`).
+    severity: str = "error"
+    #: One line for ``--format text`` headers and docs.
+    summary: str = ""
+
+    def check(self, ctx: "ModuleContext") -> Iterator["Finding"]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: "ModuleContext",
+        node,
+        message: str,
+        suggestion: Optional[str] = None,
+    ) -> "Finding":
+        """Build a finding anchored at *node*'s location in *ctx*."""
+        from repro.lint.findings import Finding
+
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            suggestion=suggestion,
+        )
+
+
+_REGISTRY: Dict[str, LintRule] = {}
+
+
+def register(rule_class: type) -> type:
+    """Class decorator: instantiate and register one rule."""
+    rule = rule_class()
+    if not rule.rule_id:
+        raise LintError(f"rule class {rule_class.__name__} has no rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise LintError(
+            f"duplicate lint rule id {rule.rule_id!r} "
+            f"(registered twice by {rule_class.__name__})"
+        )
+    _REGISTRY[rule.rule_id] = rule
+    return rule_class
+
+
+def _ensure_loaded() -> None:
+    # Importing the rules package runs every @register decorator.
+    import repro.lint.rules  # noqa: F401
+
+
+def all_rules() -> List[LintRule]:
+    """Every registered rule, in stable id order."""
+    _ensure_loaded()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def rule_ids() -> List[str]:
+    """Sorted ids of every registered rule."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def select_rules(select: Optional[Sequence[str]] = None) -> List[LintRule]:
+    """The active rule set for one run.
+
+    *select* is a sequence of rule ids (or ``None`` for all).  Unknown
+    ids raise :class:`LintError` naming the offending id.
+    """
+    rules = all_rules()
+    if select is None:
+        return rules
+    wanted = [part.strip() for part in select if part.strip()]
+    known = {rule.rule_id for rule in rules}
+    for rule_id in wanted:
+        if rule_id not in known:
+            raise LintError(
+                f"unknown lint rule {rule_id!r}; known rules: "
+                + ", ".join(sorted(known))
+            )
+    keep = set(wanted)
+    return [rule for rule in rules if rule.rule_id in keep]

@@ -1,0 +1,63 @@
+"""Render a :class:`~repro.lint.engine.LintReport` as text or JSON.
+
+The text format is for humans at a terminal (one ``file:line:col``
+finding per line, grouped summary at the end); the JSON format is the
+machine contract CI uploads as an artifact — its shape is
+``LintReport.to_dict()`` and is covered by ``tests/lint``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.lint.engine import LintReport
+from repro.lint.findings import Finding
+
+__all__ = ["format_json", "format_text"]
+
+
+def _per_rule_counts(findings: List[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    return counts
+
+
+def format_text(report: LintReport, verbose_baselined: bool = False) -> str:
+    """Human-readable report; new findings first, summary last."""
+    lines: List[str] = []
+    for finding in report.new:
+        lines.append(str(finding))
+    if verbose_baselined and report.baselined:
+        lines.append("")
+        lines.append("baselined findings (accepted, not failing):")
+        for finding in report.baselined:
+            lines.append(f"  {finding}")
+    if report.expired:
+        lines.append("")
+        lines.append(
+            f"{len(report.expired)} baseline entr"
+            f"{'y is' if len(report.expired) == 1 else 'ies are'} stale "
+            "(finding fixed — shrink the baseline with --write-baseline):"
+        )
+        for key in report.expired:
+            lines.append(f"  {key}")
+    lines.append("")
+    summary = (
+        f"{report.files_scanned} files, {len(report.rules)} rules: "
+        f"{len(report.new)} new finding{'s' if len(report.new) != 1 else ''}, "
+        f"{len(report.baselined)} baselined, {report.suppressed} suppressed"
+    )
+    counts = _per_rule_counts(report.new)
+    if counts:
+        summary += " (" + ", ".join(
+            f"{rule_id}: {counts[rule_id]}" for rule_id in sorted(counts)
+        ) + ")"
+    lines.append(summary)
+    return "\n".join(lines).lstrip("\n")
+
+
+def format_json(report: LintReport) -> str:
+    """The machine-readable report (one JSON object, sorted keys)."""
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)

@@ -1,0 +1,74 @@
+"""PD-ERR — raised repro errors must name the entity that failed.
+
+The repo's error contract (see CHANGES.md, repeatedly: "naming the
+machine", "naming the path", "naming machine + offending counts") is
+that every :mod:`repro.errors` exception carries enough identity to
+act on — which machine, which workload, which file.  A constant
+message like ``raise ModelError("bad demand vector")`` forces whoever
+hits it at rack scale to reproduce with a debugger.
+
+The static proxy: a raise of a ``repro.errors`` type whose message is
+built entirely from string constants (no f-string field, no ``%`` or
+``.format()``, no variable) cannot be naming any entity.  Messages
+built dynamically are assumed to interpolate one — the rule checks
+shape, not prose.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.astutil import resolved_call_name
+from repro.lint.registry import LintRule, register
+
+_ERRORS_MODULE = "repro.errors"
+
+
+def _is_constant_text(node: ast.AST) -> bool:
+    """Is this message expression a compile-time constant string?"""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, str)
+    if isinstance(node, ast.JoinedStr):
+        # An f-string with no {field} is still constant text.
+        return all(
+            isinstance(value, ast.Constant) for value in node.values
+        )
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        return _is_constant_text(node.left) and _is_constant_text(node.right)
+    return False
+
+
+@register
+class ErrorNamingRule(LintRule):
+    rule_id = "PD-ERR"
+    severity = "warning"
+    summary = (
+        "repro.errors raises must interpolate the entity that failed "
+        "(machine, workload, path)"
+    )
+
+    def check(self, ctx) -> Iterator:
+        if ctx.module_name == _ERRORS_MODULE:
+            return
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Raise) and isinstance(node.exc, ast.Call)):
+                continue
+            name = resolved_call_name(node.exc, ctx.imports)
+            if name is None or not name.startswith(_ERRORS_MODULE + "."):
+                continue
+            error_type = name.rsplit(".", 1)[1]
+            if not node.exc.args:
+                yield self.finding(
+                    ctx, node,
+                    f"{error_type} raised with no message at all",
+                    suggestion="say what failed and name the entity",
+                )
+            elif all(_is_constant_text(arg) for arg in node.exc.args):
+                yield self.finding(
+                    ctx, node,
+                    f"{error_type} raised with a constant message; nothing "
+                    "identifies which machine/workload/path failed",
+                    suggestion="interpolate the failing entity, e.g. "
+                    "f\"... for machine {machine.name}\"",
+                )

@@ -1,0 +1,56 @@
+"""PD-FLOAT — no exact equality against float literals.
+
+The fixed-point kernel, the simulator and the schedulers all compute
+with floats; comparing one with ``==``/``!=`` against a float literal
+is either dead (the value is never bit-exactly ``0.1``) or fragile
+(it works until a reordering changes the last ulp — exactly the kind
+of drift the golden-equivalence suites exist to catch).  Compare with
+a tolerance instead: :func:`math.isclose`, or the package's helpers
+:func:`repro.units.near_zero` / :data:`repro.units.EPSILON`.
+
+The static proxy is deliberately high-precision: only comparisons
+where one side is a float *literal* are flagged, because that is the
+case where the author certainly meant a numeric threshold.  Int
+literals, identity checks and variable-vs-variable comparisons pass —
+``sentinel == -1.0``-style flag values earn a pragma with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.registry import LintRule, register
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+@register
+class FloatEqualityRule(LintRule):
+    rule_id = "PD-FLOAT"
+    severity = "warning"
+    summary = "no ==/!= against float literals; compare with a tolerance"
+
+    def check(self, ctx) -> Iterator:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            left = node.left
+            for op, right in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                    _is_float_literal(left) or _is_float_literal(right)
+                ):
+                    literal = left if _is_float_literal(left) else right
+                    yield self.finding(
+                        ctx, node,
+                        f"exact float comparison against "
+                        f"{ast.unparse(literal)}; equality on floats is "
+                        "bit-level and breaks on last-ulp drift",
+                        suggestion="use math.isclose(...), "
+                        "repro.units.near_zero(...) or an EPSILON band",
+                    )
+                left = right

@@ -1,0 +1,155 @@
+"""PD-OBS — observability calls follow the hoisted-branch contract.
+
+``repro.obs`` is off by default and guaranteed to cost < 5 % when
+disabled (``tests/obs/test_overhead.py``).  That guarantee rests on
+three call-site conventions this rule makes machine-checked:
+
+* ``obs.span(...)`` is only ever a ``with`` context manager — a bare
+  call starts a span that never finishes and corrupts the per-thread
+  span stack;
+* ``obs.enabled()`` / ``obs.metrics()`` are **hoisted** out of loops:
+  one branch (and one registry lookup) per phase, not per iteration —
+  the exact idiom the predictor's fixed-point kernel uses;
+* metric instrument names are **namespaced**: the first dotted segment
+  must be one of the registered families so dashboards and the
+  docs-sync tests can enumerate them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.lint.astutil import dotted, enclosing_loop, resolved_call_name
+from repro.lint.registry import LintRule, register
+
+#: Registered metric-name families (first dotted segment).
+METRIC_NAMESPACES = (
+    "experiment",
+    "lint",
+    "obs",
+    "online",
+    "predictor",
+    "rack",
+    "search",
+    "sim",
+)
+
+_INSTRUMENT_METHODS = {"counter", "gauge", "histogram"}
+
+
+def _literal_prefix(node: ast.AST) -> Optional[str]:
+    """The static leading text of a name argument, if any.
+
+    A plain string constant returns itself; an f-string returns its
+    literal head (``f"search.{name}"`` -> ``"search."``); anything
+    fully dynamic returns ``None`` (not checkable).
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr) and node.values:
+        first = node.values[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value
+    return None
+
+
+@register
+class ObsContractRule(LintRule):
+    rule_id = "PD-OBS"
+    severity = "error"
+    summary = (
+        "spans only as context managers, hoisted enabled()/metrics() "
+        "outside loops, namespaced metric names"
+    )
+
+    def check(self, ctx) -> Iterator:
+        imports = ctx.imports
+        parents = ctx.parents
+        metrics_aliases = self._metrics_aliases(ctx.tree, imports)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolved_call_name(node, imports)
+            if name == "repro.obs.span":
+                parent = parents.get(id(node))
+                if not (
+                    isinstance(parent, ast.withitem)
+                    and parent.context_expr is node
+                ):
+                    yield self.finding(
+                        ctx, node,
+                        "obs.span(...) outside a with-statement starts a "
+                        "span that is never finished",
+                        suggestion="use `with obs.span(...):` (or "
+                        "tracer().start()/finish() for explicit lifetimes)",
+                    )
+            elif name in ("repro.obs.enabled", "repro.obs.metrics"):
+                if enclosing_loop(node, parents) is not None:
+                    short = name.rsplit(".", 1)[1]
+                    yield self.finding(
+                        ctx, node,
+                        f"obs.{short}() called inside a loop; the "
+                        "disabled-overhead guard assumes one hoisted call "
+                        "per phase",
+                        suggestion=f"hoist `obs.{short}()` above the loop",
+                    )
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _INSTRUMENT_METHODS
+                and node.args
+                and self._is_metrics_receiver(node.func.value, metrics_aliases)
+            ):
+                yield from self._check_metric_name(ctx, node)
+
+    # -- metric-name namespace check --------------------------------------
+
+    @staticmethod
+    def _metrics_aliases(tree: ast.AST, imports) -> Set[str]:
+        """Local names bound to a metrics registry (``_m = obs.metrics()``)."""
+        aliases: Set[str] = set()
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = node.value
+            if isinstance(value, ast.Call):
+                name = resolved_call_name(value, imports)
+                if name is not None and (
+                    name == "metrics" or name.endswith(".metrics")
+                ):
+                    aliases.add(target.id)
+            elif isinstance(value, ast.Attribute) and value.attr == "metrics":
+                aliases.add(target.id)
+        return aliases
+
+    @staticmethod
+    def _is_metrics_receiver(node: ast.AST, aliases: Set[str]) -> bool:
+        if isinstance(node, ast.Call):
+            name = dotted(node.func)
+            return name is not None and (
+                name == "metrics" or name.endswith(".metrics")
+            )
+        name = dotted(node)
+        if name is None:
+            return False
+        return name in aliases or name == "metrics" or name.endswith(".metrics")
+
+    def _check_metric_name(self, ctx, call: ast.Call) -> Iterator:
+        prefix = _literal_prefix(call.args[0])
+        if prefix is None:
+            return
+        head, dot, _rest = prefix.partition(".")
+        if dot and head in METRIC_NAMESPACES:
+            return
+        # A fully literal name with no dot at all is always wrong; a
+        # literal head that is not a registered family is wrong too.
+        yield self.finding(
+            ctx, call,
+            f"metric name {prefix!r}… is outside the registered "
+            f"namespaces ({', '.join(METRIC_NAMESPACES)})",
+            suggestion="prefix the name with its subsystem, e.g. "
+            "'search.' or 'online.'",
+        )

@@ -1,0 +1,179 @@
+"""PD-POOL — work submitted to executors must be self-contained.
+
+The search engine fans prediction chunks out to thread and process
+pools.  Pool-submitted callables have two contracts, both enforced
+here because both failed silently before (the PR-4 double-count bug
+came from a worker mutating shared telemetry state):
+
+* **no shared-state writes** — a submitted function must not write
+  module globals (``global`` + assignment, or mutating a module-level
+  container) or rebind closure state (``nonlocal``).  Worker
+  *initializers* (``ProcessPoolExecutor(initializer=…)``) are the
+  sanctioned place for per-process setup and are exempt;
+* **picklable payloads** — lambdas and generator expressions cannot
+  cross a process boundary; submitting one works under a thread pool
+  today and explodes the day the executor kind changes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.lint.registry import LintRule, register
+
+#: Executor/pool methods whose first positional argument is a callable
+#: shipped to a worker.
+SUBMIT_METHODS = {
+    "submit", "map", "imap", "imap_unordered", "starmap", "starmap_async",
+    "apply_async", "map_async",
+}
+
+
+def _local_bindings(func: ast.AST) -> Set[str]:
+    """Names bound inside *func* (params, assignments, loops, withs)."""
+    bound: Set[str] = set()
+    args = getattr(func, "args", None)
+    if args is not None:
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            bound.add(arg.arg)
+        for vararg in (args.vararg, args.kwarg):
+            if vararg is not None:
+                bound.add(vararg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            bound.add(node.id)
+    return bound
+
+
+def _module_level_names(tree: ast.Module) -> Set[str]:
+    """Names assigned at module scope (the pool-shared state)."""
+    names: Set[str] = set()
+    for node in tree.body:
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                names.update(
+                    element.id
+                    for element in target.elts
+                    if isinstance(element, ast.Name)
+                )
+    return names
+
+
+def _store_root(node: ast.AST) -> Optional[str]:
+    """The root name of an attribute/subscript store target."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+@register
+class PoolSafetyRule(LintRule):
+    rule_id = "PD-POOL"
+    severity = "error"
+    summary = (
+        "pool-submitted callables must not write shared state and must "
+        "ship picklable payloads"
+    )
+
+    def check(self, ctx) -> Iterator:
+        defs: Dict[str, ast.AST] = {
+            node.name: node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        module_names = _module_level_names(ctx.tree)
+        checked: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in SUBMIT_METHODS
+                and node.args
+            ):
+                continue
+            target = node.args[0]
+            if isinstance(target, ast.Lambda):
+                yield self.finding(
+                    ctx, target,
+                    "lambda submitted to a pool: unpicklable under a "
+                    "process executor and free to capture mutable closure "
+                    "state",
+                    suggestion="submit a module-level function",
+                )
+            elif isinstance(target, ast.Name) and target.id in defs:
+                if target.id not in checked:
+                    checked.add(target.id)
+                    yield from self._check_submitted(
+                        ctx, defs[target.id], module_names
+                    )
+            for arg in node.args[1:]:
+                if isinstance(arg, ast.Lambda):
+                    yield self.finding(
+                        ctx, arg,
+                        "lambda passed as a pool-task argument is not "
+                        "picklable under a process executor",
+                        suggestion="pass data, not code",
+                    )
+                elif isinstance(arg, ast.GeneratorExp):
+                    yield self.finding(
+                        ctx, arg,
+                        "generator passed as a pool-task argument is not "
+                        "picklable under a process executor",
+                        suggestion="materialise it (list/tuple) first",
+                    )
+
+    def _check_submitted(
+        self, ctx, func: ast.AST, module_names: Set[str]
+    ) -> Iterator:
+        declared_global: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+                yield self.finding(
+                    ctx, node,
+                    f"pool-submitted function {func.name!r} declares "
+                    f"global {', '.join(node.names)}; workers mutating "
+                    "module state race under threads and silently diverge "
+                    "under processes",
+                    suggestion="return the value, or move setup into the "
+                    "pool initializer",
+                )
+            elif isinstance(node, ast.Nonlocal):
+                yield self.finding(
+                    ctx, node,
+                    f"pool-submitted function {func.name!r} rebinds "
+                    f"closure state ({', '.join(node.names)}) — invisible "
+                    "to the submitting side under a process pool",
+                    suggestion="return the value instead",
+                )
+        locals_bound = _local_bindings(func) - declared_global
+        for node in ast.walk(func):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                    continue
+                root = _store_root(target)
+                if root and root in module_names and root not in locals_bound:
+                    yield self.finding(
+                        ctx, node,
+                        f"pool-submitted function {func.name!r} mutates "
+                        f"module-level {root!r}; shared-state writes from "
+                        "workers double-count or vanish depending on the "
+                        "executor",
+                        suggestion="return the value and fold it in on the "
+                        "submitting side",
+                    )

@@ -1,0 +1,60 @@
+"""PD-PRAGMA — suppressions themselves are held to a standard.
+
+A ``# pandia: lint-ok[...]`` pragma is an exception to a correctness
+contract, so it must (a) name a rule that actually exists — a typo'd
+id suppresses nothing while looking like it does — and (b) carry a
+written reason, because an unexplained exception is indistinguishable
+from a stale one two PRs later.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.registry import LintRule, register
+
+
+class _Location:
+    """Minimal line/col anchor for non-AST findings."""
+
+    __slots__ = ("lineno", "col_offset")
+
+    def __init__(self, lineno: int) -> None:
+        self.lineno = lineno
+        self.col_offset = 0
+
+
+@register
+class PragmaHygieneRule(LintRule):
+    rule_id = "PD-PRAGMA"
+    severity = "warning"
+    summary = "lint-ok pragmas must name real rules and carry a reason"
+
+    def check(self, ctx) -> Iterator:
+        from repro.lint.registry import rule_ids
+
+        known = set(rule_ids())
+        for pragma in ctx.suppressions.pragmas:
+            anchor = _Location(pragma.line)
+            if not pragma.rule_ids:
+                yield self.finding(
+                    ctx, anchor,
+                    "lint-ok pragma with an empty rule list suppresses "
+                    "nothing",
+                    suggestion="name the rule: # pandia: lint-ok[PD-…] why",
+                )
+                continue
+            for rule_id in pragma.rule_ids:
+                if rule_id not in known:
+                    yield self.finding(
+                        ctx, anchor,
+                        f"lint-ok pragma names unknown rule {rule_id!r}",
+                        suggestion="known rules: " + ", ".join(sorted(known)),
+                    )
+            if not pragma.reason:
+                yield self.finding(
+                    ctx, anchor,
+                    "lint-ok pragma without a reason; an unexplained "
+                    "suppression cannot be audited",
+                    suggestion="append why the finding is acceptable here",
+                )

@@ -40,9 +40,19 @@ def gib(value: float) -> float:
     return value * GIB
 
 
+def near_zero(value: float, tolerance: float = EPSILON) -> bool:
+    """True when *value* is within *tolerance* of zero.
+
+    The tolerance-band replacement for ``value == 0.0`` that PD-FLOAT
+    (``repro.lint``) flags: capacities, rates and loads are computed
+    floats, and exact equality on them is bit-level.
+    """
+    return abs(value) < tolerance
+
+
 def safe_div(numerator: float, denominator: float, default: float = 0.0) -> float:
     """Divide, returning *default* when the denominator is ~zero."""
-    if abs(denominator) < EPSILON:
+    if near_zero(denominator):
         return default
     return numerator / denominator
 

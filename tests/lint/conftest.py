@@ -1,0 +1,37 @@
+"""Shared fixture: lint a source snippet as if it were a real module."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint.engine import lint_file
+from repro.lint.registry import select_rules
+
+
+@pytest.fixture
+def lint_snippet(tmp_path):
+    """Write *code* to a temp module and return its findings.
+
+    ``module="repro.core.predictor"`` materialises the package chain
+    (``__init__.py`` files included) so rules keyed on module identity
+    (PD-GOLD) see the right dotted name.  ``rules=None`` runs the full
+    registry; otherwise a list of rule ids.
+    """
+
+    def run(code, rules=None, module="snippet"):
+        parts = module.split(".")
+        directory = tmp_path
+        for package in parts[:-1]:
+            directory = directory / package
+            directory.mkdir(exist_ok=True)
+            init = directory / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+        path = directory / f"{parts[-1]}.py"
+        path.write_text(textwrap.dedent(code))
+        active = select_rules(rules)
+        return lint_file(str(path), active)
+
+    return run

@@ -1,0 +1,88 @@
+"""Baseline semantics: accept, count, expire, round-trip."""
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding
+
+
+def _finding(message="m", path="src/a.py", line=3, rule="PD-ERR"):
+    return Finding(
+        rule_id=rule, severity="warning", path=path, line=line, col=0,
+        message=message,
+    )
+
+
+class TestPartition:
+    def test_baselined_findings_do_not_fail(self):
+        finding = _finding()
+        baseline = Baseline.from_findings([finding])
+        new, baselined, expired = baseline.partition([finding])
+        assert new == []
+        assert baselined == [finding]
+        assert expired == []
+
+    def test_line_moves_still_match(self):
+        baseline = Baseline.from_findings([_finding(line=3)])
+        new, baselined, expired = baseline.partition([_finding(line=300)])
+        assert new == []
+        assert len(baselined) == 1
+        assert expired == []
+
+    def test_extra_identical_finding_is_new(self):
+        # One baseline slot, two identical findings: the second is new.
+        baseline = Baseline.from_findings([_finding()])
+        new, baselined, _ = baseline.partition([_finding(), _finding(line=9)])
+        assert len(baselined) == 1
+        assert len(new) == 1
+
+    def test_fixed_finding_expires_its_entry(self):
+        baseline = Baseline.from_findings([_finding(message="gone")])
+        new, baselined, expired = baseline.partition([_finding(message="still here")])
+        assert len(new) == 1
+        assert baselined == []
+        assert expired == ["PD-ERR::src/a.py::gone"]
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_counts(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        findings = [_finding(), _finding(line=8), _finding(message="other")]
+        Baseline.from_findings(findings).save(path)
+        loaded = Baseline.load(path)
+        new, baselined, expired = loaded.partition(findings)
+        assert new == []
+        assert len(baselined) == 3
+        assert expired == []
+
+    def test_add_then_expire_round_trip(self, tmp_path):
+        # add: a new finding is written into the regenerated baseline;
+        # expire: once fixed, regenerating drops its entry.
+        path = str(tmp_path / "baseline.json")
+        first, second = _finding(message="first"), _finding(message="second")
+        Baseline.from_findings([first, second]).save(path)
+
+        new, baselined, expired = Baseline.load(path).partition([first])
+        assert new == [] and len(baselined) == 1
+        assert expired == ["PD-ERR::src/a.py::second"]
+
+        Baseline.from_findings(baselined).save(path)
+        reloaded = Baseline.load(path)
+        assert reloaded.counts == {"PD-ERR::src/a.py::first": 1}
+
+    def test_missing_file_is_an_empty_baseline(self, tmp_path):
+        baseline = Baseline.load(str(tmp_path / "absent.json"))
+        assert baseline.counts == {}
+
+    def test_malformed_file_raises_naming_the_path(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("[]")
+        with pytest.raises(LintError, match="broken.json"):
+            Baseline.load(str(path))
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(LintError, match="version"):
+            Baseline.load(str(path))

@@ -1,0 +1,178 @@
+"""PD-DET fixtures: global RNG, wall clock, set-order iteration."""
+
+
+def _ids(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestGlobalRng:
+    def test_module_level_random_call_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+            rules=["PD-DET"],
+        )
+        assert _ids(findings) == ["PD-DET"]
+        assert findings[0].line == 5
+        assert "process-global RNG" in findings[0].message
+
+    def test_from_import_alias_is_resolved(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            from random import shuffle
+
+            def scramble(items):
+                shuffle(items)
+            """,
+            rules=["PD-DET"],
+        )
+        assert _ids(findings) == ["PD-DET"]
+
+    def test_numpy_global_rng_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            import numpy as np
+
+            def noise(n):
+                return np.random.rand(n)
+            """,
+            rules=["PD-DET"],
+        )
+        assert _ids(findings) == ["PD-DET"]
+        assert "numpy.random.rand" in findings[0].message
+
+    def test_seeded_instances_pass(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            import random
+            import numpy as np
+
+            def draw(seed):
+                rng = random.Random(seed)
+                gen = np.random.default_rng(seed)
+                return rng.random() + gen.random()
+            """,
+            rules=["PD-DET"],
+        )
+        assert findings == []
+
+    def test_unseeded_constructor_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            import random
+
+            def draw():
+                return random.Random().random()
+            """,
+            rules=["PD-DET"],
+        )
+        assert _ids(findings) == ["PD-DET"]
+        assert "without a seed" in findings[0].message
+
+
+class TestWallClock:
+    def test_time_time_is_flagged_with_location(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            rules=["PD-DET"],
+        )
+        assert _ids(findings) == ["PD-DET"]
+        assert findings[0].line == 5
+        assert "perf_counter" in findings[0].suggestion
+
+    def test_perf_counter_passes(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            import time
+
+            def interval():
+                return time.perf_counter()
+            """,
+            rules=["PD-DET"],
+        )
+        assert findings == []
+
+
+class TestSetIteration:
+    def test_for_over_set_call_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            def keys(rows):
+                out = []
+                for key in set(rows):
+                    out.append(key)
+                return out
+            """,
+            rules=["PD-DET"],
+        )
+        assert _ids(findings) == ["PD-DET"]
+        assert "PYTHONHASHSEED" in findings[0].message
+
+    def test_list_over_set_literal_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            def pair(a, b):
+                return list({a, b})
+            """,
+            rules=["PD-DET"],
+        )
+        assert _ids(findings) == ["PD-DET"]
+
+    def test_sorted_and_reducers_pass(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            def summarise(rows):
+                ordered = sorted(set(rows))
+                total = sum(x for x in set(rows))
+                top = max(set(rows))
+                return ordered, total, top
+            """,
+            rules=["PD-DET"],
+        )
+        assert findings == []
+
+    def test_comprehension_over_set_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            def label(rows):
+                return [str(x) for x in set(rows)]
+            """,
+            rules=["PD-DET"],
+        )
+        assert _ids(findings) == ["PD-DET"]
+
+
+class TestPragma:
+    def test_pragma_suppresses_on_the_finding_line(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            import time
+
+            def stamp():
+                return time.time()  # pandia: lint-ok[PD-DET] epoch timestamp wanted
+            """,
+            rules=["PD-DET"],
+        )
+        assert findings == []
+
+    def test_pragma_on_another_line_does_not_suppress(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            import time
+
+            # pandia: lint-ok[PD-DET] comment on the wrong line
+            def stamp():
+                return time.time()
+            """,
+            rules=["PD-DET"],
+        )
+        assert _ids(findings) == ["PD-DET"]

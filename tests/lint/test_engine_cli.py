@@ -1,0 +1,177 @@
+"""Engine orchestration and the ``pandia lint`` command."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.errors import LintError
+from repro.lint import Baseline, rule_ids, run_lint, select_rules
+from repro.lint.engine import iter_python_files
+
+
+CLEAN = """\
+def double(x):
+    return 2 * x
+"""
+
+DIRTY = """\
+import time
+
+def stamp():
+    return time.time()
+"""
+
+
+def _write_tree(tmp_path):
+    package = tmp_path / "pkg"
+    package.mkdir()
+    (package / "__init__.py").write_text("")
+    (package / "clean.py").write_text(CLEAN)
+    (package / "dirty.py").write_text(DIRTY)
+    return package
+
+
+class TestEngine:
+    def test_directory_walk_is_sorted_and_skips_pycache(self, tmp_path):
+        package = _write_tree(tmp_path)
+        cache = package / "__pycache__"
+        cache.mkdir()
+        (cache / "clean.cpython-311.py").write_text(CLEAN)
+        files = iter_python_files([str(package)])
+        assert [f.rsplit("/", 1)[-1] for f in files] == [
+            "__init__.py", "clean.py", "dirty.py",
+        ]
+
+    def test_missing_path_raises_naming_it(self):
+        with pytest.raises(LintError, match="no/such/dir"):
+            iter_python_files(["no/such/dir"])
+
+    def test_select_restricts_rules(self, tmp_path):
+        package = _write_tree(tmp_path)
+        report = run_lint([str(package)], select=["PD-FLOAT"])
+        assert report.rules == ["PD-FLOAT"]
+        assert report.new == []  # time.time is PD-DET's business
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(LintError, match="PD-BOGUS"):
+            select_rules(["PD-BOGUS"])
+
+    def test_report_shape_and_counts(self, tmp_path):
+        package = _write_tree(tmp_path)
+        report = run_lint([str(package)])
+        assert report.files_scanned == 3
+        assert not report.ok
+        assert [f.rule_id for f in report.new] == ["PD-DET"]
+        payload = report.to_dict()
+        assert payload["ok"] is False
+        assert payload["files_scanned"] == 3
+        assert payload["new"][0]["rule"] == "PD-DET"
+        assert payload["new"][0]["line"] == 4
+
+    def test_obs_counters_emitted_when_enabled(self, tmp_path):
+        package = _write_tree(tmp_path)
+        obs.enable()
+        obs.reset()
+        try:
+            run_lint([str(package)])
+            counters = obs.metrics().data()["counters"]
+            spans = [s.name for s in obs.tracer().spans()]
+        finally:
+            obs.disable()
+            obs.reset()
+        assert counters["lint.files"] == 3
+        assert counters["lint.findings.PD-DET"] == 1
+        assert "lint.run" in spans
+
+    def test_obs_stays_silent_when_disabled(self, tmp_path):
+        package = _write_tree(tmp_path)
+        obs.reset()
+        run_lint([str(package)])
+        assert obs.metrics().data()["counters"] == {}
+
+
+class TestCli:
+    def test_exit_one_on_new_findings(self, tmp_path, capsys):
+        package = _write_tree(tmp_path)
+        code = main(["lint", str(package), "--no-baseline"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "PD-DET" in out
+        assert "1 new finding" in out
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        package = _write_tree(tmp_path)
+        code = main([
+            "lint", str(package / "clean.py"), "--no-baseline",
+        ])
+        assert code == 0
+        assert "0 new findings" in capsys.readouterr().out
+
+    def test_json_format_is_the_report_dict(self, tmp_path, capsys):
+        package = _write_tree(tmp_path)
+        code = main(["lint", str(package), "--no-baseline", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["ok"] is False
+        assert payload["rules"] == sorted(rule_ids())
+        assert payload["new"][0]["rule"] == "PD-DET"
+
+    def test_select_flag_splits_commas(self, tmp_path, capsys):
+        package = _write_tree(tmp_path)
+        code = main([
+            "lint", str(package), "--no-baseline",
+            "--select", "PD-FLOAT,PD-GOLD",
+        ])
+        assert code == 0
+        assert "2 rules" in capsys.readouterr().out
+
+    def test_write_baseline_then_clean_then_expire(self, tmp_path, capsys, monkeypatch):
+        package = _write_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        baseline = str(tmp_path / "baseline.json")
+
+        # Accept the current debt.
+        assert main(["lint", "pkg", "--baseline", baseline,
+                     "--write-baseline"]) == 0
+        assert "1 accepted finding" in capsys.readouterr().out
+
+        # Same findings, now baselined: clean exit.
+        assert main(["lint", "pkg", "--baseline", baseline]) == 0
+        out = capsys.readouterr().out
+        assert "0 new findings, 1 baselined" in out
+
+        # Fix the file: the baseline entry goes stale but still exits 0.
+        (package / "dirty.py").write_text(
+            textwrap.dedent(
+                """\
+                import time
+
+                def stamp():
+                    return time.perf_counter()
+                """
+            )
+        )
+        assert main(["lint", "pkg", "--baseline", baseline]) == 0
+        assert "stale" in capsys.readouterr().out
+
+        # Regenerating drops the stale entry.
+        assert main(["lint", "pkg", "--baseline", baseline,
+                     "--write-baseline"]) == 0
+        assert Baseline.load(baseline).counts == {}
+
+    def test_pragma_suppression_is_counted(self, tmp_path, capsys):
+        snippet = tmp_path / "snippet.py"
+        snippet.write_text(
+            "import time\n"
+            "\n"
+            "def stamp():\n"
+            "    return time.time()"
+            "  # pandia: lint-ok[PD-DET] wall-clock is the point here\n"
+        )
+        code = main(["lint", str(snippet), "--no-baseline"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 suppressed" in out

@@ -1,0 +1,116 @@
+"""PD-ERR fixtures: repro errors name the entity that failed."""
+
+
+def _ids(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestErrorNaming:
+    def test_constant_message_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            from repro.errors import ModelError
+
+            def check(counts):
+                if not counts:
+                    raise ModelError("training counts are empty")
+            """,
+            rules=["PD-ERR"],
+        )
+        assert _ids(findings) == ["PD-ERR"]
+        assert findings[0].line == 6
+        assert findings[0].severity == "warning"
+
+    def test_empty_raise_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            from repro.errors import PredictionError
+
+            def check(ok):
+                if not ok:
+                    raise PredictionError()
+            """,
+            rules=["PD-ERR"],
+        )
+        assert _ids(findings) == ["PD-ERR"]
+        assert "no message" in findings[0].message
+
+    def test_constant_fstring_is_still_constant(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            from repro.errors import TopologyError
+
+            def check(ok):
+                if not ok:
+                    raise TopologyError(f"socket layout is inconsistent")
+            """,
+            rules=["PD-ERR"],
+        )
+        assert _ids(findings) == ["PD-ERR"]
+
+    def test_interpolated_message_passes(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            from repro.errors import ModelError
+
+            def check(machine, counts):
+                if not counts:
+                    raise ModelError(
+                        f"no training counts for machine {machine.name}"
+                    )
+            """,
+            rules=["PD-ERR"],
+        )
+        assert findings == []
+
+    def test_percent_and_format_messages_pass(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            from repro.errors import SimulationError, PlacementError
+
+            def check(machine, thread):
+                raise SimulationError("machine %s is overloaded" % machine)
+
+            def check2(thread):
+                raise PlacementError("thread {} unmapped".format(thread))
+            """,
+            rules=["PD-ERR"],
+        )
+        assert findings == []
+
+    def test_non_repro_exceptions_are_out_of_scope(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            def check(values):
+                if not values:
+                    raise ValueError("empty sequence")
+            """,
+            rules=["PD-ERR"],
+        )
+        assert findings == []
+
+    def test_reraise_without_call_passes(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            from repro.errors import ReproError
+
+            def forward(exc):
+                if isinstance(exc, ReproError):
+                    raise exc
+            """,
+            rules=["PD-ERR"],
+        )
+        assert findings == []
+
+    def test_pragma_suppresses_a_contextless_guard(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            from repro.errors import ReproError
+
+            def check(ok):
+                if not ok:
+                    raise ReproError("internal invariant violated")  # pandia: lint-ok[PD-ERR] no entity exists here
+            """,
+            rules=["PD-ERR"],
+        )
+        assert findings == []

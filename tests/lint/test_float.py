@@ -1,0 +1,75 @@
+"""PD-FLOAT fixtures: no exact equality against float literals."""
+
+
+def _ids(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestFloatEquality:
+    def test_eq_against_float_literal_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            def guard(capacity):
+                if capacity == 0.0:
+                    return None
+                return 1.0 / capacity
+            """,
+            rules=["PD-FLOAT"],
+        )
+        assert _ids(findings) == ["PD-FLOAT"]
+        assert findings[0].line == 3
+        assert "near_zero" in findings[0].suggestion
+
+    def test_noteq_and_negative_literals_are_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            def check(x, y):
+                return x != 1.5 or -2.5 == y
+            """,
+            rules=["PD-FLOAT"],
+        )
+        assert _ids(findings) == ["PD-FLOAT", "PD-FLOAT"]
+
+    def test_chained_comparison_checks_each_link(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            def check(a, b):
+                return a < b == 0.5
+            """,
+            rules=["PD-FLOAT"],
+        )
+        assert _ids(findings) == ["PD-FLOAT"]
+
+    def test_int_literals_and_ordering_pass(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            def check(n, x):
+                return n == 0 or x < 0.5 or x >= 1.0
+            """,
+            rules=["PD-FLOAT"],
+        )
+        assert findings == []
+
+    def test_tolerance_comparisons_pass(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            import math
+
+            from repro.units import EPSILON, near_zero
+
+            def check(x, y):
+                return math.isclose(x, y) or near_zero(x) or abs(x - y) < EPSILON
+            """,
+            rules=["PD-FLOAT"],
+        )
+        assert findings == []
+
+    def test_pragma_suppresses_a_sentinel_compare(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            def check(stamp):
+                return stamp == -1.0  # pandia: lint-ok[PD-FLOAT] -1.0 is an exact sentinel, never computed
+            """,
+            rules=["PD-FLOAT"],
+        )
+        assert findings == []

@@ -1,0 +1,84 @@
+"""PD-GOLD fixtures: golden modules stay free of newer layers."""
+
+
+class TestGoldenPurity:
+    def test_surrogate_import_into_golden_predictor_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            import repro.surrogate
+            """,
+            rules=["PD-GOLD"],
+            module="repro.core.predictor",
+        )
+        assert [f.rule_id for f in findings] == ["PD-GOLD"]
+        assert findings[0].line == 2
+        assert "repro.surrogate" in findings[0].message
+
+    def test_lazy_function_level_import_is_still_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            def sneak():
+                from repro.io import store
+                return store
+            """,
+            rules=["PD-GOLD"],
+            module="repro.core.optimizer",
+        )
+        assert [f.rule_id for f in findings] == ["PD-GOLD"]
+        assert findings[0].line == 3
+
+    def test_from_package_import_submodule_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            from repro import surrogate
+            """,
+            rules=["PD-GOLD"],
+            module="repro.core.predictor",
+        )
+        assert [f.rule_id for f in findings] == ["PD-GOLD"]
+
+    def test_relative_import_resolves_against_the_package(self, lint_snippet):
+        # ``from ..io import store`` inside repro.core.* is repro.io.store.
+        findings = lint_snippet(
+            """
+            from ..io import store
+            """,
+            rules=["PD-GOLD"],
+            module="repro.core.predictor",
+        )
+        assert [f.rule_id for f in findings] == ["PD-GOLD"]
+
+    def test_allowed_imports_pass_in_golden_modules(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            import math
+            import numpy as np
+            from repro.errors import PredictionError
+            from repro.search.engine import SearchEngine
+            from repro.units import near_zero
+            """,
+            rules=["PD-GOLD"],
+            module="repro.core.optimizer",
+        )
+        assert findings == []
+
+    def test_non_golden_modules_may_import_anything(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            import repro.surrogate
+            from repro.io import store
+            """,
+            rules=["PD-GOLD"],
+            module="repro.search.strategies",
+        )
+        assert findings == []
+
+    def test_pragma_suppresses_a_deliberate_exception(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            import repro.io  # pandia: lint-ok[PD-GOLD] typing-only import, no runtime use
+            """,
+            rules=["PD-GOLD"],
+            module="repro.core.predictor",
+        )
+        assert findings == []

@@ -1,0 +1,173 @@
+"""PD-OBS fixtures: span lifetimes, hoisted branches, namespaces."""
+
+
+def _ids(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestSpanContextManager:
+    def test_bare_span_call_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            from repro import obs
+
+            def leak():
+                span = obs.span("search.evaluate")
+                return span
+            """,
+            rules=["PD-OBS"],
+        )
+        assert _ids(findings) == ["PD-OBS"]
+        assert findings[0].line == 5
+        assert "never finished" in findings[0].message
+
+    def test_with_span_passes(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            from repro import obs
+
+            def traced():
+                with obs.span("search.evaluate") as span:
+                    if span is not None:
+                        span.attrs["n"] = 1
+            """,
+            rules=["PD-OBS"],
+        )
+        assert findings == []
+
+
+class TestHoistedBranch:
+    def test_enabled_inside_loop_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            from repro import obs
+
+            def hot(rows):
+                for row in rows:
+                    if obs.enabled():
+                        obs.metrics().counter("sim.rows").inc()
+            """,
+            rules=["PD-OBS"],
+        )
+        assert "PD-OBS" in _ids(findings)
+        assert any("hoist" in (f.suggestion or "") for f in findings)
+
+    def test_hoisted_enabled_passes(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            from repro import obs
+
+            def hot(rows):
+                obs_on = obs.enabled()
+                counter = obs.metrics().counter("sim.rows") if obs_on else None
+                for row in rows:
+                    if counter is not None:
+                        counter.inc()
+            """,
+            rules=["PD-OBS"],
+        )
+        assert findings == []
+
+    def test_function_inside_loop_body_is_its_own_scope(self, lint_snippet):
+        # A def inside a loop resets the loop context: the call happens
+        # at call time, not once per loop iteration at definition time.
+        findings = lint_snippet(
+            """
+            from repro import obs
+
+            def build(rows):
+                handlers = []
+                for row in rows:
+                    def probe():
+                        return obs.enabled()
+                    handlers.append(probe)
+                return handlers
+            """,
+            rules=["PD-OBS"],
+        )
+        assert findings == []
+
+
+class TestMetricNamespaces:
+    def test_unnamespaced_counter_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            from repro import obs
+
+            def record():
+                obs.metrics().counter("evaluations").inc()
+            """,
+            rules=["PD-OBS"],
+        )
+        assert _ids(findings) == ["PD-OBS"]
+        assert "registered namespaces" in findings[0].message
+
+    def test_unknown_namespace_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            from repro import obs
+
+            def record():
+                obs.metrics().counter("scheduler.decisions").inc()
+            """,
+            rules=["PD-OBS"],
+        )
+        assert _ids(findings) == ["PD-OBS"]
+
+    def test_aliased_registry_fstring_prefix_is_checked(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            from repro import obs
+
+            def record(name):
+                registry = obs.metrics()
+                registry.counter(f"bogus.{name}").inc()
+            """,
+            rules=["PD-OBS"],
+        )
+        assert _ids(findings) == ["PD-OBS"]
+
+    def test_namespaced_names_pass_everywhere(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            from repro import obs
+
+            class Stats:
+                def __init__(self, metrics):
+                    self.metrics = metrics
+
+                def bump(self, name):
+                    self.metrics.counter(f"search.{name}").inc()
+
+            def record():
+                registry = obs.metrics()
+                registry.histogram("predictor.iterations").observe(3)
+                registry.counter("lint.files").inc()
+            """,
+            rules=["PD-OBS"],
+        )
+        assert findings == []
+
+    def test_dynamic_names_are_not_guessed_at(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            from repro import obs
+
+            def record(name):
+                obs.metrics().counter(name).inc()
+            """,
+            rules=["PD-OBS"],
+        )
+        assert findings == []
+
+    def test_pragma_suppresses_an_experimental_namespace(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            from repro import obs
+
+            def record():
+                obs.metrics().counter("scratch.run").inc()  # pandia: lint-ok[PD-OBS] throwaway probe
+            """,
+            rules=["PD-OBS"],
+        )
+        assert findings == []

@@ -1,0 +1,155 @@
+"""PD-POOL fixtures: pool-submitted work is self-contained."""
+
+
+def _ids(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestSharedStateWrites:
+    def test_global_write_in_submitted_function_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            TOTALS = 0
+
+            def work(x):
+                global TOTALS
+                TOTALS += x
+                return x
+
+            def fan_out(pool, items):
+                return [pool.submit(work, x) for x in items]
+            """,
+            rules=["PD-POOL"],
+        )
+        assert _ids(findings) == ["PD-POOL"]
+        assert findings[0].line == 5
+        assert "global" in findings[0].message
+
+    def test_module_container_mutation_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            CACHE = {}
+
+            def work(key):
+                CACHE[key] = key * 2
+                return key
+
+            def fan_out(pool, keys):
+                return pool.map(work, keys)
+            """,
+            rules=["PD-POOL"],
+        )
+        assert _ids(findings) == ["PD-POOL"]
+        assert "CACHE" in findings[0].message
+
+    def test_nonlocal_rebind_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            def driver(pool, items):
+                count = 0
+
+                def work(x):
+                    nonlocal count
+                    count += 1
+                    return x
+
+                return [pool.submit(work, x) for x in items]
+            """,
+            rules=["PD-POOL"],
+        )
+        assert _ids(findings) == ["PD-POOL"]
+        assert "closure" in findings[0].message
+
+    def test_pure_submitted_function_passes(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            LIMIT = 10
+
+            def work(x):
+                local = {}
+                local[x] = x * LIMIT  # reading module state is fine
+                return local
+
+            def fan_out(pool, items):
+                return [pool.submit(work, x) for x in items]
+            """,
+            rules=["PD-POOL"],
+        )
+        assert findings == []
+
+    def test_initializer_global_is_sanctioned(self, lint_snippet):
+        # The per-process initializer is the documented home for
+        # worker-global setup (the search engine's predictor rebuild).
+        findings = lint_snippet(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            _PREDICTOR = None
+
+            def _init(md):
+                global _PREDICTOR
+                _PREDICTOR = md
+
+            def work(x):
+                return _PREDICTOR, x
+
+            def fan_out(md, items):
+                with ProcessPoolExecutor(initializer=_init, initargs=(md,)) as pool:
+                    return [pool.submit(work, x) for x in items]
+            """,
+            rules=["PD-POOL"],
+        )
+        assert findings == []
+
+
+class TestPicklability:
+    def test_submitted_lambda_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            def fan_out(pool, items):
+                return [pool.submit(lambda x: x + 1, x) for x in items]
+            """,
+            rules=["PD-POOL"],
+        )
+        assert _ids(findings) == ["PD-POOL"]
+        assert "lambda" in findings[0].message
+
+    def test_lambda_argument_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            def work(fn):
+                return fn(1)
+
+            def fan_out(pool):
+                return pool.submit(work, lambda x: x + 1)
+            """,
+            rules=["PD-POOL"],
+        )
+        assert _ids(findings) == ["PD-POOL"]
+
+    def test_generator_argument_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            def work(rows):
+                return sum(rows)
+
+            def fan_out(pool, items):
+                return pool.submit(work, (x * 2 for x in items))
+            """,
+            rules=["PD-POOL"],
+        )
+        assert _ids(findings) == ["PD-POOL"]
+        assert "generator" in findings[0].message
+
+    def test_pragma_suppresses_thread_only_lambda(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            def fan_out(pool, items):
+                return [
+                    pool.submit(lambda x: x + 1, x)  # pandia: lint-ok[PD-POOL] thread pool only, never processes
+                    for x in items
+                ]
+            """,
+            rules=["PD-POOL"],
+        )
+        assert findings == []

@@ -1,0 +1,75 @@
+"""Pragma parsing and the PD-PRAGMA hygiene rule."""
+
+from repro.lint.pragmas import parse_pragmas
+
+
+def _ids(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestParsing:
+    def test_single_rule_with_reason(self):
+        pragmas = parse_pragmas(
+            "x = 1  # pandia: lint-ok[PD-DET] sampling is intentionally wall-clock\n"
+        )
+        assert len(pragmas) == 1
+        assert pragmas[0].line == 1
+        assert pragmas[0].rule_ids == ("PD-DET",)
+        assert pragmas[0].reason.startswith("sampling")
+
+    def test_multiple_rules_share_one_pragma(self):
+        pragmas = parse_pragmas(
+            "y = 2  # pandia: lint-ok[PD-DET, PD-FLOAT] fixture constants\n"
+        )
+        assert pragmas[0].rule_ids == ("PD-DET", "PD-FLOAT")
+
+    def test_docstrings_mentioning_the_syntax_are_not_pragmas(self):
+        source = (
+            '"""Write `# pandia: lint-ok[PD-DET] why` to suppress."""\n'
+            "x = 1\n"
+        )
+        assert parse_pragmas(source) == []
+
+    def test_plain_comments_are_not_pragmas(self):
+        assert parse_pragmas("# nothing to see here\n") == []
+
+
+class TestHygieneRule:
+    def test_unknown_rule_id_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            x = 1  # pandia: lint-ok[PD-NOPE] misremembered the id
+            """,
+            rules=["PD-PRAGMA"],
+        )
+        assert _ids(findings) == ["PD-PRAGMA"]
+        assert "PD-NOPE" in findings[0].message
+        assert findings[0].line == 2
+
+    def test_missing_reason_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            x = 1  # pandia: lint-ok[PD-FLOAT]
+            """,
+            rules=["PD-PRAGMA"],
+        )
+        assert _ids(findings) == ["PD-PRAGMA"]
+        assert "reason" in findings[0].message
+
+    def test_empty_rule_list_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            x = 1  # pandia: lint-ok[] suppress… what?
+            """,
+            rules=["PD-PRAGMA"],
+        )
+        assert _ids(findings) == ["PD-PRAGMA"]
+
+    def test_well_formed_pragma_passes(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            x = 1  # pandia: lint-ok[PD-FLOAT] sentinel value, never computed
+            """,
+            rules=["PD-PRAGMA"],
+        )
+        assert findings == []

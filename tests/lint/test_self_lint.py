@@ -1,0 +1,48 @@
+"""The self-lint gate: the codebase passes its own linter.
+
+This is the acceptance criterion for the whole subsystem — ``pandia
+lint src/repro`` must exit clean against the committed baseline.  Run
+from the repository root because baseline keys embed repo-relative
+paths.
+"""
+
+import os
+
+import pytest
+
+from repro.lint import Baseline, DEFAULT_BASELINE_NAME, run_lint
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+@pytest.fixture(autouse=True)
+def _at_repo_root(monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+
+
+class TestSelfLint:
+    def test_src_repro_is_clean_against_committed_baseline(self):
+        baseline = Baseline.load(DEFAULT_BASELINE_NAME)
+        report = run_lint(["src/repro"], baseline=baseline)
+        assert report.new == [], "\n".join(str(f) for f in report.new)
+        assert report.ok
+
+    def test_committed_baseline_has_no_stale_entries(self):
+        baseline = Baseline.load(DEFAULT_BASELINE_NAME)
+        report = run_lint(["src/repro"], baseline=baseline)
+        assert report.expired == []
+
+    def test_determinism_rule_needs_no_baseline_in_src(self):
+        # Satellite guarantee: PD-DET ships with an empty exception list.
+        report = run_lint(["src/repro"], select=["PD-DET"])
+        assert report.new == [], "\n".join(str(f) for f in report.new)
+
+    def test_golden_purity_needs_no_baseline_in_src(self):
+        report = run_lint(["src/repro"], select=["PD-GOLD"])
+        assert report.new == []
+
+    def test_tests_directory_parses_cleanly(self):
+        # The linter must at least traverse the test tree without
+        # crashing (fixture snippets live in docstrings/strings here).
+        report = run_lint(["tests/lint"], select=["PD-PRAGMA"])
+        assert report.files_scanned > 5

@@ -269,6 +269,64 @@ class TestWarmStartDocumented:
         assert "--assert-warm-savings" in ci
 
 
+class TestLintDocumented:
+    """docs/lint.md tracks the invariant checker."""
+
+    def test_every_registered_rule_is_catalogued(self):
+        from repro.lint import rule_ids
+
+        text = (REPO / "docs" / "lint.md").read_text()
+        for rule_id in rule_ids():
+            assert f"`{rule_id}`" in text, (
+                f"rule {rule_id!r} missing from docs/lint.md"
+            )
+
+    def test_suppression_syntax_is_documented(self):
+        text = (REPO / "docs" / "lint.md").read_text()
+        for token in ("lint-ok[", "--write-baseline", "lint-baseline.json",
+                      "--select", "--format json"):
+            assert token in text, f"{token!r} missing from docs/lint.md"
+
+    def test_readme_and_api_cross_link(self):
+        readme = (REPO / "README.md").read_text()
+        assert "pandia lint" in readme
+        assert "docs/lint.md" in readme
+        api = (REPO / "docs" / "api.md").read_text()
+        assert "lint.md" in api
+        assert "run_lint" in api
+
+    def test_telemetry_names_are_documented(self):
+        text = (REPO / "docs" / "lint.md").read_text()
+        for name in ("lint.run", "lint.files", "lint.findings."):
+            assert name in text, f"{name!r} missing from docs/lint.md"
+
+    def test_cli_exposes_the_documented_flags(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions if a.__class__.__name__ == "_SubParsersAction"
+        )
+        assert "lint" in subparsers.choices
+        option_strings = {
+            opt
+            for action in subparsers.choices["lint"]._actions
+            for opt in action.option_strings
+        }
+        for flag in ("--format", "--select", "--baseline", "--no-baseline",
+                     "--write-baseline", "--show-baselined"):
+            assert flag in option_strings, f"{flag} missing from `pandia lint`"
+
+    def test_ci_runs_the_linter_and_uploads_the_report(self):
+        ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+        assert "pandia lint" in ci or "repro.cli lint" in ci
+        assert "lint-report.json" in ci
+
+    def test_makefile_has_a_lint_target(self):
+        makefile = (REPO / "Makefile").read_text()
+        assert "\nlint:" in makefile
+
+
 class TestSurrogateDocumented:
     """docs track the surrogate pre-filter end to end."""
 
