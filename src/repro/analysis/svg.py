@@ -51,6 +51,57 @@ def _axes(width: int, height: int, y_max: float) -> List[str]:
     return parts
 
 
+def svg_sparkline(
+    values: Sequence[float],
+    width: int = 220,
+    height: int = 44,
+    colour: str = PALETTE[2],
+) -> str:
+    """A word-sized inline line chart (the dashboard's time-series cell).
+
+    No axes or labels — the surrounding card carries those.  A single
+    point renders as a dot; a flat series as a mid-height line.
+    """
+    if not values:
+        raise ReproError(
+            f"sparkline needs at least one value, got {len(values)}"
+        )
+    pad = 3
+    vmin, vmax = min(values), max(values)
+    spread = vmax - vmin
+
+    def y_at(value: float) -> float:
+        if spread <= 0:
+            return height / 2
+        return pad + (height - 2 * pad) * (1 - (value - vmin) / spread)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'class="sparkline">'
+    ]
+    if len(values) == 1:
+        parts.append(
+            f'<circle cx="{width / 2:.1f}" cy="{y_at(values[0]):.1f}" '
+            f'r="2.5" fill="{colour}"/>'
+        )
+    else:
+        step = (width - 2 * pad) / (len(values) - 1)
+        points = " ".join(
+            f"{pad + i * step:.1f},{y_at(v):.1f}" for i, v in enumerate(values)
+        )
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{colour}" '
+            f'stroke-width="1.5"/>'
+        )
+        parts.append(
+            f'<circle cx="{pad + (len(values) - 1) * step:.1f}" '
+            f'cy="{y_at(values[-1]):.1f}" r="2" fill="{colour}"/>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
 def svg_scatter(
     series: Mapping[str, Sequence[float]],
     title: str = "",

@@ -17,6 +17,12 @@ Subcommands mirror the library's workflow:
 * ``surrogate train --out m.json`` — fit the placement surrogate from
   catalog machines × workloads.
 * ``experiment fig1 --scale quick`` — reproduce a paper artifact.
+* ``profile trace.jsonl --svg flame.svg`` — hot paths, folded stacks
+  and a flamegraph from a span log.
+* ``dashboard X2-4 MD --out dash.html`` — run a short traced session
+  and render the self-contained HTML ops dashboard.
+* ``bench check`` / ``bench record`` — the benchmark-regression
+  sentinel over the committed ``BENCH_*.json``.
 * ``lint src/repro`` — statically check the codebase's determinism,
   golden-purity, pool-safety and observability contracts against the
   committed baseline (see ``docs/lint.md``).
@@ -391,9 +397,30 @@ def cmd_online(args: argparse.Namespace) -> int:
         hysteresis=args.hysteresis, store=store,
         surrogate=args.surrogate_model,
     )
-    result = scheduler.run(trace)
+    recorder = None
+    if args.dashboard_out:
+        from repro.obs.metrics import Metrics
+        from repro.obs.timeseries import TimeSeriesRecorder
+
+        recorder = TimeSeriesRecorder(Metrics(), interval_s=args.sample_window)
+    result = scheduler.run(trace, recorder=recorder)
     print(result.summary())
     print(result.stats.summary())
+    if args.dashboard_out:
+        from repro.obs.dashboard import write_dashboard
+
+        write_dashboard(
+            args.dashboard_out,
+            title=f"Pandia online session — {args.machine} x{args.nodes}",
+            metrics=result.stats.metrics,
+            recorder=recorder,
+            spans=obs.tracer().spans() if obs.enabled() else None,
+            note=(
+                f"{args.jobs} jobs, {args.pattern} arrivals at "
+                f"{args.rate}/s, policy {args.policy}, seed {args.seed}"
+            ),
+        )
+        print(f"wrote dashboard to {args.dashboard_out}")
     if args.json:
         record = {
             "machine": args.machine,
@@ -416,6 +443,129 @@ def cmd_online(args: argparse.Namespace) -> int:
             fh.write("\n")
         print(f"wrote run record to {args.json}")
     finish_tracing(args, extra_metrics=result.stats.metrics)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Analyse a span log offline: hot paths, flamegraph, folded stacks."""
+    from repro.obs.export import read_spans_jsonl
+    from repro.obs.profile import flamegraph_svg, folded_stacks, hot_table
+
+    spans = read_spans_jsonl(args.spans)
+    if not spans:
+        print(f"no spans in {args.spans}")
+        return 1
+    rows = [
+        [name, count, f"{total_ms:.2f}", f"{self_ms:.2f}", f"{pct:.1f}%"]
+        for name, count, total_ms, self_ms, pct in hot_table(spans, top=args.top)
+    ]
+    print(format_table(["span", "count", "total ms", "self ms", "% of wall"], rows))
+    if args.svg:
+        with open(args.svg, "w") as handle:
+            handle.write(flamegraph_svg(spans))
+        print(f"wrote flamegraph to {args.svg}")
+    if args.folded:
+        with open(args.folded, "w") as handle:
+            for path, self_us in folded_stacks(spans):
+                handle.write(f"{path} {self_us}\n")
+        print(f"wrote folded stacks to {args.folded}")
+    return 0
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    """Run a short traced session and render the standalone HTML dashboard."""
+    from repro.obs.dashboard import write_dashboard
+    from repro.obs.metrics import Metrics
+    from repro.obs.timeseries import TimeSeriesRecorder
+    from repro.online import OnlineScheduler, poisson_trace
+    from repro.rack import Rack, RackMachine
+    from repro.search import ExhaustiveStrategy, SearchEngine
+
+    obs.reset()
+    obs.enable()
+    registry = obs.metrics()
+    wall = TimeSeriesRecorder(registry, interval_s=args.interval)
+    sim = TimeSeriesRecorder(Metrics(), interval_s=args.sample_window)
+    machine = machines.get(args.machine)
+    noise = _noise(args)
+    wall.start()
+    # Everything traced nests under this one span, so the flamegraph
+    # root *is* the session: root width == run wall time, exactly.
+    with obs.span("dashboard.session", machine=args.machine):
+        md = generate_machine_description(machine, noise=noise)
+        generator = WorkloadDescriptionGenerator(machine, md, noise=noise)
+        pool = [generator.generate(catalog.get(n)) for n in args.workloads]
+        predictor = PandiaPredictor(md)
+        with SearchEngine(predictor) as engine:
+            for wd in pool:
+                engine.search(
+                    wd, ExhaustiveStrategy(sample=args.max_placements, seed=0)
+                )
+            registry.merge(engine.stats.metrics.data())
+        rack = Rack(
+            machines=tuple(
+                RackMachine(f"node-{i}", machine, md) for i in range(args.nodes)
+            )
+        )
+        trace = poisson_trace(
+            pool, n_jobs=args.jobs, rate_per_s=args.rate, seed=args.seed
+        )
+        result = OnlineScheduler(rack).run(trace, recorder=sim)
+        registry.merge(result.stats.metrics.data())
+    wall.stop()
+    spans = obs.tracer().spans()
+    series = {**wall.data(), **sim.data()}
+    out = write_dashboard(
+        args.out,
+        title=f"Pandia ops dashboard — {args.machine}",
+        metrics=registry,
+        recorder=series,
+        spans=spans,
+        note=(
+            f"{len(pool)} workload(s) optimised + {args.jobs}-job online "
+            f"session on {args.nodes} node(s); policy predicted-slowdown"
+        ),
+    )
+    print(
+        f"wrote dashboard to {out} "
+        f"({len(spans)} spans, {len(series)} series)"
+    )
+    return 0
+
+
+def cmd_bench_check(args: argparse.Namespace) -> int:
+    """Fail (exit 1) when a headline metric regressed vs. the history."""
+    from repro.obs import bench
+
+    report = bench.check(root=args.root, history_path=args.history)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_bench_record(args: argparse.Namespace) -> int:
+    """Append the current headline values to ``BENCH_HISTORY.jsonl``."""
+    from pathlib import Path
+
+    from repro.obs import bench
+
+    values = bench.read_headline_values(args.root)
+    if not any(v is not None for v in values.values()):
+        raise ReproError(
+            f"no BENCH_*.json headline values found under {args.root!r}; "
+            f"nothing to record"
+        )
+    history = (
+        Path(args.history) if args.history
+        else Path(args.root) / bench.HISTORY_FILE
+    )
+    entry = bench.append_history(history, values, label=args.label)
+    print(
+        f"recorded {len(entry['metrics'])} headline metric(s) as "
+        f"{entry['label']!r} in {history}"
+    )
     return 0
 
 
@@ -672,6 +822,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--surrogate-model", metavar="PATH",
                    help="surrogate model used to pre-filter solo estimates "
                         "(estimates stay exact-verified)")
+    p.add_argument("--dashboard-out", metavar="FILE",
+                   help="render the standalone HTML ops dashboard for this "
+                        "run (time series sampled on the simulated clock)")
+    p.add_argument("--sample-window", type=float, default=60.0,
+                   help="simulated seconds per time-series sample window")
     add_trace_flags(p)
     p.set_defaults(func=cmd_online)
 
@@ -732,6 +887,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_trace_flags(p)
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "profile", help="analyse a span log: hot paths, flamegraph"
+    )
+    p.add_argument("spans", metavar="SPANS.jsonl",
+                   help="span log written by --trace-out FILE.jsonl")
+    p.add_argument("--top", type=int, default=15,
+                   help="hot-path rows to print (default 15)")
+    p.add_argument("--svg", metavar="FILE",
+                   help="write a standalone SVG flamegraph")
+    p.add_argument("--folded", metavar="FILE",
+                   help="write collapsed folded-stack lines (self time, us)")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "dashboard",
+        help="run a short traced session and render the HTML ops dashboard",
+    )
+    p.add_argument("machine")
+    p.add_argument("workloads", nargs="+",
+                   help="catalog workloads to optimise and stream online")
+    p.add_argument("--out", required=True, metavar="FILE",
+                   help="write the self-contained HTML page here")
+    p.add_argument("--nodes", type=int, default=2)
+    p.add_argument("--jobs", type=int, default=30,
+                   help="online-session trace length")
+    p.add_argument("--rate", type=float, default=0.5,
+                   help="online arrival rate, jobs/s")
+    p.add_argument("--seed", type=int, default=0, help="trace seed")
+    p.add_argument("--max-placements", type=int, default=120,
+                   help="placements sampled by the optimize pass")
+    p.add_argument("--interval", type=float, default=0.2,
+                   help="wall-clock sampling interval, seconds")
+    p.add_argument("--sample-window", type=float, default=60.0,
+                   help="simulated seconds per online sample window")
+    p.set_defaults(func=cmd_dashboard)
+
+    p = sub.add_parser(
+        "bench", help="benchmark-regression sentinel over BENCH_*.json"
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    p = bench_sub.add_parser(
+        "check",
+        help="fail if a headline metric regressed vs BENCH_HISTORY.jsonl",
+    )
+    p.add_argument("--root", default=".",
+                   help="directory holding BENCH_*.json (default: .)")
+    p.add_argument("--history", metavar="FILE",
+                   help="history file (default: ROOT/BENCH_HISTORY.jsonl)")
+    p.add_argument("--json", action="store_true",
+                   help="print the machine-readable JSON report")
+    p.set_defaults(func=cmd_bench_check)
+    p = bench_sub.add_parser(
+        "record", help="append current headline values to the history"
+    )
+    p.add_argument("--root", default=".",
+                   help="directory holding BENCH_*.json (default: .)")
+    p.add_argument("--history", metavar="FILE",
+                   help="history file (default: ROOT/BENCH_HISTORY.jsonl)")
+    p.add_argument("--label", default="",
+                   help="history entry label (default: run-N)")
+    p.set_defaults(func=cmd_bench_record)
 
     p = sub.add_parser(
         "evaluate", help="measured-vs-predicted evaluation for one workload"

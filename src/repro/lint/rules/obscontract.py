@@ -12,7 +12,14 @@ three call-site conventions this rule makes machine-checked:
   the exact idiom the predictor's fixed-point kernel uses;
 * metric instrument names are **namespaced**: the first dotted segment
   must be one of the registered families so dashboards and the
-  docs-sync tests can enumerate them.
+  docs-sync tests can enumerate them;
+* time-series names follow the same contract: a literal passed to
+  ``recorder.series(...)`` must carry a registered namespace, so the
+  dashboard's sparkline cards group by subsystem like everything else;
+* a :class:`~repro.obs.timeseries.TimeSeriesRecorder` is never
+  constructed inside a loop — one recorder per run, sampled repeatedly
+  (construction allocates the per-series ring buffers; a per-iteration
+  recorder throws every previous sample away).
 """
 
 from __future__ import annotations
@@ -36,6 +43,10 @@ METRIC_NAMESPACES = (
 )
 
 _INSTRUMENT_METHODS = {"counter", "gauge", "histogram"}
+
+#: Class whose construction-in-a-loop and ``.series(name)`` calls the
+#: rule polices (matched by trailing segment, however it was imported).
+_RECORDER_TYPE = "TimeSeriesRecorder"
 
 
 def _literal_prefix(node: ast.AST) -> Optional[str]:
@@ -67,10 +78,24 @@ class ObsContractRule(LintRule):
         imports = ctx.imports
         parents = ctx.parents
         metrics_aliases = self._metrics_aliases(ctx.tree, imports)
+        recorder_aliases = self._recorder_aliases(ctx.tree, imports)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
             name = resolved_call_name(node, imports)
+            if (
+                name is not None
+                and name.rsplit(".", 1)[-1] == _RECORDER_TYPE
+                and enclosing_loop(node, parents) is not None
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"{_RECORDER_TYPE} constructed inside a loop; each "
+                    "construction allocates fresh ring buffers and drops "
+                    "every previous sample",
+                    suggestion="build one recorder per run outside the "
+                    "loop and keep calling sample()/sample_at() on it",
+                )
             if name == "repro.obs.span":
                 parent = parents.get(id(node))
                 if not (
@@ -100,7 +125,16 @@ class ObsContractRule(LintRule):
                 and node.args
                 and self._is_metrics_receiver(node.func.value, metrics_aliases)
             ):
-                yield from self._check_metric_name(ctx, node)
+                yield from self._check_metric_name(ctx, node, "metric")
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "series"
+                and node.args
+                and self._is_recorder_receiver(
+                    node.func.value, recorder_aliases, imports
+                )
+            ):
+                yield from self._check_metric_name(ctx, node, "time-series")
 
     # -- metric-name namespace check --------------------------------------
 
@@ -137,7 +171,31 @@ class ObsContractRule(LintRule):
             return False
         return name in aliases or name == "metrics" or name.endswith(".metrics")
 
-    def _check_metric_name(self, ctx, call: ast.Call) -> Iterator:
+    @staticmethod
+    def _recorder_aliases(tree: ast.AST, imports) -> Set[str]:
+        """Local names bound to a recorder (``r = TimeSeriesRecorder(...)``)."""
+        aliases: Set[str] = set()
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if isinstance(node.value, ast.Call):
+                name = resolved_call_name(node.value, imports)
+                if name is not None and name.rsplit(".", 1)[-1] == _RECORDER_TYPE:
+                    aliases.add(target.id)
+        return aliases
+
+    @staticmethod
+    def _is_recorder_receiver(node: ast.AST, aliases: Set[str], imports) -> bool:
+        if isinstance(node, ast.Call):  # TimeSeriesRecorder(...).series(...)
+            name = resolved_call_name(node, imports)
+            return name is not None and name.rsplit(".", 1)[-1] == _RECORDER_TYPE
+        name = dotted(node)
+        return name is not None and name in aliases
+
+    def _check_metric_name(self, ctx, call: ast.Call, kind: str) -> Iterator:
         prefix = _literal_prefix(call.args[0])
         if prefix is None:
             return
@@ -148,7 +206,7 @@ class ObsContractRule(LintRule):
         # literal head that is not a registered family is wrong too.
         yield self.finding(
             ctx, call,
-            f"metric name {prefix!r}… is outside the registered "
+            f"{kind} name {prefix!r}… is outside the registered "
             f"namespaces ({', '.join(METRIC_NAMESPACES)})",
             suggestion="prefix the name with its subsystem, e.g. "
             "'search.' or 'online.'",

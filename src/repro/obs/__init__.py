@@ -27,6 +27,13 @@ Worker *processes* call :func:`begin_worker` / :func:`collect_worker`
 around each work unit and ship the payload back with the result; the
 parent folds it in with :func:`absorb_worker`.  The search engine does
 all of this automatically — see ``docs/observability.md``.
+
+v2 layers ride on these primitives: :mod:`repro.obs.timeseries`
+(periodic registry samples into ring-buffer series, JSONL + Prometheus
+exporters), :mod:`repro.obs.profile` (folded stacks + SVG flamegraphs
+from the span buffer), :mod:`repro.obs.dashboard` (the self-contained
+HTML ops page) and :mod:`repro.obs.bench` (the ``pandia bench check``
+regression sentinel over the committed ``BENCH_*.json``).
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ from typing import Any, List, Optional, Tuple, Union
 
 from repro.obs.metrics import Counter, Gauge, Histogram, Metrics
 from repro.obs.records import ConvergenceRecord
+from repro.obs.timeseries import Series, TimeSeriesRecorder
 from repro.obs.trace import NULL_SPAN, NullSpan, Span, Tracer
 
 __all__ = [
@@ -45,7 +53,9 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Metrics",
+    "Series",
     "Span",
+    "TimeSeriesRecorder",
     "Tracer",
     "NullSpan",
     "NULL_SPAN",

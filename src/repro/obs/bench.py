@@ -1,0 +1,356 @@
+"""Bench-regression sentinel: the committed ``BENCH_*.json`` get teeth.
+
+Every perf PR commits a ``BENCH_<area>.json`` record, but until now
+nothing ever read them back — the 53x/9.3x/6.7x headlines could rot
+silently.  This module names the **headline metrics** inside those
+files (:data:`HEADLINES`), keeps an append-only longitudinal record
+(``BENCH_HISTORY.jsonl``, one JSON object per ``pandia bench record``),
+and implements ``pandia bench check``:
+
+* the *current* value of each headline metric is read from the
+  committed ``BENCH_*.json`` in the repo root;
+* its *baseline* is the most recent ``BENCH_HISTORY.jsonl`` entry that
+  recorded it (a metric with no history yet passes as ``new``);
+* the check **fails naming the metric, its baseline and its
+  tolerance** when the current value regresses beyond the per-metric
+  relative tolerance — ``higher`` metrics must stay above
+  ``baseline * (1 - tolerance)``, ``lower`` metrics below
+  ``baseline * (1 + tolerance)`` (with an absolute ``ignore_below``
+  don't-care band for near-zero metrics like regret).
+
+CI runs the check on every push, so a perf regression now fails the
+build instead of quietly rewriting the benchmark file.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ReproError
+
+__all__ = [
+    "HeadlineMetric",
+    "HEADLINES",
+    "BenchRow",
+    "BenchReport",
+    "append_history",
+    "check",
+    "load_history",
+    "read_headline_values",
+]
+
+#: Default history file name, relative to the bench root.
+HISTORY_FILE = "BENCH_HISTORY.jsonl"
+
+#: One path segment: a dict key, or ``(key, value)`` selecting the
+#: first element of a list whose ``key`` equals ``value``.
+PathSegment = Union[str, Tuple[str, str]]
+
+
+@dataclass(frozen=True)
+class HeadlineMetric:
+    """One guarded metric inside a committed ``BENCH_*.json`` file."""
+
+    name: str
+    file: str
+    path: Tuple[PathSegment, ...]
+    direction: str  # "higher" (is better) | "lower"
+    tolerance: float  # relative regression tolerance vs. the baseline
+    ignore_below: float = 0.0  # lower-direction: values <= this always pass
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("higher", "lower"):
+            raise ReproError(
+                f"headline {self.name!r}: direction must be 'higher' or "
+                f"'lower', got {self.direction!r}"
+            )
+        if not 0.0 < self.tolerance < 1.0:
+            raise ReproError(
+                f"headline {self.name!r}: tolerance must be in (0, 1), "
+                f"got {self.tolerance}"
+            )
+
+
+#: The guarded headlines, one per committed benchmark record.
+HEADLINES: Tuple[HeadlineMetric, ...] = (
+    HeadlineMetric(
+        "predictor.batch_speedup", "BENCH_predictor.json",
+        ("headline", "speedup"), "higher", 0.30,
+    ),
+    HeadlineMetric(
+        "predictor.max_abs_deviation", "BENCH_predictor.json",
+        ("headline", "max_abs_deviation"), "lower", 0.50, ignore_below=1e-9,
+    ),
+    HeadlineMetric(
+        "surrogate.x5_2_speedup", "BENCH_surrogate.json",
+        ("sections", "X5-2", "speedup"), "higher", 0.40,
+    ),
+    HeadlineMetric(
+        "surrogate.x5_2_max_regret", "BENCH_surrogate.json",
+        ("sections", "X5-2", "max_regret"), "lower", 0.50, ignore_below=0.01,
+    ),
+    HeadlineMetric(
+        "surrogate.train_r2", "BENCH_surrogate.json",
+        ("model", "train_r2"), "higher", 0.05,
+    ),
+    HeadlineMetric(
+        "online.slowdown_improvement", "BENCH_rack_online.json",
+        ("slowdown_improvement",), "higher", 0.35,
+    ),
+    HeadlineMetric(
+        "online.predicted_slowdown_mean", "BENCH_rack_online.json",
+        ("policies", ("policy", "predicted-slowdown"), "mean_slowdown"),
+        "lower", 0.35,
+    ),
+    HeadlineMetric(
+        "online.decisions_per_sim_day", "BENCH_rack_online.json",
+        ("policies", ("policy", "predicted-slowdown"), "decisions_per_sim_day"),
+        "higher", 0.25,
+    ),
+)
+
+
+def _resolve(document: Any, path: Sequence[PathSegment], where: str) -> float:
+    node = document
+    for segment in path:
+        if isinstance(segment, tuple):
+            key, wanted = segment
+            if not isinstance(node, list):
+                raise ReproError(
+                    f"{where}: selector {key}={wanted} applied to "
+                    f"non-list node"
+                )
+            matches = [
+                item for item in node
+                if isinstance(item, dict) and item.get(key) == wanted
+            ]
+            if not matches:
+                raise ReproError(
+                    f"{where}: no element with {key}={wanted!r}"
+                )
+            node = matches[0]
+        else:
+            if not isinstance(node, dict) or segment not in node:
+                raise ReproError(f"{where}: missing key {segment!r}")
+            node = node[segment]
+    if not isinstance(node, (int, float)) or isinstance(node, bool):
+        raise ReproError(f"{where}: value {node!r} is not a number")
+    return float(node)
+
+
+def read_headline_values(
+    root: Union[str, Path] = ".",
+    headlines: Sequence[HeadlineMetric] = HEADLINES,
+) -> Dict[str, Optional[float]]:
+    """Current headline values from the ``BENCH_*.json`` under ``root``.
+
+    A missing benchmark file yields ``None`` for its metrics (a bench
+    not yet run on this checkout); a *present* file with a missing or
+    non-numeric path raises — that's a schema break, not a skip.
+    """
+    base = Path(root)
+    values: Dict[str, Optional[float]] = {}
+    documents: Dict[str, Optional[Any]] = {}
+    for metric in headlines:
+        if metric.file not in documents:
+            source = base / metric.file
+            if source.exists():
+                try:
+                    documents[metric.file] = json.loads(source.read_text())
+                except json.JSONDecodeError as exc:
+                    raise ReproError(
+                        f"benchmark record {source} is not valid JSON: {exc}"
+                    ) from None
+            else:
+                documents[metric.file] = None
+        document = documents[metric.file]
+        if document is None:
+            values[metric.name] = None
+        else:
+            values[metric.name] = _resolve(
+                document, metric.path, f"{base / metric.file} [{metric.name}]"
+            )
+    return values
+
+
+# -- history ------------------------------------------------------------------
+
+
+def load_history(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse ``BENCH_HISTORY.jsonl``; missing file is an empty history."""
+    source = Path(path)
+    if not source.exists():
+        return []
+    entries: List[Dict[str, Any]] = []
+    with source.open() as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                raise ReproError(
+                    f"{source}:{lineno}: bench history line is not valid JSON"
+                ) from None
+            if not isinstance(entry, dict) or "metrics" not in entry:
+                raise ReproError(
+                    f"{source}:{lineno}: bench history entry has no "
+                    f"'metrics' object"
+                )
+            entries.append(entry)
+    return entries
+
+
+def append_history(
+    path: Union[str, Path],
+    values: Dict[str, Optional[float]],
+    label: str = "",
+) -> Dict[str, Any]:
+    """Append one record (present metrics only) and return it."""
+    target = Path(path)
+    existing = load_history(target)  # validates before we append
+    entry = {
+        "label": label or f"run-{len(existing) + 1}",
+        "metrics": {k: v for k, v in sorted(values.items()) if v is not None},
+    }
+    with target.open("a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True))
+        handle.write("\n")
+    return entry
+
+
+def baseline_for(
+    history: Sequence[Dict[str, Any]], name: str
+) -> Optional[float]:
+    """The most recent recorded value for ``name``, if any."""
+    for entry in reversed(history):
+        value = entry.get("metrics", {}).get(name)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+    return None
+
+
+# -- the check ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BenchRow:
+    """One metric's verdict."""
+
+    metric: HeadlineMetric
+    current: Optional[float]
+    baseline: Optional[float]
+    status: str  # "ok" | "fail" | "new" | "skip"
+
+    @property
+    def allowed(self) -> Optional[float]:
+        """The regression bound the current value was held against."""
+        if self.baseline is None:
+            return None
+        if self.metric.direction == "higher":
+            return self.baseline * (1.0 - self.metric.tolerance)
+        return max(
+            self.baseline * (1.0 + self.metric.tolerance),
+            self.metric.ignore_below,
+        )
+
+    def describe(self) -> str:
+        m = self.metric
+        if self.status == "skip":
+            return f"{m.name}: skipped ({m.file} not present)"
+        if self.status == "new":
+            return f"{m.name}: {self.current:.6g} (no baseline yet)"
+        bound = "=>" if m.direction == "higher" else "<="
+        text = (
+            f"{m.name}: {self.current:.6g} vs baseline {self.baseline:.6g} "
+            f"(must stay {bound} {self.allowed:.6g}, tolerance "
+            f"{m.tolerance:.0%} {m.direction}-is-better)"
+        )
+        if self.status == "fail":
+            return f"REGRESSION {text}"
+        return f"ok {text}"
+
+
+@dataclass(frozen=True)
+class BenchReport:
+    """Every row plus the overall verdict."""
+
+    rows: Tuple[BenchRow, ...]
+
+    @property
+    def failures(self) -> List[BenchRow]:
+        return [row for row in self.rows if row.status == "fail"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [row.describe() for row in self.rows]
+        checked = sum(1 for row in self.rows if row.status in ("ok", "fail"))
+        lines.append(
+            f"bench check: {checked} checked, {len(self.failures)} "
+            f"regression(s), "
+            f"{sum(1 for r in self.rows if r.status == 'new')} new, "
+            f"{sum(1 for r in self.rows if r.status == 'skip')} skipped"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "ok": self.ok,
+                "rows": [
+                    {
+                        "metric": row.metric.name,
+                        "file": row.metric.file,
+                        "direction": row.metric.direction,
+                        "tolerance": row.metric.tolerance,
+                        "current": row.current,
+                        "baseline": row.baseline,
+                        "allowed": row.allowed,
+                        "status": row.status,
+                    }
+                    for row in self.rows
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def check(
+    root: Union[str, Path] = ".",
+    history_path: Optional[Union[str, Path]] = None,
+    headlines: Sequence[HeadlineMetric] = HEADLINES,
+) -> BenchReport:
+    """Compare current ``BENCH_*.json`` headlines against the history."""
+    base = Path(root)
+    history = load_history(
+        Path(history_path) if history_path is not None else base / HISTORY_FILE
+    )
+    current = read_headline_values(base, headlines)
+    rows: List[BenchRow] = []
+    for metric in headlines:
+        value = current[metric.name]
+        baseline = baseline_for(history, metric.name)
+        if value is None or not math.isfinite(value):
+            rows.append(BenchRow(metric, value, baseline, "skip"))
+            continue
+        if baseline is None:
+            rows.append(BenchRow(metric, value, None, "new"))
+            continue
+        row = BenchRow(metric, value, baseline, "ok")
+        if metric.direction == "higher":
+            failed = value < row.allowed
+        else:
+            failed = value > row.allowed
+        if failed:
+            row = BenchRow(metric, value, baseline, "fail")
+        rows.append(row)
+    return BenchReport(tuple(rows))

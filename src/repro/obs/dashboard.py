@@ -1,0 +1,315 @@
+"""The static HTML ops dashboard: one self-contained page per run.
+
+:func:`render_dashboard` folds the three observability surfaces into a
+single HTML document with zero external references (inline CSS, inline
+SVG — it opens from disk, attaches to a CI artifact, or pastes into an
+issue):
+
+* **time-series** — one sparkline card per recorded
+  :class:`~repro.obs.timeseries.Series` (reusing
+  :func:`repro.analysis.svg.svg_sparkline`), with last/min/max;
+* **instruments** — counter/gauge tables and a histogram summary with
+  interpolated p50/p90/p99 rows;
+* **profile** — the :func:`repro.obs.profile.flamegraph_svg` flamegraph
+  plus the hot-path attribution table;
+* **health** — threshold annotations (:class:`HealthRule`) evaluated
+  against the registry: breached rules render as red badges at the top
+  of the page, e.g. a decision-latency p99 or surrogate-fallback-rate
+  breach.
+
+With observability disabled there is nothing to render — the generator
+then emits a small **stub page** saying so instead of crashing, which
+is what ``pandia dashboard``/``--dashboard-out`` ship when tracing was
+never enabled (pinned by ``tests/obs/test_dashboard.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from xml.sax.saxutils import escape
+
+from repro.analysis.svg import svg_sparkline
+from repro.obs.metrics import Metrics, percentile_from_counts
+from repro.obs.profile import flamegraph_svg, hot_table
+from repro.obs.timeseries import TimeSeriesRecorder
+from repro.obs.trace import Span
+
+__all__ = ["HealthRule", "DEFAULT_HEALTH", "render_dashboard", "write_dashboard"]
+
+
+@dataclass(frozen=True)
+class HealthRule:
+    """One threshold annotation evaluated against the metrics registry.
+
+    ``stat`` selects what to read from ``metric``: a histogram
+    percentile (``p50``/``p90``/``p99``), a histogram ``mean``, a
+    plain ``value`` (counter or gauge), or — with ``denominator`` set —
+    the ratio of two counters.  A rule whose instrument is absent from
+    the registry is *not applicable* rather than a breach.
+    """
+
+    label: str
+    metric: str
+    stat: str
+    threshold: float
+    op: str = "<="  # healthy when `value <op> threshold`
+    unit: str = ""
+    denominator: Optional[str] = None
+
+    def evaluate(self, data: Dict[str, Any]) -> Optional[Tuple[float, bool]]:
+        """``(value, healthy)`` against a ``Metrics.data()`` dict."""
+        value = self._read(data)
+        if value is None or not math.isfinite(value):
+            return None
+        healthy = value <= self.threshold if self.op == "<=" else value >= self.threshold
+        return value, healthy
+
+    def _read(self, data: Dict[str, Any]) -> Optional[float]:
+        if self.denominator is not None:
+            numerator = data.get("counters", {}).get(self.metric)
+            denominator = data.get("counters", {}).get(self.denominator)
+            if numerator is None or denominator is None:
+                return None
+            return numerator / max(1, denominator)
+        hdata = data.get("histograms", {}).get(self.metric)
+        if hdata is not None:
+            if hdata["count"] == 0:
+                return None
+            if self.stat == "mean":
+                return hdata["total"] / hdata["count"]
+            quantile = {"p50": 0.50, "p90": 0.90, "p99": 0.99}.get(self.stat)
+            if quantile is None:
+                return None
+            return percentile_from_counts(
+                hdata["buckets"], hdata["counts"], quantile,
+                hdata["min"], hdata["max"],
+            )
+        for family in ("counters", "gauges"):
+            if self.metric in data.get(family, {}):
+                return float(data[family][self.metric])
+        return None
+
+
+#: Default annotations: apply only where the instrument exists.
+DEFAULT_HEALTH: Tuple[HealthRule, ...] = (
+    HealthRule(
+        "decision latency p99", "online.decision_us", "p99",
+        threshold=100_000.0, unit="us",
+    ),
+    HealthRule(
+        "queue depth p90", "online.queue_depth", "p90", threshold=50.0,
+    ),
+    HealthRule(
+        "mean predicted slowdown", "online.slowdown", "mean", threshold=25.0,
+    ),
+    HealthRule(
+        "surrogate fallback rate", "search.surrogate_fallbacks", "value",
+        threshold=0.5, denominator="search.rounds",
+    ),
+    HealthRule(
+        "fixed-point iterations p99", "search.iterations", "p99",
+        threshold=200.0,
+    ),
+)
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 1.2rem;
+       background: #faf8f4; color: #222; }
+h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 1.6rem;
+     border-bottom: 1px solid #ddd; padding-bottom: .2rem; }
+table { border-collapse: collapse; font-size: .82rem; }
+th, td { padding: .22rem .6rem; text-align: right; }
+th { background: #efe9df; } td:first-child, th:first-child { text-align: left; }
+tr:nth-child(even) td { background: #f3efe8; }
+.cards { display: flex; flex-wrap: wrap; gap: .7rem; }
+.card { background: #fff; border: 1px solid #e2dccf; border-radius: 6px;
+        padding: .45rem .6rem; width: 236px; }
+.card .name { font-size: .72rem; color: #555; font-family: monospace;
+              overflow-wrap: anywhere; }
+.card .stat { font-size: .7rem; color: #888; }
+.badge { display: inline-block; border-radius: 9px; padding: .15rem .6rem;
+         font-size: .78rem; margin: 0 .3rem .3rem 0; color: #fff; }
+.badge.ok { background: #2e7d32; } .badge.bad { background: #c62828; }
+.stub { color: #777; font-style: italic; margin-top: 2rem; }
+.flame { overflow-x: auto; background: #fff; border: 1px solid #e2dccf;
+         padding: .4rem; }
+"""
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.6g}"
+
+
+def _health_section(
+    health: Sequence[HealthRule], data: Dict[str, Any]
+) -> List[str]:
+    badges = []
+    for rule in health:
+        outcome = rule.evaluate(data)
+        if outcome is None:
+            continue
+        value, healthy = outcome
+        css = "ok" if healthy else "bad"
+        verdict = "ok" if healthy else "BREACH"
+        badges.append(
+            f'<span class="badge {css}">{escape(rule.label)}: '
+            f"{_fmt(value)}{escape(rule.unit)} "
+            f"({verdict}, limit {rule.op} {_fmt(rule.threshold)}"
+            f"{escape(rule.unit)})</span>"
+        )
+    if not badges:
+        return []
+    return ["<h2>Health</h2>", "<div>"] + badges + ["</div>"]
+
+
+def _series_section(series_data: Dict[str, List[List[Optional[float]]]]) -> List[str]:
+    cards = []
+    for name, points in series_data.items():
+        values = [v for _, v in points if v is not None]
+        if not values:
+            continue
+        cards.append(
+            '<div class="card">'
+            f'<div class="name">{escape(name)}</div>'
+            + svg_sparkline(values)
+            + f'<div class="stat">last {_fmt(values[-1])} · '
+            f"min {_fmt(min(values))} · max {_fmt(max(values))} · "
+            f"{len(values)} samples</div></div>"
+        )
+    if not cards:
+        return []
+    return (
+        [f"<h2>Time series ({len(cards)})</h2>", '<div class="cards">']
+        + cards
+        + ["</div>"]
+    )
+
+
+def _histogram_section(data: Dict[str, Any]) -> List[str]:
+    histograms = data.get("histograms", {})
+    if not histograms:
+        return []
+    rows = []
+    for name in sorted(histograms):
+        hdata = histograms[name]
+        count = hdata["count"]
+        if count:
+            mean = hdata["total"] / count
+            quantiles = [
+                percentile_from_counts(
+                    hdata["buckets"], hdata["counts"], q,
+                    hdata["min"], hdata["max"],
+                )
+                for q in (0.50, 0.90, 0.99)
+            ]
+            cells = [
+                _fmt(mean), *(_fmt(v) for v in quantiles),
+                _fmt(hdata["min"]), _fmt(hdata["max"]),
+            ]
+        else:
+            cells = ["-"] * 6
+        rows.append(
+            f"<tr><td>{escape(name)}</td><td>{count}</td>"
+            + "".join(f"<td>{cell}</td>" for cell in cells)
+            + "</tr>"
+        )
+    return [
+        "<h2>Histograms</h2>",
+        "<table><tr><th>histogram</th><th>count</th><th>mean</th>"
+        "<th>p50</th><th>p90</th><th>p99</th><th>min</th><th>max</th></tr>",
+        *rows,
+        "</table>",
+    ]
+
+
+def _instrument_section(data: Dict[str, Any]) -> List[str]:
+    counters = data.get("counters", {})
+    gauges = data.get("gauges", {})
+    if not counters and not gauges:
+        return []
+    rows = [
+        f"<tr><td>{escape(name)}</td><td>counter</td><td>{_fmt(counters[name])}</td></tr>"
+        for name in sorted(counters)
+    ] + [
+        f"<tr><td>{escape(name)}</td><td>gauge</td><td>{_fmt(gauges[name])}</td></tr>"
+        for name in sorted(gauges)
+    ]
+    return [
+        "<h2>Counters and gauges</h2>",
+        "<table><tr><th>instrument</th><th>kind</th><th>value</th></tr>",
+        *rows,
+        "</table>",
+    ]
+
+
+def _profile_section(spans: Sequence[Span]) -> List[str]:
+    if not spans:
+        return []
+    rows = [
+        f"<tr><td>{escape(name)}</td><td>{count}</td>"
+        f"<td>{total_ms:.2f}</td><td>{self_ms:.2f}</td><td>{pct:.1f}%</td></tr>"
+        for name, count, total_ms, self_ms, pct in hot_table(spans, top=12)
+    ]
+    return [
+        f"<h2>Profile ({len(spans)} spans)</h2>",
+        f'<div class="flame">{flamegraph_svg(spans)}</div>',
+        "<h2>Hot paths (self time)</h2>",
+        "<table><tr><th>span</th><th>count</th><th>total ms</th>"
+        "<th>self ms</th><th>% of wall</th></tr>",
+        *rows,
+        "</table>",
+    ]
+
+
+def render_dashboard(
+    title: str = "Pandia ops dashboard",
+    metrics: Optional[Union[Metrics, Dict[str, Any]]] = None,
+    recorder: Optional[Union[TimeSeriesRecorder, Dict[str, Any]]] = None,
+    spans: Optional[Sequence[Span]] = None,
+    health: Sequence[HealthRule] = DEFAULT_HEALTH,
+    note: str = "",
+) -> str:
+    """The full standalone HTML document (see the module docstring)."""
+    data: Dict[str, Any] = {}
+    if isinstance(metrics, Metrics):
+        data = metrics.data()
+    elif metrics is not None:
+        data = metrics
+    series_data: Dict[str, Any] = {}
+    if isinstance(recorder, TimeSeriesRecorder):
+        series_data = recorder.data()
+    elif recorder is not None:
+        series_data = recorder
+    spans = list(spans) if spans else []
+
+    body: List[str] = [f"<h1>{escape(title)}</h1>"]
+    if note:
+        body.append(f"<p>{escape(note)}</p>")
+    has_instruments = any(data.get(k) for k in ("counters", "gauges", "histograms"))
+    if not has_instruments and not series_data and not spans:
+        body.append(
+            '<p class="stub">No observability data was collected for this '
+            "run — enable tracing (obs.enable(), REPRO_TRACE=1 or the "
+            "--trace flags) and re-render.</p>"
+        )
+    else:
+        body += _health_section(health, data)
+        body += _series_section(series_data)
+        body += _histogram_section(data)
+        body += _profile_section(spans)
+        body += _instrument_section(data)
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">"
+        f"<title>{escape(title)}</title><style>{_CSS}</style></head>\n<body>\n"
+        + "\n".join(body)
+        + "\n</body></html>\n"
+    )
+
+
+def write_dashboard(path: Union[str, Path], **kwargs: Any) -> Path:
+    out = Path(path)
+    out.write_text(render_dashboard(**kwargs))
+    return out

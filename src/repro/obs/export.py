@@ -109,6 +109,42 @@ def write_spans_jsonl(path: PathLike, spans: Iterable[Span]) -> Path:
     return out
 
 
+def read_spans_jsonl(path: PathLike) -> List[Span]:
+    """Load a span log written by :func:`write_spans_jsonl`.
+
+    The inverse of the JSONL exporter, used by ``pandia profile`` to
+    fold a recorded trace offline.  Rows missing the span-id/name core
+    raise ``ValueError`` naming the file and line.
+    """
+    spans: List[Span] = []
+    source = Path(path)
+    with source.open() as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            try:
+                spans.append(
+                    Span(
+                        name=row["name"],
+                        span_id=row["span_id"],
+                        parent_id=row.get("parent_id"),
+                        pid=row["pid"],
+                        tid=row["tid"],
+                        start_ns=row["start_ns"],
+                        dur_ns=row.get("dur_ns", 0),
+                        cpu_ns=row.get("cpu_ns", 0),
+                        attrs=row.get("attrs", {}) or {},
+                    )
+                )
+            except KeyError as exc:
+                raise ValueError(
+                    f"{source}:{lineno}: span row missing {exc.args[0]!r}"
+                ) from None
+    return spans
+
+
 def validate_chrome_trace(document: Dict[str, Any]) -> Dict[str, int]:
     """Schema-check a Chrome trace document; raise ``ValueError`` on
     violations, return ``{"events": n, "spans": n, "tracks": n}``.

@@ -19,11 +19,64 @@ import math
 import threading
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-__all__ = ["Counter", "Gauge", "Histogram", "Metrics"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "percentile_from_counts",
+]
 
 #: Default histogram buckets: log-spaced upper bounds wide enough for
 #: iteration counts and latencies alike.
 DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500)
+
+
+def percentile_from_counts(
+    buckets: Sequence[float],
+    counts: Sequence[int],
+    q: float,
+    vmin: float = math.inf,
+    vmax: float = -math.inf,
+) -> float:
+    """Interpolated quantile ``q`` (0..1) from fixed-bucket counts.
+
+    The estimate assumes observations are uniform within a bucket and
+    interpolates linearly between the bucket's bounds.  Known ``vmin``
+    / ``vmax`` sidecars tighten the first/overflow buckets (and clamp
+    the result), so single-sample and narrow distributions come out
+    exact rather than smeared across a whole bucket.  Zero observations
+    return 0.0.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile q must be in [0, 1], got {q!r}")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    lo_known = math.isfinite(vmin)
+    hi_known = math.isfinite(vmax)
+    target = q * total
+    cumulative = 0
+    value = float(buckets[-1])
+    for i, count in enumerate(counts):
+        if count == 0:
+            cumulative += count
+            continue
+        if cumulative + count >= target:
+            lo = buckets[i - 1] if i > 0 else (vmin if lo_known else 0.0)
+            if i < len(buckets):
+                hi = buckets[i]
+            else:  # overflow bucket: bounded only by the observed max
+                hi = vmax if hi_known else buckets[-1]
+            fraction = (target - cumulative) / count
+            value = lo + (hi - lo) * max(0.0, min(1.0, fraction))
+            break
+        cumulative += count
+    if lo_known:
+        value = max(value, vmin)
+    if hi_known:
+        value = min(value, vmax)
+    return value
 
 
 class Counter:
@@ -99,12 +152,31 @@ class Histogram:
                 self.vmax = value
 
     def observe_many(self, values: Iterable[float]) -> None:
-        for value in values:
-            self.observe(value)
+        """Record a batch under one lock acquisition (hot-path friendly)."""
+        batch = [float(v) for v in values]
+        if not batch:
+            return
+        with self._lock:
+            for value in batch:
+                self.counts[self._slot(value)] += 1
+                self.total += value
+                if value < self.vmin:
+                    self.vmin = value
+                if value > self.vmax:
+                    self.vmax = value
+            self.count += len(batch)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Interpolated quantile ``q`` (0..1); see
+        :func:`percentile_from_counts` for the estimator."""
+        with self._lock:
+            return percentile_from_counts(
+                self.buckets, self.counts, q, self.vmin, self.vmax
+            )
 
 
 class Metrics:
@@ -186,9 +258,30 @@ class Metrics:
                 h.vmax = max(h.vmax, hdata["max"])
 
     def snapshot(self) -> "Metrics":
-        """An independent deep copy."""
+        """An independent deep copy.
+
+        Every mutable cell — histogram bucket-count arrays included —
+        is copied under the registry lock, so a snapshot taken mid-run
+        never aliases live counts (``tests/obs/test_metrics.py`` pins
+        this with a mutate-after-snapshot test).
+        """
         copy = Metrics()
-        copy.merge(self.data())
+        with self._lock:
+            for name, counter in self._counters.items():
+                copy._counters[name] = c = Counter(name, copy._lock)
+                c.value = counter.value
+            for name, gauge in self._gauges.items():
+                copy._gauges[name] = g = Gauge(name, copy._lock)
+                g.value = gauge.value
+            for name, hist in self._histograms.items():
+                copy._histograms[name] = h = Histogram(
+                    name, copy._lock, hist.buckets
+                )
+                h.counts = list(hist.counts)
+                h.count = hist.count
+                h.total = hist.total
+                h.vmin = hist.vmin
+                h.vmax = hist.vmax
         return copy
 
     def clear(self) -> None:

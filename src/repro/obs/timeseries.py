@@ -1,0 +1,297 @@
+"""Time-series telemetry: periodic samples of a :class:`Metrics` registry.
+
+PR 4's registry answers "what are the totals now"; this module answers
+"how did they move over the run".  A :class:`TimeSeriesRecorder` walks
+a registry and appends one timestamped point per derived series into
+fixed-capacity ring buffers (:class:`Series`):
+
+* every **counter** becomes one cumulative series under its own name
+  (consumers difference adjacent points for rates);
+* every **gauge** becomes one series of its instantaneous value;
+* every **histogram** becomes ``<name>.count``, ``<name>.mean`` and
+  interpolated ``<name>.p50`` / ``.p90`` / ``.p99`` series (via
+  :meth:`~repro.obs.metrics.Histogram.percentile`).
+
+Two clock disciplines share one recorder:
+
+* **wall clock** — ``recorder.start()`` spawns a daemon thread sampling
+  every ``interval_s`` of ``time.perf_counter()`` (real runs, the
+  ``pandia dashboard`` session);
+* **simulated clock** — ``recorder.sample_at(sim_now)`` samples once
+  per crossed window boundary, so the event loop in
+  :class:`repro.online.service.OnlineScheduler` drives queue depth,
+  decision-latency percentiles, admission/migration rates and mean
+  predicted slowdown per *simulated* window without ever reading a
+  real clock.
+
+Construction is cheap but not free (one dict per live series), so the
+PD-OBS lint rule forbids building recorders inside loops — make one per
+run and keep sampling it.
+
+Exporters: :func:`write_timeseries_jsonl` (one JSON object per series,
+non-finite points nulled) and :func:`prometheus_exposition` (the
+Prometheus text format over a registry's *current* state, with a
+NaN/inf guard — non-finite samples are dropped with a comment rather
+than corrupting the scrape).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ReproError
+from repro.obs.metrics import Metrics, percentile_from_counts
+
+__all__ = [
+    "Series",
+    "TimeSeriesRecorder",
+    "prometheus_exposition",
+    "write_timeseries_jsonl",
+]
+
+#: Quantile suffixes every histogram is expanded into.
+HISTOGRAM_QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p90", 0.90),
+    ("p99", 0.99),
+)
+
+#: Default ring-buffer capacity per series.
+DEFAULT_CAPACITY = 512
+
+
+class Series:
+    """One named time series in a fixed-capacity ring buffer."""
+
+    __slots__ = ("name", "_points")
+
+    def __init__(self, name: str, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ReproError(
+                f"series {name!r} needs a positive capacity, got {capacity}"
+            )
+        self.name = name
+        self._points: Deque[Tuple[float, float]] = deque(maxlen=capacity)
+
+    def append(self, t: float, value: float) -> None:
+        self._points.append((float(t), float(value)))
+
+    def points(self) -> List[Tuple[float, float]]:
+        """All retained ``(t, value)`` points, oldest first."""
+        return list(self._points)
+
+    def values(self) -> List[float]:
+        return [v for _, v in self._points]
+
+    @property
+    def last(self) -> Optional[float]:
+        return self._points[-1][1] if self._points else None
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+
+class TimeSeriesRecorder:
+    """Samples one :class:`Metrics` registry into named :class:`Series`.
+
+    One recorder per run; sampling is driven either by the caller
+    (``sample(t)`` / ``sample_at(sim_now)``) or by a background
+    wall-clock thread (``start()`` / ``stop()``).
+    """
+
+    def __init__(
+        self,
+        registry: Metrics,
+        interval_s: float = 1.0,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        if interval_s <= 0:
+            raise ReproError(
+                f"recorder interval must be positive, got {interval_s}"
+            )
+        self.registry = registry
+        self.interval_s = float(interval_s)
+        self.capacity = int(capacity)
+        self._series: Dict[str, Series] = {}
+        self._next_due: Optional[float] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+        self._t0: Optional[float] = None
+
+    # -- series access ----------------------------------------------------
+
+    def series(self, name: str) -> Series:
+        """Get-or-create a series (custom values outside the registry)."""
+        s = self._series.get(name)
+        if s is None:
+            s = self._series[name] = Series(name, self.capacity)
+        return s
+
+    def all_series(self) -> List[Series]:
+        """Every recorded series, name-sorted (deterministic output)."""
+        return [self._series[name] for name in sorted(self._series)]
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    # -- sampling ---------------------------------------------------------
+
+    def sample(self, t: float) -> None:
+        """Record one point per derived series at timestamp ``t``."""
+        data = self.registry.data()
+        for name, value in data["counters"].items():
+            self.series(name).append(t, value)
+        for name, value in data["gauges"].items():
+            self.series(name).append(t, value)
+        for name, hdata in data["histograms"].items():
+            self.series(f"{name}.count").append(t, hdata["count"])
+            mean = hdata["total"] / hdata["count"] if hdata["count"] else 0.0
+            self.series(f"{name}.mean").append(t, mean)
+            for suffix, q in HISTOGRAM_QUANTILES:
+                value = percentile_from_counts(
+                    hdata["buckets"], hdata["counts"], q,
+                    hdata["min"], hdata["max"],
+                )
+                self.series(f"{name}.{suffix}").append(t, value)
+
+    def sample_at(self, now: float) -> None:
+        """Window-gated sampling against a simulated clock.
+
+        Samples once per ``interval_s`` window boundary crossed since
+        the previous call, so a burst of events inside one window
+        yields one point and a long quiet gap yields a flat line —
+        the event loop just calls this with every new ``now``.
+        """
+        if self._next_due is None:
+            self._next_due = 0.0
+        while self._next_due <= now:
+            self.sample(self._next_due)
+            self._next_due += self.interval_s
+
+    # -- wall-clock background sampling -----------------------------------
+
+    def start(self) -> None:
+        """Begin wall-clock sampling on a daemon thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._stop_event.clear()
+        self._t0 = time.perf_counter()
+
+        def _loop() -> None:
+            while not self._stop_event.wait(self.interval_s):
+                self.sample(time.perf_counter() - self._t0)
+
+        self._thread = threading.Thread(
+            target=_loop, name="repro-obs-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the background thread and take one final sample."""
+        if self._thread is None:
+            return
+        self._stop_event.set()
+        self._thread.join()
+        self._thread = None
+        if self._t0 is not None:
+            self.sample(time.perf_counter() - self._t0)
+
+    # -- export -----------------------------------------------------------
+
+    def data(self) -> Dict[str, Any]:
+        """Plain-dict form: ``{series: [[t, value], ...]}``, name-sorted."""
+        return {
+            s.name: [[t, _finite_or_none(v)] for t, v in s.points()]
+            for s in self.all_series()
+        }
+
+
+def _finite_or_none(value: float) -> Optional[float]:
+    """JSON-safe point value: NaN/inf become null, not bare tokens."""
+    return value if math.isfinite(value) else None
+
+
+def write_timeseries_jsonl(
+    path: Union[str, Path], recorder: TimeSeriesRecorder
+) -> Path:
+    """One JSON object per series: ``{"series": name, "points": [...]}``."""
+    out = Path(path)
+    with out.open("w") as handle:
+        for name, points in recorder.data().items():
+            handle.write(
+                json.dumps({"series": name, "points": points}, sort_keys=True)
+            )
+            handle.write("\n")
+    return out
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    """A metric name in Prometheus' ``[a-zA-Z_][a-zA-Z0-9_]*`` charset."""
+    sanitized = _PROM_NAME_RE.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = f"_{sanitized}"
+    return f"repro_{sanitized}"
+
+
+def _prom_float(value: float) -> str:
+    return repr(float(value))
+
+
+def prometheus_exposition(metrics: Union[Metrics, Dict[str, Any]]) -> str:
+    """A registry's current state in the Prometheus text format.
+
+    Counters gain the conventional ``_total`` suffix; histograms emit
+    cumulative ``_bucket{le=...}`` rows plus ``_sum`` / ``_count``.
+    Non-finite values (an empty histogram's ``inf`` min, a NaN gauge)
+    are **dropped with a ``# repro: skipped`` comment** — a scrape
+    must never contain bare ``nan``/``inf`` sample values.
+    """
+    data = metrics.data() if isinstance(metrics, Metrics) else metrics
+    lines: List[str] = []
+    for name in sorted(data.get("counters", {})):
+        value = data["counters"][name]
+        prom = f"{_prom_name(name)}_total"
+        if not math.isfinite(value):
+            lines.append(f"# repro: skipped non-finite counter {name}")
+            continue
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_prom_float(value)}")
+    for name in sorted(data.get("gauges", {})):
+        value = data["gauges"][name]
+        prom = _prom_name(name)
+        if value is None or not math.isfinite(value):
+            lines.append(f"# repro: skipped non-finite gauge {name}")
+            continue
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_float(value)}")
+    for name in sorted(data.get("histograms", {})):
+        hdata = data["histograms"][name]
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, count in zip(hdata["buckets"], hdata["counts"]):
+            cumulative += count
+            lines.append(
+                f'{prom}_bucket{{le="{_prom_float(bound)}"}} {cumulative}'
+            )
+        cumulative += hdata["counts"][len(hdata["buckets"])]
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {cumulative}')
+        total = hdata["total"]
+        if math.isfinite(total):
+            lines.append(f"{prom}_sum {_prom_float(total)}")
+        else:
+            lines.append(f"# repro: skipped non-finite sum for {name}")
+        lines.append(f"{prom}_count {hdata['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")

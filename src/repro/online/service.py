@@ -164,6 +164,18 @@ class OnlineStats:
     def mean_decision_us(self) -> float:
         return self.metrics.histogram("online.decision_us", _DECISION_US_BUCKETS).mean
 
+    def decision_us_percentile(self, q: float) -> float:
+        """Interpolated decision-latency quantile (microseconds)."""
+        return self.metrics.histogram(
+            "online.decision_us", _DECISION_US_BUCKETS
+        ).percentile(q)
+
+    def slowdown_percentile(self, q: float) -> float:
+        """Interpolated quantile of the per-job slowdown distribution."""
+        return self.metrics.histogram(
+            "online.slowdown", _SLOWDOWN_BUCKETS
+        ).percentile(q)
+
     @property
     def queue_depth(self) -> float:
         """Pending-queue depth after the most recent drain."""
@@ -185,7 +197,12 @@ class OnlineStats:
                 f"  arrivals:     {self.arrivals}",
                 f"  departures:   {self.departures}",
                 f"  decisions:    {self.decisions} "
-                f"(mean {self.mean_decision_us:.0f} us each)",
+                f"(latency mean {self.mean_decision_us:.0f} us, "
+                f"p50 {self.decision_us_percentile(0.50):.0f} / "
+                f"p99 {self.decision_us_percentile(0.99):.0f} us)",
+                f"  slowdown:     p50 {self.slowdown_percentile(0.50):.2f}x / "
+                f"p90 {self.slowdown_percentile(0.90):.2f}x / "
+                f"p99 {self.slowdown_percentile(0.99):.2f}x (histogram)",
                 f"  migrations:   {self.migrations}",
                 f"  deferrals:    {self.deferrals}",
                 f"  stale events: {self.stale_events}",
@@ -354,13 +371,23 @@ class OnlineScheduler:
 
     # -- public API ------------------------------------------------------
 
-    def run(self, trace: ArrivalTrace) -> OnlineResult:
-        """Drive the trace to completion and return the full record."""
+    def run(self, trace: ArrivalTrace, recorder=None) -> OnlineResult:
+        """Drive the trace to completion and return the full record.
+
+        ``recorder`` (a :class:`repro.obs.TimeSeriesRecorder`) hooks the
+        simulated clock: the run's stats registry becomes the recorder's
+        registry, and every event-loop step calls
+        :meth:`~repro.obs.timeseries.TimeSeriesRecorder.sample_at` with
+        the simulated ``now`` — so queue depth, decision-latency
+        percentiles, admission/migration counts and the slowdown
+        histogram are sampled once per simulated window, never off a
+        wall clock.
+        """
         wall_start = time.perf_counter()
         jobs: Dict[str, Job] = {j.name: j for j in trace.jobs}
         loop = EventLoop()
         log = EventLog()
-        stats = OnlineStats()
+        stats = OnlineStats(recorder.registry if recorder is not None else None)
         fleet = FleetOccupancy(self.rack)
         versions: Dict[str, int] = {name: 0 for name in jobs}
         pending: List[str] = []
@@ -378,6 +405,8 @@ class OnlineScheduler:
                 event = loop.pop()
                 busy_thread_seconds += fleet.occupied_total() * (loop.now - now)
                 now = loop.now
+                if recorder is not None:
+                    recorder.sample_at(now)
 
                 if event.kind is EventKind.DEPARTURE:
                     if event.version != versions[event.job_name]:
@@ -429,6 +458,12 @@ class OnlineScheduler:
         stats.inc("wall_time_s", wall_time)
         self.core.flush_store()
         makespan = max((e.end_s for e in timeline.entries), default=0.0)
+        if recorder is not None:
+            # Close the final (partial) window so the last state is
+            # visible.  Stale departure events may have advanced the
+            # simulated clock past the makespan; keep timestamps
+            # monotone by sampling at whichever is later.
+            recorder.sample(max(now, makespan))
         utilisation = (
             busy_thread_seconds / (self.rack.total_hw_threads * makespan)
             if makespan > 0

@@ -362,10 +362,7 @@ class SearchEngine:
                         workload, list(pending.values()), seed=seed
                     )
                 self.stats.inc("evaluations", len(predictions))
-                self.stats.inc(
-                    "fixed_point_iterations",
-                    sum(p.iterations for p in predictions),
-                )
+                self.stats.observe_iterations(p.iterations for p in predictions)
                 if seed is not None:
                     self.stats.inc("warm_seeded", len(predictions))
                 for key, prediction in zip(pending, predictions):

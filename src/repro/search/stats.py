@@ -25,7 +25,7 @@ result assembly).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, Union
+from typing import Iterable, List, Optional, Tuple, Union
 
 from repro.obs.metrics import Metrics
 
@@ -50,6 +50,12 @@ _TIME_FIELDS = ("wall_time_s", "strategy_time_s")
 #: has an exact reference to compare against — benchmarks, tests).
 _REGRET_GAUGE = "search.surrogate_regret"
 
+#: Per-evaluation fixed-point iteration histogram: the distribution
+#: behind ``mean_iterations``, percentile-queried by ``report()`` and
+#: sampled into time series by the dashboard.
+_ITERATIONS_HISTOGRAM = "search.iterations"
+_ITERATION_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0)
+
 
 class SearchStats:
     """Cumulative counters for one :class:`~repro.search.engine.SearchEngine`."""
@@ -60,6 +66,7 @@ class SearchStats:
         self.metrics = registry if registry is not None else Metrics()
         for name in _COUNTER_FIELDS + _TIME_FIELDS:
             self.metrics.counter(f"search.{name}")
+        self.metrics.histogram(_ITERATIONS_HISTOGRAM, _ITERATION_BUCKETS)
 
     # -- mutation (the engine's write API) -------------------------------
 
@@ -68,6 +75,21 @@ class SearchStats:
         if name not in _COUNTER_FIELDS and name not in _TIME_FIELDS:
             raise KeyError(f"unknown search stat {name!r}")
         self.metrics.counter(f"search.{name}").inc(amount)
+
+    def observe_iterations(self, iterations: Iterable[int]) -> None:
+        """Record per-evaluation fixed-point iteration counts.
+
+        Also accumulates the ``fixed_point_iterations`` counter, so
+        the engine has one call per predict batch (the histogram takes
+        the whole batch under a single lock acquisition).
+        """
+        values = list(iterations)
+        if not values:
+            return
+        self.metrics.counter("search.fixed_point_iterations").inc(sum(values))
+        self.metrics.histogram(
+            _ITERATIONS_HISTOGRAM, _ITERATION_BUCKETS
+        ).observe_many(values)
 
     # -- reads ------------------------------------------------------------
 
@@ -174,6 +196,12 @@ class SearchStats:
             return 0.0
         return self.fixed_point_iterations / self.evaluations
 
+    def iterations_percentile(self, q: float) -> float:
+        """Interpolated quantile of per-evaluation fixed-point iterations."""
+        return self.metrics.histogram(
+            _ITERATIONS_HISTOGRAM, _ITERATION_BUCKETS
+        ).percentile(q)
+
     def snapshot(self) -> "SearchStats":
         """An independent copy (e.g. to freeze into a SearchResult)."""
         return SearchStats(self.metrics.snapshot())
@@ -193,7 +221,9 @@ class SearchStats:
             (
                 "evaluations",
                 f"{self.evaluations} (dedup ratio {self.dedup_ratio:.0%}, "
-                f"mean {self.mean_iterations:.1f} iterations)",
+                f"iterations mean {self.mean_iterations:.1f} / "
+                f"p50 {self.iterations_percentile(0.50):.1f} / "
+                f"p90 {self.iterations_percentile(0.90):.1f})",
             ),
             (
                 "warm seeded",

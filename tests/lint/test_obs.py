@@ -160,6 +160,90 @@ class TestMetricNamespaces:
         )
         assert findings == []
 
+    def test_unnamespaced_series_name_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            from repro.obs.timeseries import TimeSeriesRecorder
+
+            def record(registry):
+                recorder = TimeSeriesRecorder(registry)
+                recorder.series("depth").append(0.0, 1.0)
+            """,
+            rules=["PD-OBS"],
+        )
+        assert _ids(findings) == ["PD-OBS"]
+        assert "time-series name" in findings[0].message
+
+    def test_namespaced_series_name_passes(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            from repro.obs.timeseries import TimeSeriesRecorder
+
+            def record(registry):
+                recorder = TimeSeriesRecorder(registry)
+                recorder.series("online.queue_depth").append(0.0, 1.0)
+            """,
+            rules=["PD-OBS"],
+        )
+        assert findings == []
+
+    def test_chained_recorder_series_call_is_checked(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            from repro.obs.timeseries import TimeSeriesRecorder
+
+            def record(registry):
+                return TimeSeriesRecorder(registry).series("depth")
+            """,
+            rules=["PD-OBS"],
+        )
+        assert _ids(findings) == ["PD-OBS"]
+
+    def test_non_recorder_series_method_is_ignored(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            def record(frame):
+                return frame.series("anything goes")
+            """,
+            rules=["PD-OBS"],
+        )
+        assert findings == []
+
+
+class TestRecorderInLoop:
+    def test_recorder_constructed_in_loop_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            from repro.obs.timeseries import TimeSeriesRecorder
+
+            def sample_all(registries):
+                out = []
+                for registry in registries:
+                    out.append(TimeSeriesRecorder(registry))
+                return out
+            """,
+            rules=["PD-OBS"],
+        )
+        assert _ids(findings) == ["PD-OBS"]
+        assert "inside a loop" in findings[0].message
+
+    def test_recorder_outside_loop_passes(self, lint_snippet):
+        findings = lint_snippet(
+            """
+            from repro.obs.timeseries import TimeSeriesRecorder
+
+            def sample_all(registry, times):
+                recorder = TimeSeriesRecorder(registry)
+                for t in times:
+                    recorder.sample_at(t)
+                return recorder
+            """,
+            rules=["PD-OBS"],
+        )
+        assert findings == []
+
+
+class TestPragma:
     def test_pragma_suppresses_an_experimental_namespace(self, lint_snippet):
         findings = lint_snippet(
             """

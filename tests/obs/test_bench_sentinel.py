@@ -1,0 +1,142 @@
+"""Bench-regression sentinel tests (repro.obs.bench).
+
+The acceptance pair: ``check`` passes on the committed ``BENCH_*.json``
++ ``BENCH_HISTORY.jsonl``, and demonstrably fails — naming the metric,
+its baseline and its tolerance — when a headline metric is perturbed
+by twice its tolerance.
+"""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import bench
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _copy_committed(tmp_path):
+    for record in REPO_ROOT.glob("BENCH_*.json"):
+        shutil.copy(record, tmp_path / record.name)
+    history = REPO_ROOT / bench.HISTORY_FILE
+    if history.exists():
+        shutil.copy(history, tmp_path / bench.HISTORY_FILE)
+
+
+class TestCommittedBaselines:
+    def test_committed_bench_files_pass_the_check(self):
+        report = bench.check(root=REPO_ROOT)
+        assert report.ok, report.summary()
+        checked = [r for r in report.rows if r.status in ("ok", "fail")]
+        assert len(checked) == len(bench.HEADLINES)
+
+    def test_perturbing_a_headline_by_twice_its_tolerance_fails(self, tmp_path):
+        _copy_committed(tmp_path)
+        metric = next(
+            m for m in bench.HEADLINES
+            if m.name == "surrogate.x5_2_speedup"
+        )
+        record = tmp_path / metric.file
+        document = json.loads(record.read_text())
+        baseline = document["sections"]["X5-2"]["speedup"]
+        document["sections"]["X5-2"]["speedup"] = baseline * (
+            1.0 - 2.0 * metric.tolerance
+        )
+        record.write_text(json.dumps(document))
+
+        report = bench.check(root=tmp_path)
+        assert not report.ok
+        assert [row.metric.name for row in report.failures] == [metric.name]
+        verdict = report.failures[0].describe()
+        # The failure names the metric, its baseline and its tolerance.
+        assert metric.name in verdict
+        assert f"{baseline:.6g}" in verdict
+        assert f"{metric.tolerance:.0%}" in verdict
+        assert verdict.startswith("REGRESSION")
+
+    def test_within_tolerance_drift_passes(self, tmp_path):
+        _copy_committed(tmp_path)
+        metric = next(
+            m for m in bench.HEADLINES if m.name == "predictor.batch_speedup"
+        )
+        record = tmp_path / metric.file
+        document = json.loads(record.read_text())
+        document["headline"]["speedup"] *= 1.0 - 0.5 * metric.tolerance
+        record.write_text(json.dumps(document))
+        assert bench.check(root=tmp_path).ok
+
+
+class TestCheckSemantics:
+    def test_missing_file_is_a_skip_not_a_failure(self, tmp_path):
+        report = bench.check(root=tmp_path)
+        assert report.ok
+        assert all(row.status == "skip" for row in report.rows)
+        assert "skipped" in report.rows[0].describe()
+
+    def test_no_history_means_new_not_failure(self, tmp_path):
+        _copy_committed(tmp_path)
+        (tmp_path / bench.HISTORY_FILE).unlink()
+        report = bench.check(root=tmp_path)
+        assert report.ok
+        assert all(row.status == "new" for row in report.rows)
+
+    def test_lower_direction_ignore_below_band(self, tmp_path):
+        _copy_committed(tmp_path)
+        # max_abs_deviation baseline is ~1e-15; a jump to 1e-10 is a
+        # millionfold relative regression but still inside the 1e-9
+        # don't-care band for near-zero noise.
+        record = tmp_path / "BENCH_predictor.json"
+        document = json.loads(record.read_text())
+        document["headline"]["max_abs_deviation"] = 1e-10
+        record.write_text(json.dumps(document))
+        assert bench.check(root=tmp_path).ok
+        document["headline"]["max_abs_deviation"] = 1e-3
+        record.write_text(json.dumps(document))
+        report = bench.check(root=tmp_path)
+        assert [r.metric.name for r in report.failures] == [
+            "predictor.max_abs_deviation"
+        ]
+
+    def test_present_file_with_broken_path_raises(self, tmp_path):
+        (tmp_path / "BENCH_predictor.json").write_text('{"headline": {}}')
+        with pytest.raises(ReproError, match="predictor.batch_speedup"):
+            bench.read_headline_values(tmp_path)
+
+    def test_report_json_is_machine_readable(self):
+        report = bench.check(root=REPO_ROOT)
+        decoded = json.loads(report.to_json())
+        assert decoded["ok"] is True
+        assert {row["status"] for row in decoded["rows"]} <= {
+            "ok", "fail", "new", "skip"
+        }
+
+
+class TestHistory:
+    def test_record_appends_and_labels_run_n(self, tmp_path):
+        history = tmp_path / bench.HISTORY_FILE
+        first = bench.append_history(history, {"a.b": 1.0, "c.d": None})
+        assert first["label"] == "run-1"
+        assert first["metrics"] == {"a.b": 1.0}  # absent metrics dropped
+        second = bench.append_history(history, {"a.b": 2.0}, label="tuned")
+        assert second["label"] == "tuned"
+        entries = bench.load_history(history)
+        assert len(entries) == 2
+        assert bench.baseline_for(entries, "a.b") == 2.0  # most recent wins
+        assert bench.baseline_for(entries, "zzz") is None
+
+    def test_corrupt_history_raises_with_line_number(self, tmp_path):
+        history = tmp_path / bench.HISTORY_FILE
+        history.write_text('{"label": "ok", "metrics": {}}\nnot json\n')
+        with pytest.raises(ReproError, match=":2"):
+            bench.load_history(history)
+
+    def test_headline_validation(self):
+        with pytest.raises(ReproError, match="sideways"):
+            bench.HeadlineMetric(
+                "x.y", "BENCH_x.json", ("a",), "sideways", 0.1
+            )
+        with pytest.raises(ReproError, match="tolerance"):
+            bench.HeadlineMetric("x.y", "BENCH_x.json", ("a",), "lower", 1.5)

@@ -1,0 +1,126 @@
+"""HTML ops-dashboard tests (repro.obs.dashboard)."""
+
+from repro.obs.dashboard import (
+    DEFAULT_HEALTH,
+    HealthRule,
+    render_dashboard,
+    write_dashboard,
+)
+from repro.obs.metrics import Metrics
+from repro.obs.timeseries import TimeSeriesRecorder
+from repro.obs.trace import Span
+
+
+def _loaded_registry():
+    m = Metrics()
+    m.counter("online.arrivals").inc(10)
+    m.counter("online.decisions").inc(8)
+    m.gauge("online.queue_depth").set(2.0)
+    m.histogram("online.slowdown", (1.0, 2.0, 4.0)).observe_many(
+        [1.1, 1.4, 2.2, 3.0]
+    )
+    return m
+
+
+def _spans():
+    return [
+        Span(name="online.run", span_id="1-1", parent_id=None,
+             pid=1, tid=1, start_ns=0, dur_ns=50_000),
+        Span(name="online.decide", span_id="1-2", parent_id="1-1",
+             pid=1, tid=1, start_ns=0, dur_ns=20_000),
+    ]
+
+
+class TestRenderDashboard:
+    def test_full_page_has_all_sections(self):
+        m = _loaded_registry()
+        recorder = TimeSeriesRecorder(m)
+        for t in (0.0, 1.0, 2.0):
+            recorder.sample(t)
+        html = render_dashboard(
+            title="test run", metrics=m, recorder=recorder, spans=_spans(),
+        )
+        assert html.count('class="sparkline"') >= 3
+        assert "<th>p50</th><th>p90</th><th>p99</th>" in html
+        assert "repro-flamegraph" in html
+        assert "online.slowdown" in html
+        assert html.startswith("<!DOCTYPE html>")
+        assert 'class="stub"' not in html
+
+    def test_no_data_renders_stub_page_not_crash(self):
+        html = render_dashboard(metrics=Metrics(), recorder=None, spans=None)
+        assert 'class="stub"' in html
+        assert "No observability data" in html
+        assert "sparkline" not in html
+
+    def test_note_and_plain_dict_inputs(self):
+        html = render_dashboard(
+            metrics={"counters": {"online.arrivals": 2}, "gauges": {},
+                     "histograms": {}},
+            recorder={"online.arrivals": [[0.0, 1.0], [1.0, 2.0]]},
+            note="12 jobs",
+        )
+        assert "12 jobs" in html
+        assert html.count('class="sparkline"') == 1
+
+    def test_write_dashboard(self, tmp_path):
+        out = write_dashboard(
+            tmp_path / "dash.html", metrics=_loaded_registry(),
+        )
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestHealthRules:
+    def test_breach_and_ok_badges(self):
+        m = _loaded_registry()
+        rules = (
+            HealthRule("queue depth", "online.queue_depth", "value",
+                       threshold=1.0),  # 2.0 > 1.0: breach
+            HealthRule("mean slowdown", "online.slowdown", "mean",
+                       threshold=25.0),  # healthy
+        )
+        html = render_dashboard(metrics=m, health=rules)
+        assert 'class="badge bad">queue depth' in html
+        assert 'class="badge ok">mean slowdown' in html
+        assert "BREACH" in html
+
+    def test_absent_instrument_is_not_applicable(self):
+        rule = HealthRule("latency p99", "online.decision_us", "p99",
+                          threshold=1.0)
+        assert rule.evaluate(Metrics().data()) is None
+
+    def test_empty_histogram_is_not_applicable(self):
+        m = Metrics()
+        m.histogram("online.decision_us")
+        rule = HealthRule("latency p99", "online.decision_us", "p99",
+                          threshold=1.0)
+        assert rule.evaluate(m.data()) is None
+
+    def test_counter_ratio_with_zero_denominator(self):
+        m = Metrics()
+        m.counter("search.surrogate_fallbacks").inc(1)
+        m.counter("search.rounds")
+        rule = HealthRule("fallback rate", "search.surrogate_fallbacks",
+                          "value", threshold=0.5,
+                          denominator="search.rounds")
+        value, healthy = rule.evaluate(m.data())
+        assert value == 1.0  # denominator floored at 1
+        assert not healthy
+
+    def test_percentile_stat_reads_histogram(self):
+        m = _loaded_registry()
+        rule = HealthRule("slowdown p99", "online.slowdown", "p99",
+                          threshold=2.0)
+        value, healthy = rule.evaluate(m.data())
+        assert value > 2.0
+        assert not healthy
+
+    def test_default_rules_apply_cleanly_to_online_registry(self):
+        data = _loaded_registry().data()
+        outcomes = [rule.evaluate(data) for rule in DEFAULT_HEALTH]
+        # Rules whose instruments exist evaluate; the others opt out.
+        assert any(outcome is not None for outcome in outcomes)
+        for outcome in outcomes:
+            if outcome is not None:
+                value, healthy = outcome
+                assert isinstance(healthy, bool)

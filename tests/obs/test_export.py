@@ -7,6 +7,7 @@ import pytest
 from repro.obs.trace import Tracer
 from repro.obs.export import (
     chrome_trace_events,
+    read_spans_jsonl,
     to_chrome_trace,
     validate_chrome_trace,
     validate_chrome_trace_file,
@@ -91,6 +92,27 @@ class TestJsonlExport:
         assert {r["name"] for r in rows} == {"outer", "first", "second", "chunk"}
         chunk = next(r for r in rows if r["name"] == "chunk")
         assert chunk["parent_id"] is not None
+
+    def test_read_spans_jsonl_round_trips(self, tmp_path):
+        spans = _sample_spans()
+        path = write_spans_jsonl(tmp_path / "spans.jsonl", spans)
+        loaded = read_spans_jsonl(path)
+        assert [(s.name, s.span_id, s.parent_id, s.dur_ns) for s in loaded] == [
+            (s.name, s.span_id, s.parent_id, s.dur_ns) for s in spans
+        ]
+        assert loaded[0].attrs == spans[0].attrs
+
+    def test_read_spans_jsonl_names_bad_line(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text('{"name": "orphan"}\n')
+        with pytest.raises(ValueError, match="spans.jsonl:1"):
+            read_spans_jsonl(path)
+
+    def test_read_spans_jsonl_skips_blank_lines(self, tmp_path):
+        spans = _sample_spans()
+        path = write_spans_jsonl(tmp_path / "spans.jsonl", spans)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(read_spans_jsonl(path)) == len(spans)
 
 
 class TestValidation:

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.obs.metrics import DEFAULT_BUCKETS, Metrics
+from repro.obs.metrics import DEFAULT_BUCKETS, Metrics, percentile_from_counts
 
 
 class TestInstruments:
@@ -106,6 +106,101 @@ class TestMergeAndSnapshot:
         h = a.histogram("h")
         assert h.count == 0
         assert h.vmin == math.inf and h.vmax == -math.inf
+
+
+class TestPercentile:
+    def test_empty_histogram_is_zero(self):
+        assert Metrics().histogram("h").percentile(0.5) == 0.0
+
+    def test_q_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile_from_counts((1.0, 2.0), [0, 0, 0], 1.5)
+        with pytest.raises(ValueError):
+            Metrics().histogram("h").percentile(-0.1)
+
+    def test_single_sample_is_exact(self):
+        # vmin == vmax clamps the interpolation to the observed value.
+        h = Metrics().histogram("h", buckets=(10, 20, 30))
+        h.observe(17.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.percentile(q) == pytest.approx(17.0)
+
+    def test_uniform_interpolation_within_bucket(self):
+        # 100 observations all in the (10, 20] bucket: the estimator
+        # spreads them uniformly, so p50 sits mid-bucket.
+        counts = [0, 100, 0, 0]
+        value = percentile_from_counts((10.0, 20.0, 30.0), counts, 0.5)
+        assert value == pytest.approx(15.0)
+
+    def test_interpolates_across_buckets(self):
+        # 50 below 10, 50 in (10, 20]: p25 is mid-first-bucket (lo=0
+        # without a known vmin), p75 mid-second.
+        counts = [50, 50, 0, 0]
+        assert percentile_from_counts(
+            (10.0, 20.0, 30.0), counts, 0.25
+        ) == pytest.approx(5.0)
+        assert percentile_from_counts(
+            (10.0, 20.0, 30.0), counts, 0.75
+        ) == pytest.approx(15.0)
+
+    def test_overflow_bucket_bounded_by_vmax(self):
+        counts = [0, 0, 0, 10]
+        value = percentile_from_counts(
+            (1.0, 2.0, 3.0), counts, 1.0, vmin=4.0, vmax=9.0
+        )
+        assert value == pytest.approx(9.0)
+        # Without a known max the overflow bucket degrades to the last
+        # bound rather than inventing an upper edge.
+        assert percentile_from_counts(
+            (1.0, 2.0, 3.0), counts, 1.0
+        ) == pytest.approx(3.0)
+
+    def test_monotone_in_q(self):
+        h = Metrics().histogram("h", buckets=DEFAULT_BUCKETS)
+        h.observe_many([1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144])
+        quantiles = [h.percentile(q / 10) for q in range(11)]
+        assert quantiles == sorted(quantiles)
+        assert quantiles[0] == pytest.approx(1.0)
+        assert quantiles[-1] == pytest.approx(144.0)
+
+
+class TestSnapshotDeepCopy:
+    def test_snapshot_histogram_counts_never_alias_live_buckets(self):
+        # The mutation test pinning the deep copy: observing into the
+        # live histogram after a snapshot must not leak into the
+        # snapshot's bucket array.
+        m = Metrics()
+        h = m.histogram("h", buckets=(1, 10))
+        h.observe_many([0.5, 5.0])
+        snap = m.snapshot()
+        frozen = snap.histogram("h", buckets=(1, 10))
+        assert frozen.counts is not h.counts
+        h.observe_many([0.7, 7.0, 70.0])
+        assert frozen.counts == [1, 1, 0]
+        assert frozen.count == 2
+        assert frozen.vmax == 5.0
+        assert h.counts == [2, 2, 1]
+
+    def test_snapshot_gauge_and_counter_are_independent(self):
+        m = Metrics()
+        m.counter("n").inc(3)
+        m.gauge("g").set(1.5)
+        snap = m.snapshot()
+        m.counter("n").inc()
+        m.gauge("g").set(9.0)
+        assert snap.counter("n").value == 3
+        assert snap.gauge("g").value == 1.5
+
+    def test_snapshot_percentiles_stay_frozen(self):
+        m = Metrics()
+        h = m.histogram("h", buckets=(10, 20, 30))
+        h.observe(17.0)
+        snap = m.snapshot()
+        h.observe_many([29.0] * 99)
+        assert snap.histogram("h", buckets=(10, 20, 30)).percentile(
+            0.5
+        ) == pytest.approx(17.0)
+        assert h.percentile(0.9) > 17.0
 
 
 class TestSummary:

@@ -1,0 +1,133 @@
+"""Span-tree profiling tests (repro.obs.profile)."""
+
+import re
+
+from repro.obs.profile import (
+    aggregate,
+    flamegraph_svg,
+    folded_stacks,
+    hot_table,
+)
+from repro.obs.trace import Span
+
+
+def _span(name, span_id, parent, start_ns, dur_ns):
+    return Span(
+        name=name, span_id=span_id, parent_id=parent,
+        pid=1, tid=1, start_ns=start_ns, dur_ns=dur_ns,
+    )
+
+
+def _tree():
+    """One root (100us) with two children; one child repeats."""
+    return [
+        _span("run.root", "1-1", None, 0, 100_000),
+        _span("phase.a", "1-2", "1-1", 0, 30_000),
+        _span("phase.a", "1-3", "1-1", 30_000, 20_000),
+        _span("phase.b", "1-4", "1-1", 50_000, 40_000),
+    ]
+
+
+class TestAggregate:
+    def test_single_root_and_sibling_merge(self):
+        root = aggregate(_tree())
+        assert root.name == "run.root"
+        assert root.total_ns == 100_000
+        a = root.children["phase.a"]
+        assert a.count == 2
+        assert a.total_ns == 50_000
+        assert root.self_ns == 100_000 - 50_000 - 40_000
+
+    def test_multi_root_gets_synthetic_run(self):
+        spans = [
+            _span("one", "1-1", None, 0, 10),
+            _span("two", "1-2", None, 10, 20),
+        ]
+        root = aggregate(spans)
+        assert root.name == "run"
+        assert root.total_ns == 30
+        assert set(root.children) == {"one", "two"}
+
+    def test_orphan_parent_becomes_top_level(self):
+        spans = [_span("lost", "1-9", "0-404", 0, 5)]
+        root = aggregate(spans)
+        assert root.name == "lost"
+
+    def test_self_time_floors_at_zero(self):
+        # Parallel children over-subscribe the parent's wall time.
+        spans = [
+            _span("parent", "1-1", None, 0, 100),
+            _span("kid", "1-2", "1-1", 0, 80),
+            _span("kid2", "1-3", "1-1", 0, 80),
+        ]
+        root = aggregate(spans)
+        assert root.child_total_ns == 160
+        assert root.self_ns == 0
+
+
+class TestFoldedStacks:
+    def test_self_times_sum_to_root_total(self):
+        lines = folded_stacks(_tree())
+        assert sum(v for _, v in lines) == 100_000 // 1000
+        paths = [p for p, _ in lines]
+        assert "run.root;phase.a" in paths
+        assert "run.root;phase.b" in paths
+
+    def test_leaf_with_zero_self_time_is_kept(self):
+        spans = [
+            _span("parent", "1-1", None, 0, 2_000),
+            _span("kid", "1-2", "1-1", 0, 2_000),
+        ]
+        lines = dict(folded_stacks(spans))
+        assert lines["parent;kid"] == 2
+
+
+class TestHotTable:
+    def test_sorted_by_self_time_and_truncated(self):
+        rows = hot_table(_tree(), top=2)
+        assert len(rows) == 2
+        self_times = [r[3] for r in rows]
+        assert self_times == sorted(self_times, reverse=True)
+        name, count, total_ms, self_ms, pct = rows[0]
+        assert name == "phase.a"
+        assert count == 2
+        assert total_ms == 0.05
+        assert pct == 50.0
+
+
+class TestFlamegraph:
+    def test_root_width_is_run_wall_time(self):
+        svg = flamegraph_svg(_tree(), width=1000)
+        assert 'data-root-ns="100000"' in svg
+        # The root box spans the full canvas width.
+        assert re.search(
+            r'data-name="run.root"><rect x="0.00" y="\d+" width="1000.00"',
+            svg,
+        )
+
+    def test_parallel_children_are_rescaled_to_fit(self):
+        spans = [
+            _span("parent", "1-1", None, 0, 100_000),
+            _span("kid.a", "1-2", "1-1", 0, 80_000),
+            _span("kid.b", "1-3", "1-1", 0, 80_000),
+        ]
+        svg = flamegraph_svg(spans, width=1000)
+        widths = [
+            float(w)
+            for w in re.findall(r'<rect x="[\d.]+" y="40" width="([\d.]+)"', svg)
+        ]
+        # Two children, scaled from 800px each down to 500px each so the
+        # row never overflows the parent's box.
+        assert len(widths) == 2
+        assert sum(widths) <= 1000.0 + 1e-6
+        assert widths[0] == widths[1] == 500.0
+
+    def test_tooltips_and_title(self):
+        svg = flamegraph_svg(_tree(), title="unit test")
+        assert "unit test" in svg
+        assert "<title>phase.b: 0.04 ms (1 span)</title>" in svg
+
+    def test_empty_trace_renders_empty_root(self):
+        svg = flamegraph_svg([])
+        assert 'data-root-ns="0"' in svg
+        assert svg.startswith("<svg ")

@@ -1,0 +1,145 @@
+"""Time-series recorder and exporter tests (repro.obs.timeseries)."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import Metrics
+from repro.obs.timeseries import (
+    Series,
+    TimeSeriesRecorder,
+    prometheus_exposition,
+    write_timeseries_jsonl,
+)
+
+
+class TestSeries:
+    def test_ring_buffer_drops_oldest(self):
+        s = Series("online.queue_depth", capacity=3)
+        for t in range(5):
+            s.append(t, t * 10.0)
+        assert s.points() == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+        assert s.last == 40.0
+        assert len(s) == 3
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ReproError, match="online.queue_depth"):
+            Series("online.queue_depth", capacity=0)
+
+    def test_empty_series(self):
+        s = Series("online.queue_depth")
+        assert s.last is None
+        assert s.values() == []
+
+
+class TestRecorderSampling:
+    def test_empty_registry_samples_no_series(self):
+        recorder = TimeSeriesRecorder(Metrics())
+        recorder.sample(0.0)
+        recorder.sample(1.0)
+        assert len(recorder) == 0
+        assert recorder.data() == {}
+
+    def test_counters_gauges_and_histograms_expand(self):
+        m = Metrics()
+        m.counter("online.arrivals").inc(3)
+        m.gauge("online.queue_depth").set(2.0)
+        m.histogram("online.slowdown", (1.0, 2.0, 4.0)).observe_many(
+            [1.5, 1.5, 3.0]
+        )
+        recorder = TimeSeriesRecorder(m)
+        recorder.sample(0.0)
+        names = [s.name for s in recorder.all_series()]
+        assert names == sorted(names)
+        assert "online.arrivals" in names
+        assert "online.queue_depth" in names
+        for suffix in ("count", "mean", "p50", "p90", "p99"):
+            assert f"online.slowdown.{suffix}" in names
+        assert recorder.series("online.slowdown.count").last == 3
+        assert recorder.series("online.slowdown.mean").last == pytest.approx(2.0)
+
+    def test_single_sample_series_roundtrips(self, tmp_path):
+        m = Metrics()
+        m.counter("online.arrivals").inc()
+        recorder = TimeSeriesRecorder(m)
+        recorder.sample(5.0)
+        out = write_timeseries_jsonl(tmp_path / "ts.jsonl", recorder)
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert rows == [{"series": "online.arrivals", "points": [[5.0, 1]]}]
+
+    def test_sample_at_is_window_gated(self):
+        m = Metrics()
+        counter = m.counter("online.decisions")
+        recorder = TimeSeriesRecorder(m, interval_s=10.0)
+        # A burst of events inside one window yields one point per
+        # crossed boundary, not one point per event.
+        for _ in range(5):
+            counter.inc()
+            recorder.sample_at(3.0)
+        assert len(recorder.series("online.decisions")) == 1
+        # A long quiet gap back-fills one point per window boundary.
+        recorder.sample_at(35.0)
+        times = [t for t, _ in recorder.series("online.decisions").points()]
+        assert times == [0.0, 10.0, 20.0, 30.0]
+
+    def test_wall_clock_thread_samples_and_stops(self):
+        m = Metrics()
+        m.counter("online.arrivals").inc()
+        recorder = TimeSeriesRecorder(m, interval_s=0.01)
+        recorder.start()
+        recorder.start()  # idempotent
+        recorder.stop()  # takes one final sample even if none fired yet
+        assert len(recorder.series("online.arrivals")) >= 1
+        recorder.stop()  # idempotent after join
+
+    def test_nonfinite_points_become_null_in_jsonl(self, tmp_path):
+        m = Metrics()
+        m.gauge("online.queue_depth").set(math.inf)
+        recorder = TimeSeriesRecorder(m)
+        recorder.sample(0.0)
+        out = write_timeseries_jsonl(tmp_path / "ts.jsonl", recorder)
+        row = json.loads(out.read_text())
+        assert row["points"] == [[0.0, None]]
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ReproError, match="interval"):
+            TimeSeriesRecorder(Metrics(), interval_s=0.0)
+
+
+class TestPrometheusExposition:
+    def test_empty_registry_is_empty_text(self):
+        assert prometheus_exposition(Metrics()) == ""
+
+    def test_counter_gauge_histogram_families(self):
+        m = Metrics()
+        m.counter("search.requests").inc(7)
+        m.gauge("online.queue_depth").set(2.5)
+        m.histogram("online.slowdown", (1.0, 2.0)).observe_many([0.5, 1.5, 9.0])
+        text = prometheus_exposition(m)
+        assert "# TYPE repro_search_requests_total counter" in text
+        assert "repro_search_requests_total 7" in text
+        assert "repro_online_queue_depth 2.5" in text
+        assert 'repro_online_slowdown_bucket{le="1.0"} 1' in text
+        assert 'repro_online_slowdown_bucket{le="2.0"} 2' in text
+        assert 'repro_online_slowdown_bucket{le="+Inf"} 3' in text
+        assert "repro_online_slowdown_sum 11.0" in text
+        assert "repro_online_slowdown_count 3" in text
+        assert text.endswith("\n")
+
+    def test_nonfinite_values_are_skipped_with_comments(self):
+        m = Metrics()
+        m.gauge("online.queue_depth").set(math.nan)
+        m.counter("search.wall_time_s").inc(math.inf)
+        text = prometheus_exposition(m)
+        assert "nan" not in text.replace("non-finite", "")
+        assert "inf" not in text.replace("non-finite", "").replace("+Inf", "")
+        assert "# repro: skipped non-finite gauge online.queue_depth" in text
+        assert "# repro: skipped non-finite counter search.wall_time_s" in text
+
+    def test_names_are_sanitised_to_prometheus_charset(self):
+        m = Metrics()
+        m.counter("online.jobs-per-day").inc()
+        text = prometheus_exposition(m)
+        assert "repro_online_jobs_per_day_total 1" in text

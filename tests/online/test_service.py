@@ -78,6 +78,65 @@ class TestRun:
             OnlineScheduler(rack, hysteresis=-0.1)
 
 
+class TestSimulatedClockSampling:
+    def test_recorder_samples_per_simulated_window(self, rack, pool):
+        from repro.obs.metrics import Metrics
+        from repro.obs.timeseries import TimeSeriesRecorder
+
+        trace = poisson_trace(pool, n_jobs=20, rate_per_s=0.5, seed=7)
+        recorder = TimeSeriesRecorder(Metrics(), interval_s=10.0)
+        run = OnlineScheduler(rack, policy="predicted-slowdown").run(
+            trace, recorder=recorder
+        )
+        names = {s.name for s in recorder.all_series()}
+        # The tentpole quartet: queue depth, decision-latency
+        # percentiles, admission rate, mean predicted slowdown.
+        assert "online.queue_depth" in names
+        assert "online.decision_us.p99" in names
+        assert "online.arrivals" in names
+        assert "online.slowdown.mean" in names
+        arrivals = recorder.series("online.arrivals")
+        # Samples land on simulated-window boundaries, one per window,
+        # plus one final end-of-run sample closing the partial window.
+        times = [t for t, _ in arrivals.points()]
+        on_boundary = [t for t in times if t % 10.0 == 0.0]
+        assert len(on_boundary) >= len(times) - 1
+        assert times == sorted(times)
+        assert times[-1] >= run.makespan_s
+        # Cumulative counters are monotone and end at the run total.
+        values = arrivals.values()
+        assert values == sorted(values)
+        assert values[-1] == 20
+
+    def test_recorder_registry_is_the_run_registry(self, rack, pool):
+        from repro.obs.metrics import Metrics
+        from repro.obs.timeseries import TimeSeriesRecorder
+
+        trace = poisson_trace(pool, n_jobs=5, rate_per_s=0.5, seed=3)
+        recorder = TimeSeriesRecorder(Metrics(), interval_s=30.0)
+        run = OnlineScheduler(rack).run(trace, recorder=recorder)
+        assert recorder.registry.counter("online.arrivals").value == 5
+        assert run.stats.arrivals == 5
+
+    def test_sampling_does_not_change_the_schedule(self, rack, pool):
+        from repro.obs.metrics import Metrics
+        from repro.obs.timeseries import TimeSeriesRecorder
+
+        trace = poisson_trace(pool, n_jobs=12, rate_per_s=0.5, seed=11)
+        plain = OnlineScheduler(rack).run(trace)
+        sampled = OnlineScheduler(rack).run(
+            trace, recorder=TimeSeriesRecorder(Metrics(), interval_s=5.0)
+        )
+        assert [
+            (d.job_name, d.machine_name, d.hw_thread_ids)
+            for d in plain.decisions
+        ] == [
+            (d.job_name, d.machine_name, d.hw_thread_ids)
+            for d in sampled.decisions
+        ]
+        assert plain.makespan_s == sampled.makespan_s
+
+
 class _NarrowPacker(PlacementPolicy):
     """Deliberately bad: everything on node-0, four threads each.
 

@@ -1,0 +1,39 @@
+"""SearchStats iteration histogram + percentile reporting."""
+
+import pytest
+
+from repro.search.stats import SearchStats
+
+
+class TestObserveIterations:
+    def test_batch_feeds_counter_and_histogram(self):
+        stats = SearchStats()
+        stats.observe_iterations([3, 5, 5, 7])
+        assert stats.fixed_point_iterations == 20
+        assert stats.iterations_percentile(0.5) == pytest.approx(5.0, abs=1.0)
+        assert stats.iterations_percentile(1.0) == pytest.approx(7.0)
+
+    def test_empty_batch_is_a_no_op(self):
+        stats = SearchStats()
+        stats.observe_iterations([])
+        assert stats.fixed_point_iterations == 0
+        assert stats.iterations_percentile(0.9) == 0.0
+
+    def test_report_renders_percentiles(self):
+        stats = SearchStats()
+        stats.inc("requests", 4)
+        stats.inc("cache_misses", 4)
+        stats.inc("evaluations", 4)
+        stats.observe_iterations([2, 4, 8, 16])
+        rows = dict(stats.report())
+        assert "p50" in rows["evaluations"]
+        assert "p90" in rows["evaluations"]
+        assert "iterations mean 7.5" in rows["evaluations"]
+
+    def test_snapshot_freezes_the_histogram(self):
+        stats = SearchStats()
+        stats.observe_iterations([10])
+        frozen = stats.snapshot()
+        stats.observe_iterations([1000] * 9)
+        assert frozen.iterations_percentile(0.9) == pytest.approx(10.0)
+        assert stats.iterations_percentile(0.9) > 10.0

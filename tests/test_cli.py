@@ -160,6 +160,115 @@ class TestEvaluate:
         assert svg.exists() and svg.read_text().startswith("<svg")
 
 
+class TestProfile:
+    def test_profile_from_span_log(self, capsys, tmp_path):
+        from repro import obs
+
+        spans = tmp_path / "spans.jsonl"
+        try:
+            assert main([
+                "optimize", "TESTBOX", "Swim", "--max-placements", "40",
+                "--trace-out", str(spans),
+            ]) == 0
+        finally:
+            obs.disable()
+            obs.reset()
+        capsys.readouterr()
+        svg = tmp_path / "flame.svg"
+        folded = tmp_path / "folded.txt"
+        assert main([
+            "profile", str(spans), "--top", "5",
+            "--svg", str(svg), "--folded", str(folded),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "self ms" in out
+        assert "sim.fixed_point" in out
+        assert "repro-flamegraph" in svg.read_text()
+        lines = folded.read_text().splitlines()
+        assert lines and all(" " in line for line in lines)
+
+    def test_profile_empty_log_fails_cleanly(self, capsys, tmp_path):
+        empty = tmp_path / "spans.jsonl"
+        empty.write_text("")
+        assert main(["profile", str(empty)]) == 1
+        assert "no spans" in capsys.readouterr().out
+
+
+class TestDashboard:
+    def test_dashboard_acceptance(self, capsys, tmp_path):
+        """One self-contained page: >=3 sparklines, percentile rows, and
+        a flamegraph whose root equals the session wall time within 1%."""
+        import re
+
+        from repro import obs
+
+        out_file = tmp_path / "dash.html"
+        try:
+            assert main([
+                "dashboard", "TESTBOX", "EP", "--out", str(out_file),
+                "--jobs", "8", "--max-placements", "40",
+                "--sample-window", "10",
+            ]) == 0
+            session = [
+                s for s in obs.tracer().spans()
+                if s.name == "dashboard.session"
+            ]
+        finally:
+            obs.disable()
+            obs.reset()
+        html = out_file.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.count('class="sparkline"') >= 3
+        assert "<th>p50</th><th>p90</th><th>p99</th>" in html
+        assert len(session) == 1
+        root_ns = int(re.search(r'data-root-ns="(\d+)"', html).group(1))
+        assert root_ns == pytest.approx(session[0].dur_ns, rel=0.01)
+
+    def test_online_dashboard_out(self, capsys, tmp_path):
+        out_file = tmp_path / "online.html"
+        assert main([
+            "online", "TESTBOX", "EP", "Swim", "--jobs", "10",
+            "--dashboard-out", str(out_file), "--sample-window", "20",
+        ]) == 0
+        html = out_file.read_text()
+        assert html.count('class="sparkline"') >= 3
+        assert "online.slowdown" in html
+        assert "wrote dashboard" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_check_then_record_then_regress(self, capsys, tmp_path):
+        import json
+        import shutil
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[1]
+        for record in repo_root.glob("BENCH_*.json"):
+            shutil.copy(record, tmp_path / record.name)
+        root = str(tmp_path)
+        # No history yet: everything is new, check passes.
+        assert main(["bench", "check", "--root", root]) == 0
+        assert "new" in capsys.readouterr().out
+        # Record a baseline, check passes against it.
+        assert main(["bench", "record", "--root", root, "--label", "seed"]) == 0
+        capsys.readouterr()
+        assert main(["bench", "check", "--root", root]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+        # Halve a higher-is-better headline: check now fails, naming it.
+        record = tmp_path / "BENCH_predictor.json"
+        document = json.loads(record.read_text())
+        document["headline"]["speedup"] *= 0.4
+        record.write_text(json.dumps(document))
+        assert main(["bench", "check", "--root", root]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION predictor.batch_speedup" in out
+        assert "tolerance" in out
+
+    def test_record_with_no_bench_files_is_an_error(self, capsys, tmp_path):
+        assert main(["bench", "record", "--root", str(tmp_path)]) == 1
+        assert "nothing to record" in capsys.readouterr().err
+
+
 class TestNoiseFlag:
     def test_noise_flag_changes_measurements(self, capsys):
         main(["--noise", "0.0", "describe-machine", "TESTBOX"])

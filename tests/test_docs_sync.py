@@ -129,6 +129,85 @@ class TestObservabilityDocumented:
         assert "path: trace.json" in ci
 
 
+class TestObsV2Documented:
+    """docs track the v2 observability surfaces: time series,
+    flamegraphs, the ops dashboard and the bench sentinel."""
+
+    DOC_TOKENS = (
+        "timeseries",
+        "TimeSeriesRecorder",
+        "prometheus",
+        "flamegraph",
+        "percentile",
+        "sample_at",
+        "pandia profile",
+        "pandia dashboard",
+        "pandia bench check",
+        "--dashboard-out",
+        "--sample-window",
+        "BENCH_HISTORY.jsonl",
+    )
+
+    def test_observability_doc_covers_the_v2_surface(self):
+        text = (REPO / "docs" / "observability.md").read_text()
+        for token in self.DOC_TOKENS:
+            assert token.lower() in text.lower(), (
+                f"{token!r} missing from docs/observability.md"
+            )
+
+    def test_api_doc_covers_the_surface(self):
+        text = (REPO / "docs" / "api.md").read_text()
+        for token in ("TimeSeriesRecorder", "prometheus_exposition",
+                      "write_dashboard", "flamegraph_svg", "percentile",
+                      "pandia dashboard", "pandia bench check",
+                      "BENCH_HISTORY.jsonl", "--dashboard-out",
+                      "--sample-window"):
+            assert token in text, f"{token!r} missing from docs/api.md"
+
+    def test_readme_mentions_the_surfaces(self):
+        readme = (REPO / "README.md").read_text()
+        for token in ("pandia dashboard", "pandia bench check",
+                      "pandia profile"):
+            assert token in readme, f"{token!r} missing from README.md"
+
+    def test_cli_exposes_the_documented_commands_and_flags(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions if a.__class__.__name__ == "_SubParsersAction"
+        )
+        for command in ("profile", "dashboard", "bench"):
+            assert command in subparsers.choices, (
+                f"`pandia {command}` missing from the CLI"
+            )
+        for command, flags in (
+            ("dashboard", ("--out", "--sample-window", "--interval")),
+            ("online", ("--dashboard-out", "--sample-window")),
+        ):
+            option_strings = {
+                opt
+                for action in subparsers.choices[command]._actions
+                for opt in action.option_strings
+            }
+            for flag in flags:
+                assert flag in option_strings, (
+                    f"{flag} missing from `pandia {command}`"
+                )
+
+    def test_ci_gates_the_bench_sentinel_and_renders_a_dashboard(self):
+        ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+        assert "bench check" in ci
+        assert "dashboard" in ci
+        assert "path: dashboard.html" in ci
+
+    def test_stale_artifacts_are_ignored_not_committed(self):
+        gitignore = (REPO / ".gitignore").read_text()
+        for pattern in ("report_default.html", "results_default.txt",
+                        "dashboard.html"):
+            assert pattern in gitignore, f"{pattern!r} missing from .gitignore"
+
+
 class TestOnlineDocumented:
     """docs/online.md tracks the online scheduling service."""
 
